@@ -1,0 +1,102 @@
+// Ablation A5: historical prompt selection (Sec. III-A). The paper argues
+// raw vector similarity is not the right target for choosing few-shot
+// examples and envisions performance-aware indexes plus RL-style budgeted
+// retention. This bench seeds a prompt store with a mix of correct and
+// *poisoned* (wrong-output) worked examples, streams NL2SQL queries through
+// each selection strategy with outcome feedback, and reports accuracy.
+#include <cstdio>
+
+#include "core/optimize/prompt_store.h"
+#include "data/nl2sql_workload.h"
+#include "llm/simulated.h"
+#include "sql/database.h"
+
+int main() {
+  using namespace llmdm;
+  common::Rng rng(424242);
+  sql::Database db;
+  if (!db.ExecuteScript(
+             data::BuildStadiumDatabaseScript(12, {2014, 2015}, rng))
+           .ok()) {
+    return 1;
+  }
+  auto models = llm::CreatePaperModelLadder(nullptr, 24);
+  llm::LlmModel& model = *models[1];
+
+  data::Nl2SqlWorkloadOptions wopts;
+  wopts.num_queries = 120;
+  wopts.compound_rate = 1.0;
+  wopts.condition_pool = 8;
+  auto workload = data::GenerateNl2SqlWorkload(wopts, rng);
+
+  // Seeding corpus: the paper's Q1-Q5 as good examples plus poisoned
+  // variants whose "output" is broken SQL (a store accumulated from past
+  // sessions is never uniformly good).
+  auto seed_store = [&](optimize::PromptStore& store) {
+    for (const auto& q : data::PaperQ1ToQ5()) {
+      store.Add(q.ToNaturalLanguage(), q.ToGoldSql());
+    }
+    for (const auto& q : data::PaperQ1ToQ5()) {
+      store.Add("Show the names of " + q.first.ToSubQuestion() + "?",
+                "SELEC nmae FROM stadum WHRE broken");
+    }
+  };
+
+  auto grade = [&](const std::string& sql, const data::Nl2SqlQuery& q) {
+    auto gold = db.Query(q.ToGoldSql());
+    auto pred = db.Query(sql);
+    return gold.ok() && pred.ok() && pred->BagEquals(*gold);
+  };
+
+  std::printf("Ablation A5: prompt-selection strategies "
+              "(%zu queries; store holds 5 good + 5 poisoned examples)\n",
+              workload.size());
+  std::printf("%-22s %10s %14s\n", "strategy", "accuracy", "poisoned_uses");
+
+  struct Setting {
+    const char* name;
+    bool use_store;
+    optimize::PromptStore::Selection selection;
+  };
+  const Setting settings[] = {
+      {"no examples", false, optimize::PromptStore::Selection::kSimilarity},
+      {"similarity", true, optimize::PromptStore::Selection::kSimilarity},
+      {"utility-weighted", true,
+       optimize::PromptStore::Selection::kUtilityWeighted},
+      {"epsilon-greedy", true,
+       optimize::PromptStore::Selection::kEpsilonGreedy},
+  };
+  for (const Setting& setting : settings) {
+    optimize::PromptStore store(optimize::PromptStore::Options{});
+    seed_store(store);
+    int correct = 0;
+    size_t poisoned_uses = 0;
+    for (const auto& q : workload) {
+      llm::Prompt p = llm::MakePrompt("nl2sql", q.ToNaturalLanguage());
+      if (setting.use_store) {
+        p.examples = store.Select(p.input, 3, setting.selection);
+      }
+      auto c = model.Complete(p);
+      bool ok = c.ok() && grade(c->text, q);
+      if (ok) ++correct;
+      if (setting.use_store) {
+        // Outcome feedback drives the utility weights (and exposes how many
+        // poisoned examples each strategy kept selecting).
+        for (uint64_t id : store.last_selected_ids()) {
+          store.RecordOutcome(id, ok);
+          const auto* sp = store.Get(id);
+          if (sp != nullptr && sp->output.rfind("SELEC ", 0) == 0) {
+            ++poisoned_uses;
+          }
+        }
+      }
+    }
+    std::printf("%-22s %9.1f%% %14zu\n", setting.name,
+                100.0 * correct / double(workload.size()), poisoned_uses);
+  }
+  std::printf(
+      "\nutility weighting learns to avoid the poisoned examples that pure "
+      "similarity keeps selecting (the Sec. III-A 'highest similarity is not "
+      "the optimal prompt' argument)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Fig. 1: the data-management application pipeline LLMs can be
+// adapted to — data generation -> transformation -> integration ->
+// exploration — run end-to-end on a healthcare-flavoured synthetic corpus
+// with per-stage LLM usage metering.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "llm/simulated.h"
+
+int main() {
+  using namespace llmdm;
+  auto models = llm::CreatePaperModelLadder(nullptr, 42);
+  core::DataManagementPipeline::Options options;
+  options.model = models[2];
+  options.num_patients = 60;
+  core::DataManagementPipeline pipeline(options);
+  auto report = pipeline.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Fig 1: end-to-end data management pipeline\n");
+  std::printf("%-16s %8s %10s  %s\n", "stage", "calls", "cost", "summary");
+  for (const auto& stage : report->stages) {
+    std::printf("%-16s %8zu %10s  %s\n", stage.stage.c_str(), stage.llm_calls,
+                stage.llm_cost.ToString(4).c_str(), stage.summary.c_str());
+  }
+  std::printf("%-16s %8zu %10s\n", "TOTAL", report->total_llm_calls,
+              report->total_cost.ToString(4).c_str());
+
+  // Prove the artifacts are live: SQL over the integrated store and a
+  // semantic query over the lake.
+  auto risky = pipeline.database().Query(
+      "SELECT COUNT(*) FROM patients WHERE systolic_bp > 150 AND smoker = "
+      "TRUE");
+  if (risky.ok()) {
+    std::printf("\npost-pipeline SQL: %s high-risk patients\n",
+                risky->at(0, 0).ToString().c_str());
+  }
+  auto hits = pipeline.lake().Query("cardiology chest imaging", 2);
+  std::printf("post-pipeline lake query 'cardiology chest imaging' -> ");
+  for (const auto& hit : hits) std::printf("[%s] ", hit.title.c_str());
+  std::printf("\n");
+  return 0;
+}

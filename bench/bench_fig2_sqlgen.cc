@@ -1,0 +1,70 @@
+// Reproduces Fig. 2: "SQL generation with LLMs" — table information + SQL
+// constraints in, diverse executable SQL out (simple / multi-join /
+// sub-query), plus semantically-equivalent pairs for logic-bug detection
+// (the PQS-style application the paper cites as [20]).
+#include <cstdio>
+
+#include "core/generation/sql_generator.h"
+#include "data/nl2sql_workload.h"
+#include "llm/simulated.h"
+
+int main() {
+  using namespace llmdm;
+  common::Rng rng(2024);
+  sql::Database db;
+  auto script = data::BuildStadiumDatabaseScript(12, {2013, 2014, 2015}, rng);
+  if (!db.ExecuteScript(script).ok()) return 1;
+
+  auto models = llm::CreatePaperModelLadder(nullptr, 7);
+  generation::SqlGenerator generator(models[2], 99);
+  llm::UsageMeter meter;
+
+  generation::SqlGenConstraints constraints;
+  constraints.count = 40;
+  constraints.multi_join_fraction = 0.3;
+  constraints.subquery_fraction = 0.2;
+  constraints.aggregate_fraction = 0.3;
+  auto queries = generator.Generate(db, constraints, &meter);
+  if (!queries.ok()) return 1;
+
+  size_t by_kind[4] = {0, 0, 0, 0};
+  size_t executable = 0, nonempty = 0;
+  for (const auto& q : *queries) {
+    ++by_kind[static_cast<int>(q.kind)];
+    if (q.executable) ++executable;
+    if (q.result_rows > 0) ++nonempty;
+  }
+  std::printf("Fig 2: constraint-aware SQL generation (%zu requested)\n",
+              constraints.count);
+  std::printf("%-14s %8s\n", "kind", "count");
+  std::printf("%-14s %8zu\n", "simple", by_kind[0]);
+  std::printf("%-14s %8zu\n", "multi_join", by_kind[1]);
+  std::printf("%-14s %8zu\n", "subquery", by_kind[2]);
+  std::printf("%-14s %8zu\n", "aggregate", by_kind[3]);
+  std::printf("executable: %zu/%zu, non-empty results: %zu\n", executable,
+              queries->size(), nonempty);
+  std::printf("sample multi-join: ");
+  for (const auto& q : *queries) {
+    if (q.kind == generation::GeneratedSql::Kind::kMultiJoin) {
+      std::printf("%s\n", q.sql.c_str());
+      break;
+    }
+  }
+
+  auto pairs = generator.GenerateEquivalentPairs(db, 12, &meter);
+  if (!pairs.ok()) return 1;
+  size_t verified = 0;
+  for (const auto& [a, b] : *pairs) {
+    auto ra = db.Query(a);
+    auto rb = db.Query(b);
+    if (ra.ok() && rb.ok() && ra->BagEquals(*rb)) ++verified;
+  }
+  std::printf(
+      "\nsemantic-equivalence pairs for logic-bug detection: %zu generated, "
+      "%zu verified equal under execution\n",
+      pairs->size(), verified);
+  std::printf("sample pair:\n  A: %s\n  B: %s\n", (*pairs)[0].first.c_str(),
+              (*pairs)[0].second.c_str());
+  std::printf("LLM advisory usage: %s\n", meter.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Reproduces Fig. 4: "Transformation for tables" — semi-structured data
+// (XML / JSON) and non-relational spreadsheets become relational tables.
+// Reported: cell-level accuracy of the direct path (schema extraction) and
+// the operator-synthesis path (program search), per corpus.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/transform/table_transform.h"
+#include "data/json.h"
+#include "data/xml.h"
+
+namespace {
+
+using namespace llmdm;
+
+// Generates an XML order corpus with known gold cells.
+struct GoldRecord {
+  std::string customer;
+  int64_t quantity;
+  std::string item;
+};
+
+std::string MakeOrdersXml(const std::vector<GoldRecord>& gold) {
+  std::string xml = "<orders>\n";
+  for (size_t i = 0; i < gold.size(); ++i) {
+    xml += common::StrFormat(
+        "  <order id=\"%zu\"><customer>%s</customer><item>%s</item>"
+        "<quantity>%lld</quantity></order>\n",
+        i + 1, gold[i].customer.c_str(), gold[i].item.c_str(),
+        (long long)gold[i].quantity);
+  }
+  return xml + "</orders>";
+}
+
+std::string MakeOrdersJson(const std::vector<GoldRecord>& gold) {
+  std::string json = "[";
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (i > 0) json += ",";
+    json += common::StrFormat(
+        R"({"customer":"%s","detail":{"item":"%s","quantity":%lld}})",
+        gold[i].customer.c_str(), gold[i].item.c_str(),
+        (long long)gold[i].quantity);
+  }
+  return json + "]";
+}
+
+std::vector<GoldRecord> MakeGold(size_t n, common::Rng& rng) {
+  const char* const kCustomers[] = {"alice", "bob", "carol", "dave", "erin"};
+  const char* const kItems[] = {"laptop", "phone", "desk", "chair"};
+  std::vector<GoldRecord> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(GoldRecord{kCustomers[rng.NextBelow(5)],
+                             rng.UniformInt(1, 9),
+                             kItems[rng.NextBelow(4)]});
+  }
+  return out;
+}
+
+double CellAccuracy(const data::Table& table,
+                    const std::vector<GoldRecord>& gold) {
+  if (table.NumRows() != gold.size()) return 0.0;
+  auto ccol = table.schema().Find("customer");
+  auto icol = table.schema().Find("item");
+  auto qcol = table.schema().Find("detail.quantity");
+  if (!qcol.has_value()) qcol = table.schema().Find("quantity");
+  if (!icol.has_value()) icol = table.schema().Find("detail.item");
+  if (!ccol || !icol || !qcol) return 0.0;
+  size_t good = 0, total = 0;
+  for (size_t r = 0; r < gold.size(); ++r) {
+    total += 3;
+    if (table.at(r, *ccol) == data::Value::Text(gold[r].customer)) ++good;
+    if (table.at(r, *icol) == data::Value::Text(gold[r].item)) ++good;
+    if (table.at(r, *qcol) == data::Value::Int(gold[r].quantity)) ++good;
+  }
+  return double(good) / double(total);
+}
+
+}  // namespace
+
+int main() {
+  common::Rng rng(11111);
+  auto gold = MakeGold(40, rng);
+
+  std::printf("Fig 4: semi-structured and non-relational data -> tables\n");
+  std::printf("%-28s %10s %10s\n", "corpus", "rows", "cell_acc");
+
+  // XML direct transformation.
+  auto xml = data::ParseXml(MakeOrdersXml(gold));
+  auto xml_table = transform::XmlToTable(**xml);
+  std::printf("%-28s %10zu %9.1f%%\n", "XML orders (direct)",
+              xml_table->NumRows(), 100.0 * CellAccuracy(*xml_table, gold));
+
+  // JSON direct transformation (nested objects flatten).
+  auto json = data::ParseJson(MakeOrdersJson(gold));
+  auto json_table = transform::JsonToTable(*json);
+  std::printf("%-28s %10zu %9.1f%%\n", "JSON orders (direct)",
+              json_table->NumRows(), 100.0 * CellAccuracy(*json_table, gold));
+
+  // Non-relational spreadsheets: operator synthesis.
+  transform::Grid sideways{{"customer", "item", "quantity"}};
+  for (const auto& g : gold) {
+    sideways.push_back({g.customer, g.item, std::to_string(g.quantity)});
+  }
+  // Transpose it to simulate a sideways sheet, add junk empty rows.
+  transform::Grid messy =
+      transform::ApplyOp(sideways, transform::TableOp::kTranspose);
+  messy.push_back(std::vector<std::string>(messy[0].size(), ""));
+
+  auto synth = transform::SynthesizeRelationalization(messy);
+  std::string program;
+  for (auto op : synth.program) {
+    if (!program.empty()) program += " -> ";
+    program += transform::TableOpName(op);
+  }
+  auto grid_table = transform::GridToTable(synth.transformed, "orders");
+  double acc = grid_table.ok() ? CellAccuracy(*grid_table, gold) : 0.0;
+  std::printf("%-28s %10zu %9.1f%%   program: %s (score %.2f)\n",
+              "sideways sheet (synthesis)",
+              grid_table.ok() ? grid_table->NumRows() : 0, 100.0 * acc,
+              program.c_str(), synth.score);
+
+  // Merged-cell sheet.
+  transform::Grid merged{{"region", "store", "sales"},
+                         {"east", "s1", "10"},
+                         {"", "s2", "20"},
+                         {"", "s3", "15"},
+                         {"west", "s4", "30"},
+                         {"", "s5", "25"}};
+  auto merged_synth = transform::SynthesizeRelationalization(merged);
+  auto merged_table = transform::GridToTable(merged_synth.transformed, "sales");
+  size_t filled = 0;
+  if (merged_table.ok()) {
+    auto region = merged_table->ColumnValues("region");
+    for (const auto& v : *region) {
+      if (!v.is_null()) ++filled;
+    }
+  }
+  std::printf("%-28s %10zu    region cells filled: %zu/5\n",
+              "merged-cell sheet", merged_table.ok() ? merged_table->NumRows() : 0,
+              filled);
+  return 0;
+}

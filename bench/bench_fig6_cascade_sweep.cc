@@ -1,0 +1,67 @@
+// Reproduces Fig. 6: "The procedure of the LLM cascade" — a new query visits
+// models from small to large; a decision model accepts or escalates. This
+// bench traces the accuracy/cost frontier that procedure induces by sweeping
+// the decision threshold tau from 0 (always accept the smallest model) to
+// 1.01 (always escalate to the largest), and reports the calibrated
+// threshold chosen by CalibrateAcceptThreshold on a held-out split.
+#include <cstdio>
+
+#include "core/optimize/cascade.h"
+#include "data/qa_workload.h"
+#include "llm/simulated.h"
+
+int main() {
+  using namespace llmdm;
+  common::Rng rng(777);
+  data::KnowledgeBase kb = data::KnowledgeBase::Generate(80, rng);
+  auto ladder = llm::CreatePaperModelLadder(&kb, 9);
+  auto workload = data::GenerateQaWorkload(kb, 60, {0.25, 0.45, 0.30}, rng);
+  auto calibration = data::GenerateQaWorkload(kb, 40, {0.25, 0.45, 0.30}, rng);
+
+  std::printf("Fig 6: cascade decision-threshold sweep "
+              "(%zu queries, 3-model ladder)\n",
+              workload.size());
+  std::printf("%-8s %10s %12s %18s\n", "tau", "accuracy", "api_cost",
+              "stop(small/mid/big)");
+
+  for (double tau : {0.0, 0.3, 0.5, 0.65, 0.8, 0.9, 1.01}) {
+    optimize::LlmCascade::Options options;
+    options.accept_threshold = tau;
+    optimize::LlmCascade cascade(ladder, options);
+    llm::UsageMeter meter;
+    int correct = 0;
+    size_t stops[3] = {0, 0, 0};
+    for (const auto& item : workload) {
+      auto r = cascade.Run(llm::MakePrompt("qa", item.question), &meter);
+      if (!r.ok()) continue;
+      if (r->answer == item.answer) ++correct;
+      for (size_t m = 0; m < 3; ++m) {
+        if (r->model == ladder[m]->name()) ++stops[m];
+      }
+    }
+    std::printf("%-8.2f %9.1f%% %12s %8zu/%zu/%zu\n", tau,
+                100.0 * correct / double(workload.size()),
+                meter.cost().ToString(4).c_str(), stops[0], stops[1],
+                stops[2]);
+  }
+
+  // Train the decision threshold on a calibration split: collect the
+  // mid-model's decision scores + correctness, then pick the operating point.
+  std::vector<optimize::CalibrationSample> samples;
+  {
+    optimize::LlmCascade::Options probe_options;
+    probe_options.accept_threshold = 1.01;  // never accept: observe all rungs
+    optimize::LlmCascade probe(ladder, probe_options);
+    for (const auto& item : calibration) {
+      auto r = probe.Run(llm::MakePrompt("qa", item.question));
+      if (!r.ok() || r->trace.size() < 2) continue;
+      const auto& mid = r->trace[1];
+      samples.push_back({mid.confidence, mid.answer == item.answer});
+    }
+  }
+  double tuned = optimize::CalibrateAcceptThreshold(
+      samples, /*escalation_accuracy=*/0.9, /*escalation_cost_ratio=*/20.0);
+  std::printf("\ncalibrated acceptance threshold from %zu samples: %.2f\n",
+              samples.size(), tuned);
+  return 0;
+}

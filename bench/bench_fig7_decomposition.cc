@@ -1,0 +1,96 @@
+// Reproduces Fig. 7: "An illustration of query decomposition" — compound
+// queries share sub-queries (Q11 == Q21), so shared sub-queries call the LLM
+// once. This bench (a) walks the paper's exact Q1-Q5 example and prints the
+// dedup structure, then (b) sweeps the sharing level (condition-pool size)
+// and reports unique LLM units and token totals under the batch planner.
+#include <cstdio>
+#include <map>
+
+#include "core/optimize/decomposition.h"
+#include "data/nl2sql_workload.h"
+#include "text/tokenizer.h"
+
+int main() {
+  using namespace llmdm;
+
+  // (a) The paper's Q1-Q5.
+  auto paper = data::PaperQ1ToQ5();
+  std::printf("Fig 7(a): the paper's Q1-Q5 decomposition\n");
+  std::map<std::string, std::vector<int>> sub_to_queries;
+  for (size_t i = 0; i < paper.size(); ++i) {
+    auto d = optimize::DecomposeQuestion(paper[i].ToNaturalLanguage());
+    if (!d.ok()) continue;
+    std::printf("  Q%zu: %zu sub-quer%s\n", i + 1, d->sub_questions.size(),
+                d->sub_questions.size() == 1 ? "y" : "ies");
+    for (const auto& s : d->sub_questions) {
+      sub_to_queries[s].push_back(static_cast<int>(i) + 1);
+    }
+  }
+  size_t total_units = 0;
+  std::printf("  shared sub-queries:\n");
+  for (const auto& [sub, queries] : sub_to_queries) {
+    total_units += queries.size();
+    if (queries.size() > 1) {
+      std::printf("    \"%s\" used by Q", sub.c_str());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        std::printf("%s%d", i ? ",Q" : "", queries[i]);
+      }
+      std::printf(" -> 1 LLM call instead of %zu\n", queries.size());
+    }
+  }
+  std::printf("  %zu sub-query slots -> %zu unique LLM calls\n\n", total_units,
+              sub_to_queries.size());
+
+  // (b) Sharing sweep: isolate the saving that comes from *sub-query
+  // dedup* by comparing the batch plan against decomposing every query
+  // without sharing (each sub-query slot billed separately).
+  std::printf("Fig 7(b): sub-query sharing sweep "
+              "(20 queries, batch-planned)\n");
+  std::printf("%-12s %10s %14s %16s %18s\n", "pool_size", "slots",
+              "unique_units", "dedup_savings", "tokens(plan/nodedup)");
+  for (size_t pool : {2, 3, 4, 6, 10, 16}) {
+    common::Rng rng(1000 + pool);
+    data::Nl2SqlWorkloadOptions options;
+    options.num_queries = 20;
+    options.condition_pool = pool;
+    options.compound_rate = 0.8;
+    // Wide year range so large pools are genuinely diverse (2 events x 6
+    // years x 2 superlative = 24 possible distinct conditions).
+    options.years = {2012, 2013, 2014, 2015, 2016, 2017};
+    auto workload = data::GenerateNl2SqlWorkload(options, rng);
+    std::vector<std::string> questions;
+    for (const auto& q : workload) questions.push_back(q.ToNaturalLanguage());
+
+    optimize::QueryBatchOptimizer::Options oopts;
+    oopts.enable_decomposition = true;
+    for (const auto& ex : data::PaperQ1ToQ5()) {
+      oopts.examples.push_back({ex.ToNaturalLanguage(), ex.ToGoldSql()});
+    }
+    optimize::QueryBatchOptimizer optimizer(oopts);
+    auto plan = optimizer.Plan(questions);
+
+    // No-dedup accounting: every unit of every item billed separately.
+    size_t prompt_overhead = llm::Prompt{}.CountInputTokens() +
+                             text::CountTokens(oopts.instructions);
+    for (const auto& ex : oopts.examples) {
+      prompt_overhead +=
+          text::CountTokens(ex.input) + text::CountTokens(ex.output);
+    }
+    size_t slots = 0;
+    size_t nodedup_tokens = 0;
+    for (const auto& item : plan.items) {
+      for (const auto& unit : item.units) {
+        ++slots;
+        nodedup_tokens += text::CountTokens(unit) + prompt_overhead;
+      }
+    }
+    double saving =
+        100.0 * (1.0 - double(plan.estimated_tokens) / double(nodedup_tokens));
+    std::printf("%-12zu %10zu %14zu %15.1f%% %10zu/%zu\n", pool, slots,
+                plan.unique_units.size(), saving, plan.estimated_tokens,
+                nodedup_tokens);
+  }
+  std::printf("\nsmaller pools = more sharing = fewer unique sub-queries = "
+              "bigger dedup savings (the Fig 7 effect)\n");
+  return 0;
+}

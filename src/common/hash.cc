@@ -1,0 +1,29 @@
+#include "common/hash.h"
+
+namespace llmdm::common {
+
+uint64_t Fnv1a(std::string_view data, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+double HashToUnit(uint64_t h) {
+  // Final avalanche then take 53 bits.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return (h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace llmdm::common

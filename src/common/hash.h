@@ -1,0 +1,23 @@
+#ifndef LLMDM_COMMON_HASH_H_
+#define LLMDM_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace llmdm::common {
+
+/// FNV-1a over bytes. Stable across platforms/runs; used wherever a hash
+/// participates in deterministic behaviour (feature hashing, error
+/// injection), so std::hash (implementation-defined) is deliberately avoided.
+uint64_t Fnv1a(std::string_view data, uint64_t seed = 0xCBF29CE484222325ULL);
+
+/// Mixes two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Maps a hash to the unit interval [0, 1). Used for deterministic
+/// per-item "randomness" (e.g. does the simulated model err on this input).
+double HashToUnit(uint64_t h);
+
+}  // namespace llmdm::common
+
+#endif  // LLMDM_COMMON_HASH_H_

@@ -1,0 +1,41 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+
+namespace llmdm::common {
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal_logging {
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), file, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace internal_logging
+}  // namespace llmdm::common

@@ -1,0 +1,39 @@
+#ifndef LLMDM_COMMON_LOGGING_H_
+#define LLMDM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace llmdm::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed. Defaults to
+/// kWarning so library internals stay quiet in benchmarks.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+}  // namespace internal_logging
+
+}  // namespace llmdm::common
+
+#define LLMDM_LOG(level, ...)                                               \
+  ::llmdm::common::internal_logging::LogMessage(                            \
+      ::llmdm::common::LogLevel::k##level, __FILE__, __LINE__, __VA_ARGS__)
+
+// Invariant check: aborts with a message. Used for programmer errors only;
+// recoverable conditions go through Status.
+#define LLMDM_CHECK(cond, ...)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::llmdm::common::internal_logging::LogMessage(                 \
+          ::llmdm::common::LogLevel::kError, __FILE__, __LINE__,     \
+          "CHECK failed: %s", #cond);                                \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+#endif  // LLMDM_COMMON_LOGGING_H_

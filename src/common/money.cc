@@ -1,0 +1,17 @@
+#include "common/money.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace llmdm::common {
+
+std::string Money::ToString(int decimals) const {
+  if (decimals < 0) decimals = 0;
+  if (decimals > 6) decimals = 6;
+  double value = dollars();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "$%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace llmdm::common

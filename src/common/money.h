@@ -1,0 +1,58 @@
+#ifndef LLMDM_COMMON_MONEY_H_
+#define LLMDM_COMMON_MONEY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace llmdm::common {
+
+/// Exact dollar amount stored in micro-dollars. LLM API prices are quoted in
+/// fractions of a cent per 1k tokens, so floating-point accumulation across
+/// thousands of calls would drift; integer micro-dollars keeps the benchmark
+/// cost columns exact and comparison-stable.
+class Money {
+ public:
+  constexpr Money() : micros_(0) {}
+
+  static constexpr Money FromMicros(int64_t micros) { return Money(micros); }
+  static constexpr Money FromDollars(double dollars) {
+    return Money(static_cast<int64_t>(dollars * 1e6 + (dollars >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Money Zero() { return Money(0); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double dollars() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr Money operator+(Money other) const {
+    return Money(micros_ + other.micros_);
+  }
+  constexpr Money operator-(Money other) const {
+    return Money(micros_ - other.micros_);
+  }
+  Money& operator+=(Money other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  Money& operator-=(Money other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+  constexpr Money operator*(int64_t k) const { return Money(micros_ * k); }
+  constexpr bool operator==(Money other) const { return micros_ == other.micros_; }
+  constexpr bool operator<(Money other) const { return micros_ < other.micros_; }
+  constexpr bool operator<=(Money other) const { return micros_ <= other.micros_; }
+  constexpr bool operator>(Money other) const { return micros_ > other.micros_; }
+  constexpr bool operator>=(Money other) const { return micros_ >= other.micros_; }
+
+  /// "$1.234" style rendering with `decimals` fractional digits.
+  std::string ToString(int decimals = 3) const;
+
+ private:
+  explicit constexpr Money(int64_t micros) : micros_(micros) {}
+
+  int64_t micros_;
+};
+
+}  // namespace llmdm::common
+
+#endif  // LLMDM_COMMON_MONEY_H_

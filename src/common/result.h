@@ -1,0 +1,72 @@
+#ifndef LLMDM_COMMON_RESULT_H_
+#define LLMDM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace llmdm::common {
+
+/// A value-or-error holder in the spirit of absl::StatusOr<T>. A Result is
+/// either OK and holds a T, or holds a non-OK Status. Accessing the value of
+/// an error Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from an error status and from a value keeps call
+  // sites readable: `return Status::NotFound(...)` / `return value;`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value; use Result(T)");
+  }
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace llmdm::common
+
+// Evaluates `rexpr` (a Result<T>), propagating errors; on success assigns the
+// value to `lhs`. `lhs` may include a declaration, e.g.
+//   LLMDM_ASSIGN_OR_RETURN(auto table, db.Find("t"));
+#define LLMDM_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  LLMDM_ASSIGN_OR_RETURN_IMPL_(                           \
+      LLMDM_RESULT_CONCAT_(_llmdm_result, __LINE__), lhs, rexpr)
+
+#define LLMDM_RESULT_CONCAT_INNER_(a, b) a##b
+#define LLMDM_RESULT_CONCAT_(a, b) LLMDM_RESULT_CONCAT_INNER_(a, b)
+#define LLMDM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // LLMDM_COMMON_RESULT_H_

@@ -1,0 +1,114 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace llmdm::common {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits -> double in [0, 1).
+  return (Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-12);
+  double u2 = UniformDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double two_pi_u2 = 2.0 * M_PI * u2;
+  spare_normal_ = mag * std::sin(two_pi_u2);
+  has_spare_normal_ = true;
+  return mean + stddev * mag * std::cos(two_pi_u2);
+}
+
+double Rng::Exponential(double lambda) {
+  double u = 0.0;
+  do {
+    u = UniformDouble();
+  } while (u <= 1e-12);
+  return -std::log(u) / lambda;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return NextBelow(n);
+  // Inverse-CDF over the (small) rank space; n in our workloads is modest so
+  // the O(n) normalization is fine and keeps the draw exact.
+  double norm = 0.0;
+  for (size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(double(i), s);
+  double u = UniformDouble() * norm;
+  double acc = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  uint64_t mix = Next() ^ (salt * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  return Rng(mix);
+}
+
+}  // namespace llmdm::common

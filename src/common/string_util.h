@@ -1,0 +1,48 @@
+#ifndef LLMDM_COMMON_STRING_UTIL_H_
+#define LLMDM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmdm::common {
+
+/// Splits on `sep`; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Levenshtein edit distance (O(len_a * len_b)).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Jaccard similarity between the whitespace-token sets of two strings.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Parses a full string as int64/double; returns false on trailing junk.
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace llmdm::common
+
+#endif  // LLMDM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,158 @@
+#include "core/exploration/llm_as_db.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "data/qa_workload.h"
+#include "sql/parser.h"
+
+namespace llmdm::exploration {
+namespace {
+
+// Collects literal bindings of `column` from equality and IN-list predicates
+// anywhere in the expression tree (conservative over-approximation: any
+// literal the column is compared with becomes a candidate fact to extract).
+void CollectBindings(const sql::Expr& e, const std::string& column,
+                     std::vector<std::string>* out) {
+  if (e.kind == sql::ExprKind::kBinary && e.op == "=") {
+    const sql::Expr* col = nullptr;
+    const sql::Expr* lit = nullptr;
+    if (e.args[0]->kind == sql::ExprKind::kColumnRef &&
+        e.args[1]->kind == sql::ExprKind::kLiteral) {
+      col = e.args[0].get();
+      lit = e.args[1].get();
+    } else if (e.args[1]->kind == sql::ExprKind::kColumnRef &&
+               e.args[0]->kind == sql::ExprKind::kLiteral) {
+      col = e.args[1].get();
+      lit = e.args[0].get();
+    }
+    if (col != nullptr && common::ToLower(col->name) == column &&
+        lit->literal.is_text()) {
+      out->push_back(lit->literal.AsText());
+    }
+  }
+  if (e.kind == sql::ExprKind::kInList &&
+      e.args[0]->kind == sql::ExprKind::kColumnRef &&
+      common::ToLower(e.args[0]->name) == column) {
+    for (size_t i = 1; i < e.args.size(); ++i) {
+      if (e.args[i]->kind == sql::ExprKind::kLiteral &&
+          e.args[i]->literal.is_text()) {
+        out->push_back(e.args[i]->literal.AsText());
+      }
+    }
+  }
+  for (const auto& a : e.args) CollectBindings(*a, column, out);
+  if (e.subquery != nullptr && e.subquery->where != nullptr) {
+    CollectBindings(*e.subquery->where, column, out);
+  }
+}
+
+// Number of kb_facts base references in the FROM tree (self-joins count
+// once per alias: each is one extraction hop).
+size_t CountKbFactsRefs(const sql::TableRef& ref) {
+  switch (ref.kind) {
+    case sql::TableRef::Kind::kBase:
+      return common::ToLower(ref.table_name) == "kb_facts" ? 1 : 0;
+    case sql::TableRef::Kind::kSubquery: {
+      size_t n = 0;
+      if (ref.subquery != nullptr) {
+        for (const auto& f : ref.subquery->from) n += CountKbFactsRefs(*f);
+      }
+      return n;
+    }
+    case sql::TableRef::Kind::kJoin:
+      return CountKbFactsRefs(*ref.left) + CountKbFactsRefs(*ref.right);
+  }
+  return 0;
+}
+
+}  // namespace
+
+common::Result<std::vector<std::string>>
+LlmBackedDatabase::ExtractBoundSubjects(const std::string& sql) const {
+  LLMDM_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> parsed,
+                         sql::ParseSelect(sql));
+  std::vector<std::string> subjects;
+  if (parsed->where != nullptr) {
+    CollectBindings(*parsed->where, "subject", &subjects);
+  }
+  if (subjects.empty()) {
+    return common::Status::FailedPrecondition(
+        "query does not bind kb_facts.subject; refusing an unbounded scan "
+        "of the language model");
+  }
+  return subjects;
+}
+
+std::vector<std::string> LlmBackedDatabase::ExtractBoundRelations(
+    const std::string& sql) const {
+  auto parsed = sql::ParseSelect(sql);
+  std::vector<std::string> relations;
+  if (parsed.ok() && (*parsed)->where != nullptr) {
+    CollectBindings(*(*parsed)->where, "relation", &relations);
+  }
+  if (relations.empty()) return known_relations_;
+  return relations;
+}
+
+common::Result<data::Table> LlmBackedDatabase::Query(
+    const std::string& sql, sql::Database& scratch, llm::UsageMeter* meter,
+    QueryStats* stats) {
+  QueryStats local;
+  LLMDM_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> parsed,
+                         sql::ParseSelect(sql));
+  size_t kb_refs = 0;
+  for (const auto& f : parsed->from) kb_refs += CountKbFactsRefs(*f);
+  if (kb_refs > 0) {
+    LLMDM_ASSIGN_OR_RETURN(std::vector<std::string> subjects,
+                           ExtractBoundSubjects(sql));
+    std::vector<std::string> relations = ExtractBoundRelations(sql);
+
+    // (Re)materialize the scratch virtual table with exactly the facts the
+    // query can touch — one LLM sub-question per (relation, subject), one
+    // extraction round per kb_facts reference (self-joins chain hops).
+    if (scratch.catalog().HasTable("kb_facts")) {
+      LLMDM_RETURN_IF_ERROR(scratch.Execute("DROP TABLE kb_facts").status());
+    }
+    LLMDM_RETURN_IF_ERROR(
+        scratch
+            .Execute("CREATE TABLE kb_facts (subject TEXT, relation TEXT, "
+                     "object TEXT)")
+            .status());
+    std::set<std::string> asked;  // (subject|relation) pairs already queried
+    local.extraction_rounds = kb_refs;
+    for (size_t round = 0; round < kb_refs; ++round) {
+      std::vector<std::string> next_subjects;
+      for (const std::string& subject : subjects) {
+        for (const std::string& relation : relations) {
+          if (!asked.insert(subject + "\x1f" + relation).second) continue;
+          llm::Prompt p;
+          p.task_tag = "qa";
+          p.input = data::RenderChainQuestion({relation}, subject);
+          LLMDM_ASSIGN_OR_RETURN(llm::Completion c,
+                                 model_->CompleteMetered(p, meter));
+          ++local.llm_calls;
+          if (c.text.empty() || common::StartsWith(c.text, "I cannot")) {
+            continue;
+          }
+          std::string quoted_object = common::ReplaceAll(c.text, "'", "''");
+          std::string quoted_subject = common::ReplaceAll(subject, "'", "''");
+          LLMDM_RETURN_IF_ERROR(
+              scratch
+                  .Execute(common::StrFormat(
+                      "INSERT INTO kb_facts VALUES ('%s', '%s', '%s')",
+                      quoted_subject.c_str(), relation.c_str(),
+                      quoted_object.c_str()))
+                  .status());
+          ++local.facts_extracted;
+          next_subjects.push_back(c.text);
+        }
+      }
+      subjects = std::move(next_subjects);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return scratch.Query(sql);
+}
+
+}  // namespace llmdm::exploration

@@ -1,0 +1,62 @@
+#ifndef LLMDM_CORE_EXPLORATION_LLM_AS_DB_H_
+#define LLMDM_CORE_EXPLORATION_LLM_AS_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "llm/model.h"
+#include "sql/database.h"
+
+namespace llmdm::exploration {
+
+/// "Querying LLMs as databases" (Sec. II-D.2, after Saeed et al. [60]):
+/// SQL queries run against *virtual tables* whose rows live inside an LLM.
+/// The planner decomposes the query, pushes equality/IN constraints down to
+/// decide which facts to extract, asks the LLM one sub-question per needed
+/// fact, materializes the answers into a scratch relational table, and runs
+/// the original SQL on it.
+///
+/// The shipped virtual table is `kb_facts(subject TEXT, relation TEXT,
+/// object TEXT)` backed by the QA skill's knowledge base. The planner
+/// requires the query to bind `subject` (=` or IN) — an unbounded scan of a
+/// language model is exactly the thing this architecture exists to avoid —
+/// while `relation` defaults to all known relations when unbound.
+///
+/// Multi-hop: when the query self-joins kb_facts (e.g. f1 JOIN f2 ON
+/// f1.object = f2.subject — "the manager of the advisor of X"), the planner
+/// runs one extraction round per kb_facts reference: round k's subjects are
+/// the objects discovered in round k-1.
+class LlmBackedDatabase {
+ public:
+  LlmBackedDatabase(std::shared_ptr<llm::LlmModel> model,
+                    std::vector<std::string> known_relations)
+      : model_(std::move(model)),
+        known_relations_(std::move(known_relations)) {}
+
+  struct QueryStats {
+    size_t facts_extracted = 0;
+    size_t llm_calls = 0;
+    size_t extraction_rounds = 1;
+  };
+
+  /// Executes `sql` (which may reference kb_facts). Non-virtual tables may
+  /// be pre-loaded into `scratch` by the caller and joined freely.
+  common::Result<data::Table> Query(const std::string& sql,
+                                    sql::Database& scratch,
+                                    llm::UsageMeter* meter = nullptr,
+                                    QueryStats* stats = nullptr);
+
+ private:
+  common::Result<std::vector<std::string>> ExtractBoundSubjects(
+      const std::string& sql) const;
+  std::vector<std::string> ExtractBoundRelations(const std::string& sql) const;
+
+  std::shared_ptr<llm::LlmModel> model_;
+  std::vector<std::string> known_relations_;
+};
+
+}  // namespace llmdm::exploration
+
+#endif  // LLMDM_CORE_EXPLORATION_LLM_AS_DB_H_

@@ -1,0 +1,239 @@
+#include "core/generation/training_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "core/generation/sql_generator.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace llmdm::generation {
+namespace {
+
+// Counts joins and predicates in a parsed SELECT (sub-queries included).
+void CountShape(const sql::SelectStmt& sel, double* joins, double* predicates);
+
+void CountExprPredicates(const sql::Expr& e, double* joins,
+                         double* predicates) {
+  switch (e.kind) {
+    case sql::ExprKind::kBinary:
+      if (e.op == "AND" || e.op == "OR") {
+        CountExprPredicates(*e.args[0], joins, predicates);
+        CountExprPredicates(*e.args[1], joins, predicates);
+      } else if (e.op == "=" || e.op == "<>" || e.op == "<" || e.op == "<=" ||
+                 e.op == ">" || e.op == ">=") {
+        *predicates += 1;
+      }
+      return;
+    case sql::ExprKind::kLike:
+    case sql::ExprKind::kBetween:
+    case sql::ExprKind::kIsNull:
+    case sql::ExprKind::kInList:
+      *predicates += 1;
+      return;
+    case sql::ExprKind::kInSubquery:
+    case sql::ExprKind::kExists:
+    case sql::ExprKind::kScalarSubquery:
+      *predicates += 1;
+      if (e.subquery) CountShape(*e.subquery, joins, predicates);
+      return;
+    default:
+      for (const auto& a : e.args) CountExprPredicates(*a, joins, predicates);
+  }
+}
+
+void CountTableRef(const sql::TableRef& ref, double* joins,
+                   double* predicates) {
+  if (ref.kind == sql::TableRef::Kind::kJoin) {
+    *joins += 1;
+    CountTableRef(*ref.left, joins, predicates);
+    CountTableRef(*ref.right, joins, predicates);
+    if (ref.on) CountExprPredicates(*ref.on, joins, predicates);
+  } else if (ref.kind == sql::TableRef::Kind::kSubquery && ref.subquery) {
+    CountShape(*ref.subquery, joins, predicates);
+  }
+}
+
+void CountShape(const sql::SelectStmt& sel, double* joins,
+                double* predicates) {
+  for (const auto& f : sel.from) CountTableRef(*f, joins, predicates);
+  if (sel.from.size() > 1) *joins += static_cast<double>(sel.from.size() - 1);
+  if (sel.where) CountExprPredicates(*sel.where, joins, predicates);
+  if (sel.having) CountExprPredicates(*sel.having, joins, predicates);
+}
+
+void CollectBaseTables(const sql::TableRef& ref,
+                       std::vector<std::string>* out) {
+  switch (ref.kind) {
+    case sql::TableRef::Kind::kBase:
+      out->push_back(ref.table_name);
+      return;
+    case sql::TableRef::Kind::kSubquery:
+      if (ref.subquery) {
+        for (const auto& f : ref.subquery->from) CollectBaseTables(*f, out);
+      }
+      return;
+    case sql::TableRef::Kind::kJoin:
+      CollectBaseTables(*ref.left, out);
+      CollectBaseTables(*ref.right, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string QueryCostExample::SerializeFeatures() const {
+  return common::StrFormat(
+      "num_joins is %.0f; num_predicates is %.0f; scan_rows is %.0f",
+      num_joins, num_predicates, scan_rows);
+}
+
+common::Result<std::vector<QueryCostExample>> GenerateQueryCostDataset(
+    sql::Database& db, size_t n, common::Rng& rng) {
+  SqlGenerator generator(nullptr, rng.Next());
+  SqlGenConstraints constraints;
+  constraints.count = n;
+  constraints.multi_join_fraction = 0.35;
+  constraints.subquery_fraction = 0.25;
+  constraints.aggregate_fraction = 0.2;
+  LLMDM_ASSIGN_OR_RETURN(std::vector<GeneratedSql> queries,
+                         generator.Generate(db, constraints));
+
+  std::vector<QueryCostExample> out;
+  for (const GeneratedSql& q : queries) {
+    auto parsed = sql::ParseSelect(q.sql);
+    if (!parsed.ok()) continue;
+    QueryCostExample ex;
+    ex.sql = q.sql;
+    CountShape(**parsed, &ex.num_joins, &ex.num_predicates);
+    std::vector<std::string> tables;
+    for (const auto& f : (*parsed)->from) CollectBaseTables(*f, &tables);
+    for (const std::string& t : tables) {
+      auto table = db.catalog().GetTable(t);
+      if (table.ok()) ex.scan_rows += static_cast<double>((*table)->NumRows());
+    }
+    // Synthetic-but-structured cost: scans are linear, each join multiplies
+    // work, predicates add per-row evaluation; multiplicative log-normal
+    // noise models runtime variance. The *structure* is what the learned
+    // model must recover.
+    double base = 0.05 * ex.scan_rows * (1.0 + 0.8 * ex.num_joins) +
+                  0.4 * ex.num_predicates + 1.0;
+    double noise = std::exp(rng.Normal(0.0, 0.12));
+    ex.execution_time_ms = base * noise;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+common::Result<double> IclCostPredictor::Predict(
+    const QueryCostExample& target, const std::vector<QueryCostExample>& corpus,
+    llm::UsageMeter* meter) const {
+  if (corpus.empty()) {
+    return common::Status::InvalidArgument("empty example corpus");
+  }
+  // Nearest examples by normalized feature distance (client-side example
+  // selection, the paper's Fig. 3 setup).
+  std::vector<double> target_features = target.Features();
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    std::vector<double> f = corpus[i].Features();
+    double d = 0;
+    for (size_t j = 0; j < f.size(); ++j) {
+      double scale = std::max(std::abs(target_features[j]), 1.0);
+      d += std::abs(f[j] - target_features[j]) / scale;
+    }
+    ranked.emplace_back(d, i);
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  llm::Prompt p;
+  p.task_tag = "tabular_predict";
+  p.instructions =
+      "Predict execution_time_ms for the query features from the examples.";
+  size_t k = std::min(num_examples_, ranked.size());
+  for (size_t i = 0; i < k; ++i) {
+    const QueryCostExample& ex = corpus[ranked[i].second];
+    p.examples.push_back(
+        {ex.SerializeFeatures(),
+         common::StrFormat("%.2f", ex.execution_time_ms)});
+  }
+  p.input = target.SerializeFeatures();
+  LLMDM_ASSIGN_OR_RETURN(llm::Completion c, model_->CompleteMetered(p, meter));
+  double value = 0;
+  if (!common::ParseDouble(c.text, &value)) {
+    return common::Status::Internal("model returned non-numeric time: " +
+                                    c.text);
+  }
+  return value;
+}
+
+common::Result<std::vector<QueryCostExample>> AugmentCostDataset(
+    const std::vector<QueryCostExample>& real, double augmentation_factor,
+    llm::LlmModel& model, llm::UsageMeter* meter) {
+  std::vector<QueryCostExample> out = real;
+  size_t synth = static_cast<size_t>(augmentation_factor *
+                                     static_cast<double>(real.size()));
+  for (size_t i = 0; i < synth; ++i) {
+    llm::Prompt p;
+    p.task_tag = "tabular_generate";
+    p.instructions = "Generate one more <query features, time> row.";
+    // Rotate a window of examples so draws vary.
+    for (size_t j = 0; j < std::min<size_t>(8, real.size()); ++j) {
+      const QueryCostExample& ex = real[(i + j) % real.size()];
+      p.examples.push_back(
+          {ex.SerializeFeatures() +
+               common::StrFormat("; execution_time_ms is %.2f",
+                                 ex.execution_time_ms),
+           "ok"});
+    }
+    p.input = "generate one more row";
+    p.sample_salt = i;
+    LLMDM_ASSIGN_OR_RETURN(llm::Completion c, model.CompleteMetered(p, meter));
+    // Parse the serialized row back.
+    QueryCostExample ex;
+    bool ok = true;
+    double time = 0;
+    for (const std::string& part : common::Split(c.text, ';')) {
+      std::string_view kv = common::Trim(part);
+      size_t pos = kv.find(" is ");
+      if (pos == std::string_view::npos) continue;
+      std::string key(kv.substr(0, pos));
+      double value = 0;
+      if (!common::ParseDouble(kv.substr(pos + 4), &value)) {
+        ok = false;
+        break;
+      }
+      if (key == "num_joins") ex.num_joins = std::max(0.0, value);
+      else if (key == "num_predicates") ex.num_predicates = std::max(0.0, value);
+      else if (key == "scan_rows") ex.scan_rows = std::max(0.0, value);
+      else if (key == "execution_time_ms") time = value;
+    }
+    if (!ok || time <= 0) continue;  // discard malformed synthetic rows
+    ex.sql = "-- synthetic";
+    ex.execution_time_ms = time;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+double EvaluateCostModel(const std::vector<QueryCostExample>& train,
+                         const std::vector<QueryCostExample>& holdout) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const QueryCostExample& ex : train) {
+    x.push_back(ex.Features());
+    y.push_back(ex.execution_time_ms);
+  }
+  ml::LinearRegression model;
+  model.Train(x, y);
+  std::vector<std::vector<double>> hx;
+  std::vector<double> hy;
+  for (const QueryCostExample& ex : holdout) {
+    hx.push_back(ex.Features());
+    hy.push_back(ex.execution_time_ms);
+  }
+  return model.Mape(hx, hy);
+}
+
+}  // namespace llmdm::generation

@@ -1,0 +1,74 @@
+#ifndef LLMDM_CORE_GENERATION_TRAINING_DATA_H_
+#define LLMDM_CORE_GENERATION_TRAINING_DATA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+#include "llm/model.h"
+#include "ml/linear.h"
+#include "sql/database.h"
+
+namespace llmdm::generation {
+
+/// One <query, execution_time> training pair for a learned cost model
+/// (Fig. 3). Features are what a real learned cost estimator would extract.
+struct QueryCostExample {
+  std::string sql;
+  double num_joins = 0;
+  double num_predicates = 0;
+  double scan_rows = 0;     // sum of base-table cardinalities touched
+  double execution_time_ms = 0;
+
+  std::vector<double> Features() const {
+    return {num_joins, num_predicates, scan_rows};
+  }
+  /// "num_joins is X; num_predicates is Y; scan_rows is Z" serialization for
+  /// ICL prompts.
+  std::string SerializeFeatures() const;
+};
+
+/// Generates <query, execution_time> pairs against `db`: queries come from
+/// the schema-grounded generator, execution time from a synthetic-but-
+/// structured cost model (linear in joins/predicates/scanned rows with
+/// multiplicative noise). This stands in for the expensive real collection
+/// the paper says makes training data scarce.
+common::Result<std::vector<QueryCostExample>> GenerateQueryCostDataset(
+    sql::Database& db, size_t n, common::Rng& rng);
+
+/// ICL execution-time predictor (Fig. 3): feeds k labelled examples to the
+/// model as a tabular_predict prompt and parses the predicted time.
+class IclCostPredictor {
+ public:
+  IclCostPredictor(std::shared_ptr<llm::LlmModel> model, size_t num_examples)
+      : model_(std::move(model)), num_examples_(num_examples) {}
+
+  /// Predicts execution time for `target`, using the `num_examples` nearest
+  /// (by feature distance, chosen client-side) examples from `corpus`.
+  common::Result<double> Predict(const QueryCostExample& target,
+                                 const std::vector<QueryCostExample>& corpus,
+                                 llm::UsageMeter* meter = nullptr) const;
+
+ private:
+  std::shared_ptr<llm::LlmModel> model_;
+  size_t num_examples_;
+};
+
+/// LLM-augmented training (Fig. 3's punchline): asks the model to synthesize
+/// additional <features, time> rows mimicking `real`, then returns
+/// real + synthetic. `augmentation_factor` = synthetic rows per real row.
+common::Result<std::vector<QueryCostExample>> AugmentCostDataset(
+    const std::vector<QueryCostExample>& real, double augmentation_factor,
+    llm::LlmModel& model, llm::UsageMeter* meter = nullptr);
+
+/// Trains the learned cost model and reports holdout MAPE. Used to compare
+/// real-only vs real+augmented training sets.
+double EvaluateCostModel(const std::vector<QueryCostExample>& train,
+                         const std::vector<QueryCostExample>& holdout);
+
+}  // namespace llmdm::generation
+
+#endif  // LLMDM_CORE_GENERATION_TRAINING_DATA_H_

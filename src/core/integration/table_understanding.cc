@@ -1,0 +1,153 @@
+#include "core/integration/table_understanding.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "embed/embedder.h"
+#include "text/tokenizer.h"
+
+namespace llmdm::integration {
+
+std::string TableUnderstanding::SerializeRow(const data::Table& table,
+                                             size_t row) const {
+  // Semantic serialization: lead with the table name and first column as the
+  // entity key, then attribute phrases — richer than raw linearization.
+  std::string out = "The " + table.name();
+  if (table.NumColumns() > 0 && !table.at(row, 0).is_null()) {
+    out += " with " + table.schema().column(0).name + " " +
+           table.at(row, 0).ToString();
+  }
+  out += " has";
+  bool first = true;
+  for (size_t c = 1; c < table.NumColumns(); ++c) {
+    const data::Value& v = table.at(row, c);
+    if (v.is_null()) continue;
+    out += first ? " " : ", ";
+    first = false;
+    out += table.schema().column(c).name + " " + v.ToString();
+  }
+  out += ".";
+  return out;
+}
+
+std::string TableUnderstanding::SerializeColumn(const data::Table& table,
+                                                size_t column,
+                                                size_t max_values) const {
+  const data::Column& col = table.schema().column(column);
+  std::string out = "Column " + col.name + " of " + table.name() +
+                    " contains:";
+  size_t shown = 0;
+  for (size_t r = 0; r < table.NumRows() && shown < max_values; ++r) {
+    const data::Value& v = table.at(r, column);
+    if (v.is_null()) continue;
+    out += (shown == 0 ? " " : ", ");
+    out += v.ToString();
+    ++shown;
+  }
+  out += common::StrFormat(" (%s).",
+                           std::string(data::ColumnTypeName(col.type)).c_str());
+  return out;
+}
+
+common::Result<std::string> TableUnderstanding::DescribeAggregate(
+    sql::Database& db, const std::string& aggregate_sql,
+    llm::UsageMeter* meter) const {
+  LLMDM_ASSIGN_OR_RETURN(data::Table result, db.Query(aggregate_sql));
+  if (result.NumRows() != 1 || result.NumColumns() != 1) {
+    return common::Status::InvalidArgument(
+        "expected a single-cell aggregate result");
+  }
+  llm::Prompt p;
+  p.task_tag = "sql2nl";
+  p.instructions = "Describe the SQL query and its result in one sentence.";
+  p.input = aggregate_sql + "\n=> " + result.at(0, 0).ToString();
+  LLMDM_ASSIGN_OR_RETURN(llm::Completion c, model_->CompleteMetered(p, meter));
+  return c.text;
+}
+
+common::Result<std::vector<std::string>>
+TableUnderstanding::DescribeTableStatistics(sql::Database& db,
+                                            const std::string& table_name,
+                                            llm::UsageMeter* meter) const {
+  LLMDM_ASSIGN_OR_RETURN(const data::Table* table,
+                         db.catalog().GetTable(table_name));
+  std::vector<std::string> out;
+  {
+    LLMDM_ASSIGN_OR_RETURN(
+        std::string sentence,
+        DescribeAggregate(db, "SELECT COUNT(*) FROM " + table_name, meter));
+    out.push_back(std::move(sentence));
+  }
+  for (const data::Column& col : table->schema().columns()) {
+    if (col.type != data::ColumnType::kInt64 &&
+        col.type != data::ColumnType::kDouble) {
+      continue;
+    }
+    LLMDM_ASSIGN_OR_RETURN(
+        std::string sentence,
+        DescribeAggregate(
+            db, "SELECT AVG(" + col.name + ") FROM " + table_name, meter));
+    out.push_back(std::move(sentence));
+  }
+  return out;
+}
+
+std::vector<data::Table> TableUnderstanding::SplitForPlm(
+    const data::Table& table, size_t max_tokens) const {
+  std::vector<data::Table> chunks;
+  data::Table current(table.name() + "_chunk0", table.schema());
+  size_t current_tokens = 0;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    size_t row_tokens = text::CountTokens(SerializeRow(table, r));
+    if (current_tokens + row_tokens > max_tokens && current.NumRows() > 0) {
+      chunks.push_back(std::move(current));
+      current = data::Table(
+          common::StrFormat("%s_chunk%zu", table.name().c_str(),
+                            chunks.size()),
+          table.schema());
+      current_tokens = 0;
+    }
+    current.AppendRowUnchecked(table.row(r));
+    current_tokens += row_tokens;
+  }
+  if (current.NumRows() > 0) chunks.push_back(std::move(current));
+  return chunks;
+}
+
+std::vector<size_t> TableUnderstanding::SelectRepresentativeRows(
+    const data::Table& table, size_t k) const {
+  std::vector<size_t> out;
+  if (table.NumRows() == 0 || k == 0) return out;
+  embed::HashingEmbedder embedder;
+  std::vector<embed::Vector> embeddings;
+  embeddings.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    embeddings.push_back(embedder.Embed(SerializeRow(table, r)));
+  }
+  // Farthest-point sampling: start at row 0, repeatedly add the row farthest
+  // from the selected set (classic k-center heuristic).
+  out.push_back(0);
+  std::vector<float> best_sim(table.NumRows(), -2.0f);
+  while (out.size() < std::min<size_t>(k, table.NumRows())) {
+    size_t last = out.back();
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      best_sim[r] = std::max(
+          best_sim[r],
+          embed::CosineSimilarity(embeddings[r], embeddings[last]));
+    }
+    size_t farthest = 0;
+    float lowest = 2.0f;
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      if (std::find(out.begin(), out.end(), r) != out.end()) continue;
+      if (best_sim[r] < lowest) {
+        lowest = best_sim[r];
+        farthest = r;
+      }
+    }
+    out.push_back(farthest);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace llmdm::integration

@@ -1,0 +1,61 @@
+#ifndef LLMDM_CORE_INTEGRATION_TABLE_UNDERSTANDING_H_
+#define LLMDM_CORE_INTEGRATION_TABLE_UNDERSTANDING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "llm/model.h"
+#include "sql/database.h"
+
+namespace llmdm::integration {
+
+/// Table-understanding helpers for PLM training pipelines (Sec. II-C.2):
+/// (1) NL serialization of rows/columns that preserves semantics better than
+///     bare linearization,
+/// (2) SQL-derived statistical sentences ("the average salary ... is $500"),
+/// (3) splitting/compressing large tables to fit PLM input limits.
+class TableUnderstanding {
+ public:
+  explicit TableUnderstanding(std::shared_ptr<llm::LlmModel> model)
+      : model_(std::move(model)) {}
+
+  /// Row -> natural-language sentence ("the <table> with <key> has ...").
+  std::string SerializeRow(const data::Table& table, size_t row) const;
+
+  /// Column -> "column <name> of <table> contains: v1, v2, ... (TYPE)".
+  std::string SerializeColumn(const data::Table& table, size_t column,
+                              size_t max_values = 5) const;
+
+  /// Executes an aggregate query and renders it as a statistics sentence via
+  /// the sql2nl skill; the sentence is PLM training data in the paper's
+  /// pipeline.
+  common::Result<std::string> DescribeAggregate(
+      sql::Database& db, const std::string& aggregate_sql,
+      llm::UsageMeter* meter = nullptr) const;
+
+  /// One sentence per numeric column (AVG) + a COUNT(*) sentence: the
+  /// "statistical table information" bundle.
+  common::Result<std::vector<std::string>> DescribeTableStatistics(
+      sql::Database& db, const std::string& table_name,
+      llm::UsageMeter* meter = nullptr) const;
+
+  /// Splits a table into row chunks whose serialized token count stays
+  /// within `max_tokens` (PLM input limit). Chunks preserve row order.
+  std::vector<data::Table> SplitForPlm(const data::Table& table,
+                                       size_t max_tokens) const;
+
+  /// Picks `k` representative rows by farthest-point sampling over row
+  /// embeddings — the "choose representative tuples" compression.
+  std::vector<size_t> SelectRepresentativeRows(const data::Table& table,
+                                               size_t k) const;
+
+ private:
+  std::shared_ptr<llm::LlmModel> model_;
+};
+
+}  // namespace llmdm::integration
+
+#endif  // LLMDM_CORE_INTEGRATION_TABLE_UNDERSTANDING_H_

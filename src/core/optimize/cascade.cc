@@ -1,0 +1,107 @@
+#include "core/optimize/cascade.h"
+
+#include <algorithm>
+#include <map>
+
+namespace llmdm::optimize {
+
+common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
+                                              llm::UsageMeter* meter) const {
+  if (ladder_.empty()) {
+    return common::Status::FailedPrecondition("cascade has no models");
+  }
+  CascadeResult result;
+  for (size_t rung = 0; rung < ladder_.size(); ++rung) {
+    llm::LlmModel& model = *ladder_[rung];
+    // Self-consistency: independent draws via distinct sample salts. The
+    // final rung accepts unconditionally, so it takes a single sample —
+    // paying 3x the most expensive model would erase the cascade's saving.
+    const size_t samples =
+        (rung + 1 == ladder_.size()) ? 1 : options_.consistency_samples;
+    std::map<std::string, size_t> votes;
+    double confidence_sum = 0.0;
+    std::string first_completion;
+    for (size_t s = 0; s < samples; ++s) {
+      llm::Prompt sampled = prompt;
+      sampled.sample_salt = prompt.sample_salt * 101 + s;
+      LLMDM_ASSIGN_OR_RETURN(llm::Completion c,
+                             model.CompleteMetered(sampled, meter));
+      result.cost += c.cost;
+      ++result.total_calls;
+      ++votes[c.text];
+      confidence_sum += c.confidence;
+      if (s == 0) first_completion = c.text;
+    }
+    // Majority answer (ties break toward the first sample: temperature-0
+    // behaviour).
+    std::string majority = first_completion;
+    size_t best = votes[first_completion];
+    for (const auto& [answer, n] : votes) {
+      if (n > best) {
+        best = n;
+        majority = answer;
+      }
+    }
+    double agreement = static_cast<double>(best) /
+                       static_cast<double>(samples);
+    double mean_confidence =
+        confidence_sum / static_cast<double>(samples);
+    double score = options_.agreement_weight * agreement +
+                   (1.0 - options_.agreement_weight) * mean_confidence;
+
+    CascadeStep step;
+    step.model = model.name();
+    step.answer = majority;
+    step.agreement = agreement;
+    step.confidence = score;
+    step.accepted =
+        (score >= options_.accept_threshold) || (rung + 1 == ladder_.size());
+    result.trace.push_back(step);
+    if (step.accepted) {
+      result.answer = majority;
+      result.model = model.name();
+      return result;
+    }
+  }
+  return common::Status::Internal("cascade fell through without accepting");
+}
+
+double CalibrateAcceptThreshold(const std::vector<CalibrationSample>& samples,
+                                double escalation_accuracy,
+                                double escalation_cost_ratio) {
+  if (samples.empty()) return 0.7;
+  // Candidate thresholds: every observed score (plus the extremes). For each
+  // candidate, accepted answers keep their own correctness; rejected ones pay
+  // the escalation cost and get the bigger model's accuracy.
+  std::vector<double> candidates{0.0, 1.01};
+  for (const CalibrationSample& s : samples) candidates.push_back(s.score);
+  std::sort(candidates.begin(), candidates.end());
+
+  double best_threshold = 0.7;
+  double best_utility = -1e18;
+  for (double t : candidates) {
+    double accuracy = 0.0;
+    double cost = 0.0;
+    for (const CalibrationSample& s : samples) {
+      if (s.score >= t) {
+        accuracy += s.correct ? 1.0 : 0.0;
+        cost += 1.0;
+      } else {
+        accuracy += escalation_accuracy;
+        cost += 1.0 + escalation_cost_ratio;
+      }
+    }
+    accuracy /= static_cast<double>(samples.size());
+    cost /= static_cast<double>(samples.size()) * (1.0 + escalation_cost_ratio);
+    // Utility trades accuracy against normalized cost; the 0.25 weight keeps
+    // accuracy primary, matching how Table I reads the result.
+    double utility = accuracy - 0.25 * cost;
+    if (utility > best_utility) {
+      best_utility = utility;
+      best_threshold = t;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace llmdm::optimize

@@ -1,0 +1,83 @@
+#ifndef LLMDM_CORE_OPTIMIZE_CASCADE_H_
+#define LLMDM_CORE_OPTIMIZE_CASCADE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "llm/model.h"
+
+namespace llmdm::optimize {
+
+/// Decision record for one rung of the cascade.
+struct CascadeStep {
+  std::string model;
+  std::string answer;        // majority answer at this rung
+  double agreement = 0.0;    // self-consistency agreement in [0,1]
+  double confidence = 0.0;   // blended decision score
+  bool accepted = false;
+};
+
+/// Final outcome of a cascaded query.
+struct CascadeResult {
+  std::string answer;
+  std::string model;  // the rung that was accepted
+  common::Money cost; // across all rungs and samples
+  size_t total_calls = 0;
+  std::vector<CascadeStep> trace;
+};
+
+/// The LLM cascade of Fig. 6 / Table I: a query visits models from cheap to
+/// expensive; a decision model accepts a rung's answer or escalates.
+///
+/// The decision model is self-consistency based: each rung draws
+/// `consistency_samples` independent completions (distinct sample salts) and
+/// blends the majority-agreement rate with the model's reported confidence;
+/// the answer is accepted when the blend clears `accept_threshold`. The last
+/// rung always accepts (there is nothing bigger to escalate to).
+class LlmCascade {
+ public:
+  struct Options {
+    double accept_threshold = 0.7;
+    size_t consistency_samples = 3;
+    /// Blend weight of agreement vs reported confidence in the decision
+    /// score: score = w*agreement + (1-w)*mean_confidence.
+    double agreement_weight = 0.7;
+  };
+
+  /// `ladder` must be ordered from cheapest/smallest to priciest/largest.
+  LlmCascade(std::vector<std::shared_ptr<llm::LlmModel>> ladder,
+             const Options& options)
+      : ladder_(std::move(ladder)), options_(options) {}
+
+  /// Runs the cascade on one prompt. Usage (including the rejected rungs'
+  /// spend — escalation is not free) is recorded into `meter` if non-null.
+  common::Result<CascadeResult> Run(const llm::Prompt& prompt,
+                                    llm::UsageMeter* meter = nullptr) const;
+
+  const Options& options() const { return options_; }
+  void set_accept_threshold(double t) { options_.accept_threshold = t; }
+
+ private:
+  std::vector<std::shared_ptr<llm::LlmModel>> ladder_;
+  Options options_;
+};
+
+/// Picks the acceptance threshold that maximizes `accuracy - cost_weight *
+/// normalized_cost` over a labelled calibration set of (decision_score,
+/// was_correct, escalation_cost_ratio) samples. This is the "decision model
+/// can be trained" knob of Sec. III-B.1, reduced to its essential form:
+/// choosing the operating point on the accept/escalate curve.
+struct CalibrationSample {
+  double score = 0.0;
+  bool correct = false;
+};
+
+double CalibrateAcceptThreshold(const std::vector<CalibrationSample>& samples,
+                                double escalation_accuracy,
+                                double escalation_cost_ratio);
+
+}  // namespace llmdm::optimize
+
+#endif  // LLMDM_CORE_OPTIMIZE_CASCADE_H_

@@ -1,0 +1,106 @@
+#ifndef LLMDM_CORE_OPTIMIZE_DECOMPOSITION_H_
+#define LLMDM_CORE_OPTIMIZE_DECOMPOSITION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/nl2sql_workload.h"
+#include "llm/model.h"
+
+namespace llmdm::optimize {
+
+/// The decomposed form of one natural-language query (Fig. 7): a list of
+/// atomic sub-questions plus the operator that recombines their answers.
+struct DecomposedQuery {
+  std::vector<std::string> sub_questions;
+  data::Combiner combiner = data::Combiner::kNone;
+
+  bool atomic() const { return sub_questions.size() <= 1; }
+};
+
+/// Splits a stadium-family question into its atomic sub-questions.
+/// "…concerts in 2014 or had sports meetings in 2015?" becomes
+/// {"stadiums that had concerts in 2014", "stadiums that had sports meetings
+/// in 2015"} + kOr. Atomic questions come back as a single unit.
+common::Result<DecomposedQuery> DecomposeQuestion(const std::string& question);
+
+/// Recombines per-sub-question SQL into the final query using set algebra:
+/// kOr -> UNION, kAnd -> INTERSECT, kAndNot -> EXCEPT. The recombination is
+/// client-side (no LLM involved), which is why decomposition can raise
+/// accuracy: the model only ever sees atomic questions.
+std::string RecombineSql(const std::vector<std::string>& sub_sql,
+                         data::Combiner combiner);
+
+/// The plan for answering a batch of NL2SQL queries with minimal LLM spend
+/// (Sec. III-B.1 "query decomposition and combination").
+struct BatchPlan {
+  struct Item {
+    size_t query_index = 0;
+    bool decomposed = false;
+    /// Unit texts this query needs (its own text, or its sub-questions).
+    std::vector<std::string> units;
+    data::Combiner combiner = data::Combiner::kNone;
+  };
+  std::vector<Item> items;
+  /// Deduplicated unit texts = the LLM calls that will actually be made.
+  std::vector<std::string> unique_units;
+  /// Estimated input tokens under this plan (before combination).
+  size_t estimated_tokens = 0;
+};
+
+/// Result of executing a batch plan.
+struct BatchExecution {
+  /// Final SQL per input query (index-aligned with the input).
+  std::vector<std::string> sql;
+  size_t llm_calls = 0;
+  common::Money cost;
+};
+
+/// Plans and executes batched NL2SQL translation with sub-query
+/// deduplication and prompt combination.
+class QueryBatchOptimizer {
+ public:
+  struct Options {
+    /// Decompose a query when the amortized cost of its (shared) sub-queries
+    /// beats its direct cost; `false` forces all-direct (the Table II
+    /// "Origin" column).
+    bool enable_decomposition = true;
+    /// Merge prompts that share instructions+examples so the shared tokens
+    /// are billed once (the Table II "+Combination" column).
+    bool enable_combination = false;
+    /// Few-shot examples attached to every translation prompt.
+    std::vector<llm::FewShotExample> examples;
+    std::string instructions =
+        "Translate the question into SQL over the stadium schema "
+        "(stadium(id, name, capacity, city), concert(id, stadium_id, year, "
+        "attendance), sports_meeting(id, stadium_id, year)).";
+  };
+
+  explicit QueryBatchOptimizer(const Options& options) : options_(options) {}
+
+  /// Chooses direct vs decomposed per query. A query is decomposed when
+  /// sum over its sub-questions of tokens(sub)/uses(sub) < tokens(direct) —
+  /// i.e. sharing amortizes the extra prompts (the Fig. 7 trade-off).
+  BatchPlan Plan(const std::vector<std::string>& questions) const;
+
+  /// Executes the plan against `model`: one (possibly combined) call per
+  /// unique unit, then client-side recombination. Usage is metered exactly:
+  /// combined prompts bill their shared prefix once.
+  common::Result<BatchExecution> Execute(
+      const BatchPlan& plan, llm::LlmModel& model,
+      llm::UsageMeter* meter = nullptr) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  llm::Prompt MakeUnitPrompt(const std::string& unit) const;
+
+  Options options_;
+};
+
+}  // namespace llmdm::optimize
+
+#endif  // LLMDM_CORE_OPTIMIZE_DECOMPOSITION_H_

@@ -1,0 +1,87 @@
+#ifndef LLMDM_CORE_OPTIMIZE_PROMPT_STORE_H_
+#define LLMDM_CORE_OPTIMIZE_PROMPT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/embedder.h"
+#include "llm/prompt.h"
+#include "vectordb/flat_index.h"
+
+namespace llmdm::optimize {
+
+/// A historical prompt (a worked example) with its running utility: how often
+/// including it actually helped. Sec. III-A's point is that raw vector
+/// similarity is not the right selection target — the store therefore tracks
+/// outcome feedback per prompt and offers utility-aware selection.
+struct StoredPrompt {
+  uint64_t id = 0;
+  std::string input;
+  std::string output;
+  size_t uses = 0;
+  size_t successes = 0;
+
+  double success_rate() const {
+    // Laplace-smoothed so unproven prompts neither dominate nor vanish.
+    return (static_cast<double>(successes) + 1.0) /
+           (static_cast<double>(uses) + 2.0);
+  }
+};
+
+/// Vector-database-backed store of historical prompts with three selection
+/// strategies and a budgeted retention policy.
+class PromptStore {
+ public:
+  enum class Selection {
+    kSimilarity,          // plain nearest-neighbour
+    kUtilityWeighted,     // similarity x historical success rate
+    kEpsilonGreedy,       // bandit: mostly utility, sometimes explore
+  };
+
+  struct Options {
+    size_t capacity = 512;
+    double epsilon = 0.1;  // exploration rate for kEpsilonGreedy
+    uint64_t seed = 17;
+  };
+
+  explicit PromptStore(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  /// Adds a worked example; evicts the lowest-utility prompt when full
+  /// (the "which historical prompts to keep within a budget" question).
+  uint64_t Add(const std::string& input, const std::string& output);
+
+  /// Selects up to k examples for a new query under the given strategy.
+  std::vector<llm::FewShotExample> Select(const std::string& query, size_t k,
+                                          Selection strategy);
+
+  /// Outcome feedback: the task that used prompt `id` succeeded/failed.
+  /// Drives utility-weighted selection and budgeted retention.
+  void RecordOutcome(uint64_t id, bool success);
+
+  /// Ids of the most recent Select() result (aligned with its examples),
+  /// so callers can route outcome feedback.
+  const std::vector<uint64_t>& last_selected_ids() const {
+    return last_selected_ids_;
+  }
+
+  size_t Size() const { return live_count_; }
+  const StoredPrompt* Get(uint64_t id) const;
+
+ private:
+  void EvictIfNeeded();
+
+  Options options_;
+  common::Rng rng_;
+  embed::HashingEmbedder embedder_;
+  vectordb::FlatIndex index_;
+  std::vector<StoredPrompt> prompts_;
+  std::vector<bool> live_;
+  std::vector<uint64_t> last_selected_ids_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace llmdm::optimize
+
+#endif  // LLMDM_CORE_OPTIMIZE_PROMPT_STORE_H_

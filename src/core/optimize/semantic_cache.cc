@@ -1,0 +1,146 @@
+#include "core/optimize/semantic_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "text/tokenizer.h"
+
+namespace llmdm::optimize {
+
+SemanticCache::SemanticCache(const Options& options) : options_(options) {}
+
+double SemanticCache::EvictionScore(const Entry& entry) const {
+  switch (options_.policy) {
+    case EvictionPolicy::kLru:
+      return static_cast<double>(entry.last_used_tick);
+    case EvictionPolicy::kLfu:
+      return static_cast<double>(entry.reuse_hits + entry.augment_hits);
+    case EvictionPolicy::kCostAware: {
+      // Hits are weighted by kind (reuse saves a whole call, augmentation
+      // only sharpens one); recency breaks ties so dead entries rotate out.
+      double value = options_.reuse_weight * double(entry.reuse_hits) +
+                     options_.augment_weight * double(entry.augment_hits);
+      return value + 1e-6 * static_cast<double>(entry.last_used_tick);
+    }
+  }
+  return 0.0;
+}
+
+void SemanticCache::EvictIfNeeded() {
+  while (live_count_ > options_.capacity) {
+    double worst = 1e300;
+    size_t victim = entries_.size();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].live) continue;
+      double score = EvictionScore(entries_[i]);
+      if (score < worst) {
+        worst = score;
+        victim = i;
+      }
+    }
+    if (victim == entries_.size()) return;
+    entries_[victim].live = false;
+    index_.Remove(victim).ok();  // ignore status: id is known-present
+    --live_count_;
+    ++stats_.evictions;
+  }
+}
+
+std::optional<SemanticCache::Hit> SemanticCache::Lookup(
+    const std::string& query, common::Money avoided_cost) {
+  ++stats_.lookups;
+  ++tick_;
+  if (live_count_ == 0) return std::nullopt;
+  embed::Vector q = embedder_.Embed(query);
+  auto results = index_.Search(q, 1);
+  if (results.empty()) return std::nullopt;
+  Entry& entry = entries_[results[0].id];
+  if (results[0].score < options_.similarity_threshold || !entry.live) {
+    return std::nullopt;
+  }
+  entry.last_used_tick = tick_;
+  ++entry.reuse_hits;
+  ++stats_.hits;
+  stats_.saved += avoided_cost;
+  return Hit{entry.query, entry.response, results[0].score, avoided_cost};
+}
+
+std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
+    const std::string& query, size_t k) {
+  ++tick_;
+  std::vector<Hit> out;
+  if (live_count_ == 0) return out;
+  embed::Vector q = embedder_.Embed(query);
+  for (const auto& r : index_.Search(q, k)) {
+    Entry& entry = entries_[r.id];
+    if (!entry.live) continue;
+    entry.last_used_tick = tick_;
+    ++entry.augment_hits;
+    out.push_back(Hit{entry.query, entry.response, r.score,
+                      common::Money::Zero()});
+  }
+  return out;
+}
+
+void SemanticCache::Insert(const std::string& query,
+                           const std::string& response,
+                           common::Money cost_to_produce) {
+  ++tick_;
+  if (options_.predictive_admission) {
+    uint64_t h = common::Fnv1a(query);
+    if (seen_once_.insert(h).second) {
+      // First sighting: predicted unlikely to recur; do not admit.
+      ++stats_.admission_rejections;
+      return;
+    }
+  }
+  ++stats_.insertions;
+  // Refresh an existing (near-)identical key instead of duplicating it.
+  embed::Vector q = embedder_.Embed(query);
+  auto nearest = index_.Search(q, 1);
+  if (!nearest.empty() && nearest[0].score > 0.999) {
+    Entry& entry = entries_[nearest[0].id];
+    if (entry.live) {
+      entry.response = response;
+      entry.cost_to_produce = cost_to_produce;
+      entry.last_used_tick = tick_;
+      return;
+    }
+  }
+  Entry entry;
+  entry.query = query;
+  entry.response = response;
+  entry.embedding = q;
+  entry.cost_to_produce = cost_to_produce;
+  entry.last_used_tick = tick_;
+  size_t id = entries_.size();
+  entries_.push_back(std::move(entry));
+  index_.Add(id, entries_.back().embedding).ok();
+  ++live_count_;
+  EvictIfNeeded();
+}
+
+common::Result<llm::Completion> CachedLlm::Complete(const llm::Prompt& prompt) {
+  // Estimate what a fresh call would cost (for the savings ledger).
+  size_t input_tokens = prompt.CountInputTokens();
+  common::Money avoided = common::Money::FromMicros(
+      spec().input_price_per_1k.micros() *
+      static_cast<int64_t>(input_tokens) / 1000);
+  if (auto hit = cache_->Lookup(prompt.input, avoided); hit.has_value()) {
+    ++cache_hits_;
+    llm::Completion c;
+    c.text = hit->response;
+    c.confidence = 0.9;  // cache hits are answers we previously committed to
+    c.model = spec().name + "+cache";
+    c.input_tokens = 0;
+    c.output_tokens = 0;
+    c.cost = common::Money::Zero();
+    c.latency_ms = 1.0;  // vector lookup, not a model round-trip
+    return c;
+  }
+  LLMDM_ASSIGN_OR_RETURN(llm::Completion c, inner_->Complete(prompt));
+  cache_->Insert(prompt.input, c.text, c.cost);
+  return c;
+}
+
+}  // namespace llmdm::optimize

@@ -1,0 +1,132 @@
+#ifndef LLMDM_CORE_OPTIMIZE_SEMANTIC_CACHE_H_
+#define LLMDM_CORE_OPTIMIZE_SEMANTIC_CACHE_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "llm/model.h"
+#include "vectordb/flat_index.h"
+
+namespace llmdm::optimize {
+
+/// Eviction policies for the semantic cache. The paper argues plain LRU/LFU
+/// are insufficient because cache hits have two different values: (1) reuse
+/// hits replace an LLM call entirely, (2) augmentation hits only improve a
+/// prompt — so kCostAware weights entries by the kind and cost of the hits
+/// they have produced.
+enum class EvictionPolicy { kLru, kLfu, kCostAware };
+
+/// Embedding-keyed response cache (Sec. III-C / Table III). Matching is by
+/// cosine similarity rather than exact equality, because LLM queries almost
+/// never repeat verbatim.
+class SemanticCache {
+ public:
+  struct Options {
+    double similarity_threshold = 0.9;
+    size_t capacity = 256;
+    EvictionPolicy policy = EvictionPolicy::kCostAware;
+    /// kCostAware scoring weights for the two hit kinds.
+    double reuse_weight = 2.0;
+    double augment_weight = 1.0;
+    /// Predictive admission (the paper's "predict the probability of future
+    /// access ... or refrain from caching"): a query is only admitted on its
+    /// second sighting (TinyLFU-doorkeeper style), so one-off queries never
+    /// displace recurring ones. Costs one extra model call per recurring
+    /// query; pays off when the stream is dominated by singletons.
+    bool predictive_admission = false;
+  };
+
+  struct Hit {
+    std::string query;       // the cached query that matched
+    std::string response;
+    double similarity = 0.0;
+    common::Money saved;     // cost the hit avoided
+  };
+
+  struct Stats {
+    size_t lookups = 0;
+    size_t hits = 0;
+    size_t insertions = 0;
+    size_t evictions = 0;
+    size_t admission_rejections = 0;  // first-sighting skips (predictive)
+    common::Money saved;
+    double hit_rate() const {
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups);
+    }
+  };
+
+  explicit SemanticCache(const Options& options);
+
+  /// Reuse lookup: the best cached entry with similarity >= threshold.
+  /// `avoided_cost` is what a fresh LLM call would have cost (credited to
+  /// the stats and to the entry's eviction score on a hit).
+  std::optional<Hit> Lookup(const std::string& query,
+                            common::Money avoided_cost = common::Money::Zero());
+
+  /// Augmentation lookup: top-k similar cached (query, response) pairs below
+  /// or above threshold, for use as extra few-shot examples (hit case (2)).
+  std::vector<Hit> TopKForAugmentation(const std::string& query, size_t k);
+
+  /// Inserts (or refreshes) a query/response pair, evicting if over capacity.
+  void Insert(const std::string& query, const std::string& response,
+              common::Money cost_to_produce = common::Money::Zero());
+
+  size_t Size() const { return live_count_; }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string query;
+    std::string response;
+    embed::Vector embedding;
+    common::Money cost_to_produce;
+    uint64_t last_used_tick = 0;
+    size_t reuse_hits = 0;
+    size_t augment_hits = 0;
+    bool live = true;
+  };
+
+  double EvictionScore(const Entry& entry) const;
+  void EvictIfNeeded();
+
+  Options options_;
+  embed::HashingEmbedder embedder_;
+  vectordb::FlatIndex index_;
+  std::vector<Entry> entries_;  // slot id == vector id
+  Stats stats_;
+  uint64_t tick_ = 0;
+  size_t live_count_ = 0;
+  /// Doorkeeper for predictive admission: hashes of queries seen once.
+  std::set<uint64_t> seen_once_;
+};
+
+/// An LlmModel decorator that consults a SemanticCache before calling the
+/// wrapped model: the drop-in "LLM cache" of Sec. III-C. Hits return the
+/// cached completion at zero cost; misses call through and populate the
+/// cache.
+class CachedLlm : public llm::LlmModel {
+ public:
+  CachedLlm(std::shared_ptr<llm::LlmModel> inner, SemanticCache* cache)
+      : inner_(std::move(inner)), cache_(cache) {}
+
+  const llm::ModelSpec& spec() const override { return inner_->spec(); }
+  common::Result<llm::Completion> Complete(const llm::Prompt& prompt) override;
+
+  size_t cache_hits() const { return cache_hits_; }
+
+ private:
+  std::shared_ptr<llm::LlmModel> inner_;
+  SemanticCache* cache_;
+  size_t cache_hits_ = 0;
+};
+
+}  // namespace llmdm::optimize
+
+#endif  // LLMDM_CORE_OPTIMIZE_SEMANTIC_CACHE_H_

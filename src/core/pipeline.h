@@ -1,0 +1,69 @@
+#ifndef LLMDM_CORE_PIPELINE_H_
+#define LLMDM_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/exploration/datalake.h"
+#include "data/table.h"
+#include "llm/model.h"
+#include "sql/database.h"
+
+namespace llmdm::core {
+
+/// The Fig. 1 pipeline: data generation -> transformation -> integration ->
+/// exploration, run end-to-end on a healthcare-flavoured synthetic corpus
+/// with per-stage LLM usage metering.
+///
+/// Stage contents:
+///  1. generation    — synthesize patients, inject missingness, annotate the
+///                     missing fields via ICL, add LLM-synthesized rows;
+///  2. transformation— parse XML diagnostic reports into a relational table,
+///                     unify the date column's format;
+///  3. integration   — annotate unknown columns' types, resolve duplicate
+///                     patient descriptions, clean remaining issues;
+///  4. exploration   — ingest everything into the multi-modal data lake and
+///                     answer semantic queries.
+class DataManagementPipeline {
+ public:
+  struct Options {
+    std::shared_ptr<llm::LlmModel> model;
+    size_t num_patients = 60;
+    double missing_fraction = 0.15;
+    uint64_t seed = 4242;
+  };
+
+  struct StageReport {
+    std::string stage;
+    std::string summary;
+    size_t llm_calls = 0;
+    common::Money llm_cost;
+  };
+
+  struct Report {
+    std::vector<StageReport> stages;
+    size_t total_llm_calls = 0;
+    common::Money total_cost;
+  };
+
+  explicit DataManagementPipeline(const Options& options)
+      : options_(options) {}
+
+  /// Runs all four stages. After a successful run, `database()` holds the
+  /// relational artifacts and `lake()` the explorable corpus.
+  common::Result<Report> Run();
+
+  sql::Database& database() { return db_; }
+  exploration::MultiModalDataLake& lake() { return lake_; }
+
+ private:
+  Options options_;
+  sql::Database db_;
+  exploration::MultiModalDataLake lake_;
+};
+
+}  // namespace llmdm::core
+
+#endif  // LLMDM_CORE_PIPELINE_H_

@@ -1,0 +1,127 @@
+#ifndef LLMDM_CORE_TRANSFORM_COLUMN_PATTERN_H_
+#define LLMDM_CORE_TRANSFORM_COLUMN_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace llmdm::transform {
+
+/// --- Column pattern mining (Sec. II-B.3) ---------------------------------
+///
+/// A pattern is a token sequence over character classes; "Aug 14 2023" mines
+/// to `<letter>{3} <digit>{2} <digit>{4}` — the paper's example. Patterns
+/// generalize across a column's values and power both transformation
+/// synthesis and data-quality (drift) validation.
+
+struct PatternToken {
+  enum class Kind { kLiteral, kDigits, kLetters };
+  Kind kind = Kind::kLiteral;
+  std::string literal;   // kLiteral only
+  size_t min_len = 1;    // class tokens: observed length range
+  size_t max_len = 1;
+
+  bool operator==(const PatternToken&) const = default;
+};
+
+using Pattern = std::vector<PatternToken>;
+
+/// Tokenizes one value into its exact pattern (runs of digits / letters /
+/// single punctuation literals).
+Pattern ValuePattern(std::string_view value);
+
+/// Generalizes across all values: shared token structure with per-token
+/// length ranges. Fails if the values disagree on structure.
+common::Result<Pattern> MineColumnPattern(
+    const std::vector<std::string>& values);
+
+/// "<letter>{3} <digit>{1,2} <digit>{4}" rendering (paper notation).
+std::string PatternToString(const Pattern& pattern);
+
+/// Whether `value` structurally matches `pattern`.
+bool MatchesPattern(const Pattern& pattern, std::string_view value);
+
+/// --- Column transformation programs --------------------------------------
+///
+/// Synthesizes value-level reformatting programs from (source, target)
+/// example pairs: the joinable-columns problem ("Aug 14 2023" vs
+/// "8/14/2023"). Two program families cover the workloads: date reformatting
+/// between known formats, and token rearrangement (permutation + separator
+/// change, e.g. "Doe, John" -> "John Doe").
+
+enum class DateStyle {
+  kIso,         // 2023-08-14
+  kSlashMDY,    // 8/14/2023
+  kMonthDY,     // Aug 14 2023
+  kDMonthY,     // 14 Aug 2023
+};
+
+/// Detects the date style of a value, if any.
+common::Result<DateStyle> DetectDateStyle(std::string_view value);
+
+/// Reformats a date value (any recognized style) into `target` style.
+common::Result<std::string> ReformatDate(const std::string& value,
+                                         DateStyle target);
+
+/// A synthesized column transformation.
+class ColumnTransform {
+ public:
+  /// Learns a transform from aligned (source, target) examples. Tries date
+  /// reformatting first, then token rearrangement; fails if neither family
+  /// explains all examples.
+  static common::Result<ColumnTransform> Synthesize(
+      const std::vector<std::pair<std::string, std::string>>& examples);
+
+  /// Applies the learned program to a new value.
+  common::Result<std::string> Apply(const std::string& value) const;
+
+  /// Human-readable description ("date: month_d_y -> slash_mdy" or
+  /// "tokens: [1,0] sep=' '").
+  std::string Describe() const;
+
+ private:
+  enum class Family { kDate, kTokenRearrange };
+  Family family_ = Family::kDate;
+  // kDate
+  DateStyle from_style_ = DateStyle::kIso;
+  DateStyle to_style_ = DateStyle::kIso;
+  // kTokenRearrange
+  std::vector<size_t> permutation_;  // target token i = source token perm[i]
+  std::string separator_ = " ";
+};
+
+/// --- Pattern-based data-quality validation --------------------------------
+///
+/// Mines the reference column's pattern once, then scores fresh batches:
+/// the fraction of values still matching. A drop signals data/schema drift
+/// (Sec. II-B.3's data-quality application).
+class PatternValidator {
+ public:
+  /// `reference` is a clean sample of the column.
+  static common::Result<PatternValidator> FromReference(
+      const std::vector<std::string>& reference);
+
+  struct Report {
+    double match_rate = 1.0;
+    size_t checked = 0;
+    size_t mismatched = 0;
+    /// Set when match_rate fell below the drift threshold: the column's
+    /// format has changed and downstream models likely need retraining.
+    bool drifted = false;
+    std::vector<std::string> examples_of_mismatch;  // up to 5
+  };
+
+  Report Validate(const std::vector<std::string>& batch,
+                  double drift_threshold = 0.9) const;
+
+  const Pattern& pattern() const { return pattern_; }
+
+ private:
+  explicit PatternValidator(Pattern pattern) : pattern_(std::move(pattern)) {}
+  Pattern pattern_;
+};
+
+}  // namespace llmdm::transform
+
+#endif  // LLMDM_CORE_TRANSFORM_COLUMN_PATTERN_H_

@@ -1,0 +1,75 @@
+#ifndef LLMDM_CORE_TRANSFORM_TABLE_TRANSFORM_H_
+#define LLMDM_CORE_TRANSFORM_TABLE_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/json.h"
+#include "data/table.h"
+#include "data/xml.h"
+
+namespace llmdm::transform {
+
+/// --- Direct semi-structured -> relational (Fig. 4, left path) ------------
+///
+/// The "transform directly" approach of Sec. II-B.2: extract the schema from
+/// the document structure, then populate rows.
+
+/// XML whose root has repeated record children:
+/// <patients><patient id=..><name>..</name>..</patient>...</patients>.
+/// Columns = union of attributes and child-element tags across records;
+/// types are inferred. Missing fields become NULL.
+common::Result<data::Table> XmlToTable(const data::XmlNode& root);
+
+/// JSON array of objects. Nested objects flatten to dotted column names
+/// ("address.city"); missing keys become NULL; arrays-of-scalars serialize.
+common::Result<data::Table> JsonToTable(const data::JsonValue& array);
+
+/// --- Operator-synthesis relationalization (Fig. 4, right path) -----------
+///
+/// The "code synthesis" approach: find the operator sequence that turns a
+/// messy spreadsheet grid into a relational table, in the spirit of
+/// Auto-Tables [30]. The search is a beam search over operator programs
+/// scored by how relational the result looks; an LLM can seed the operator
+/// priors but the synthesis itself is deterministic.
+
+using Grid = std::vector<std::vector<std::string>>;
+
+enum class TableOp {
+  kPromoteHeader,    // first row becomes the header
+  kTranspose,
+  kFillDown,         // empty cells inherit the value above (merged cells)
+  kDropEmptyRows,
+  kDropEmptyColumns,
+  kUnpivot,          // wide->long: keep col 0 as key, melt remaining columns
+};
+
+std::string_view TableOpName(TableOp op);
+
+/// Applies one operator (pure; the input grid is not modified).
+Grid ApplyOp(const Grid& grid, TableOp op);
+
+/// How relational a grid is, in [0,1]: rewards a plausible header row,
+/// type-consistent columns, few empty cells, and more rows than columns.
+double RelationalScore(const Grid& grid);
+
+struct SynthesisResult {
+  std::vector<TableOp> program;
+  Grid transformed;
+  double score = 0.0;
+};
+
+/// Beam search over operator sequences (up to `max_depth` ops, beam width
+/// `beam_width`) maximizing RelationalScore.
+SynthesisResult SynthesizeRelationalization(const Grid& grid,
+                                            size_t beam_width = 8,
+                                            size_t max_depth = 4);
+
+/// Converts a grid whose first row is the header into a typed Table.
+common::Result<data::Table> GridToTable(const Grid& grid,
+                                        const std::string& name);
+
+}  // namespace llmdm::transform
+
+#endif  // LLMDM_CORE_TRANSFORM_TABLE_TRANSFORM_H_

@@ -1,0 +1,169 @@
+#include "core/validate/validators.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace llmdm::validate {
+
+Verdict SqlValidator::ValidateSyntax(const std::string& sql) {
+  auto parsed = sql::ParseStatement(sql);
+  if (!parsed.ok()) {
+    return Verdict{false, 0.0, parsed.status().ToString()};
+  }
+  return Verdict{true, 1.0, "parses"};
+}
+
+Verdict SqlValidator::ValidateExecutes(const std::string& sql,
+                                       sql::Database& db) {
+  auto result = db.Query(sql);
+  if (!result.ok()) {
+    return Verdict{false, 0.0, result.status().ToString()};
+  }
+  return Verdict{true, 1.0,
+                 common::StrFormat("executed, %zu rows", result->NumRows())};
+}
+
+Verdict SqlValidator::ValidateNonEmptyResult(const std::string& sql,
+                                             sql::Database& db) {
+  auto result = db.Query(sql);
+  if (!result.ok()) {
+    return Verdict{false, 0.0, result.status().ToString()};
+  }
+  if (result->NumRows() == 0) {
+    return Verdict{false, 0.3, "executed but returned no rows"};
+  }
+  return Verdict{true, 1.0,
+                 common::StrFormat("executed, %zu rows", result->NumRows())};
+}
+
+Verdict ValidateRowAgainstSchema(const std::string& serialized_row,
+                                 const data::Schema& schema) {
+  size_t matched = 0;
+  for (const std::string& part : common::Split(serialized_row, ';')) {
+    std::string_view kv = common::Trim(part);
+    if (kv.empty()) continue;
+    size_t pos = kv.find(" is ");
+    if (pos == std::string_view::npos) {
+      return Verdict{false, 0.0,
+                     "malformed field (expected 'name is value'): " +
+                         std::string(kv)};
+    }
+    std::string key(kv.substr(0, pos));
+    std::string value(common::Trim(kv.substr(pos + 4)));
+    auto col = schema.Find(key);
+    if (!col.has_value()) {
+      return Verdict{false, 0.0, "unknown column: " + key};
+    }
+    data::ColumnType type = schema.column(*col).type;
+    bool ok = true;
+    switch (type) {
+      case data::ColumnType::kInt64: {
+        int64_t v;
+        ok = common::ParseInt64(value, &v);
+        break;
+      }
+      case data::ColumnType::kDouble: {
+        double v;
+        ok = common::ParseDouble(value, &v);
+        break;
+      }
+      case data::ColumnType::kBool: {
+        std::string lower = common::ToLower(value);
+        ok = lower == "true" || lower == "false";
+        break;
+      }
+      default:
+        break;  // text accepts anything; dates arrive as text here
+    }
+    if (!ok) {
+      return Verdict{false, 0.0,
+                     common::StrFormat(
+                         "value '%s' does not fit column %s (%s)",
+                         value.c_str(), key.c_str(),
+                         std::string(data::ColumnTypeName(type)).c_str())};
+    }
+    ++matched;
+  }
+  if (matched == 0) {
+    return Verdict{false, 0.0, "no fields found"};
+  }
+  double coverage =
+      static_cast<double>(matched) / static_cast<double>(schema.size());
+  return Verdict{true, std::min(coverage, 1.0),
+                 common::StrFormat("%zu/%zu columns present", matched,
+                                   schema.size())};
+}
+
+common::Result<Verdict> SelfConsistencyValidator::Validate(
+    llm::LlmModel& model, const llm::Prompt& prompt,
+    llm::UsageMeter* meter) const {
+  std::map<std::string, size_t> votes;
+  for (size_t s = 0; s < samples_; ++s) {
+    llm::Prompt sampled = prompt;
+    sampled.sample_salt = prompt.sample_salt * 977 + s + 1;
+    LLMDM_ASSIGN_OR_RETURN(llm::Completion c,
+                           model.CompleteMetered(sampled, meter));
+    ++votes[c.text];
+  }
+  size_t best = 0;
+  std::string modal;
+  for (const auto& [answer, n] : votes) {
+    if (n > best) {
+      best = n;
+      modal = answer;
+    }
+  }
+  double agreement = static_cast<double>(best) /
+                     static_cast<double>(std::max<size_t>(1, samples_));
+  Verdict verdict;
+  verdict.score = agreement;
+  verdict.accepted = agreement >= min_agreement_;
+  verdict.reason = common::StrFormat("agreement %.2f on '%s'", agreement,
+                                     modal.substr(0, 48).c_str());
+  return verdict;
+}
+
+Verdict CrowdValidator::Judge(bool output_actually_correct) {
+  size_t say_correct = 0;
+  for (size_t w = 0; w < num_workers_; ++w) {
+    bool worker_right = rng_.Bernoulli(worker_accuracy_);
+    bool says_correct = worker_right == output_actually_correct;
+    if (says_correct) ++say_correct;
+  }
+  double fraction = num_workers_ == 0
+                        ? 0.0
+                        : static_cast<double>(say_correct) /
+                              static_cast<double>(num_workers_);
+  Verdict verdict;
+  verdict.accepted = fraction > 0.5;
+  verdict.score = fraction;
+  verdict.reason = common::StrFormat("%zu/%zu workers judged correct",
+                                     say_correct, num_workers_);
+  return verdict;
+}
+
+common::Result<std::vector<ExampleAttribution>> AttributeExamples(
+    llm::LlmModel& model, const llm::Prompt& prompt, llm::UsageMeter* meter) {
+  LLMDM_ASSIGN_OR_RETURN(llm::Completion base,
+                         model.CompleteMetered(prompt, meter));
+  std::vector<ExampleAttribution> out;
+  for (size_t i = 0; i < prompt.examples.size(); ++i) {
+    llm::Prompt ablated = prompt;
+    ablated.examples.erase(ablated.examples.begin() + static_cast<long>(i));
+    LLMDM_ASSIGN_OR_RETURN(llm::Completion c,
+                           model.CompleteMetered(ablated, meter));
+    ExampleAttribution attribution;
+    attribution.example_index = i;
+    attribution.answer_changed = c.text != base.text;
+    attribution.confidence_delta = base.confidence - c.confidence;
+    attribution.importance = (attribution.answer_changed ? 1.0 : 0.0) +
+                             std::max(0.0, attribution.confidence_delta);
+    out.push_back(attribution);
+  }
+  return out;
+}
+
+}  // namespace llmdm::validate

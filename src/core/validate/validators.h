@@ -1,0 +1,97 @@
+#ifndef LLMDM_CORE_VALIDATE_VALIDATORS_H_
+#define LLMDM_CORE_VALIDATE_VALIDATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+#include "llm/model.h"
+#include "sql/database.h"
+
+namespace llmdm::validate {
+
+/// Outcome of one validation check.
+struct Verdict {
+  bool accepted = false;
+  double score = 0.0;  // check-specific confidence in [0,1]
+  std::string reason;
+};
+
+/// Deterministic validators for LLM-produced SQL (Sec. III-E: data
+/// management outputs must be verified before use).
+class SqlValidator {
+ public:
+  /// Parses only.
+  static Verdict ValidateSyntax(const std::string& sql);
+  /// Parses and executes against `db`.
+  static Verdict ValidateExecutes(const std::string& sql, sql::Database& db);
+  /// Executes and additionally requires a non-empty result (useful when the
+  /// question presupposes existence).
+  static Verdict ValidateNonEmptyResult(const std::string& sql,
+                                        sql::Database& db);
+};
+
+/// Checks that a generated serialized row ("col is value; ...") conforms to
+/// `schema`: every key exists, every value parses as the column's type.
+Verdict ValidateRowAgainstSchema(const std::string& serialized_row,
+                                 const data::Schema& schema);
+
+/// Self-consistency validation: N independent samples of the same prompt;
+/// accept when the modal answer reaches `min_agreement`. The cheapest
+/// general-purpose uncertainty probe for black-box models.
+class SelfConsistencyValidator {
+ public:
+  SelfConsistencyValidator(size_t samples, double min_agreement)
+      : samples_(samples), min_agreement_(min_agreement) {}
+
+  common::Result<Verdict> Validate(llm::LlmModel& model,
+                                   const llm::Prompt& prompt,
+                                   llm::UsageMeter* meter = nullptr) const;
+
+ private:
+  size_t samples_;
+  double min_agreement_;
+};
+
+/// Simulated human-in-the-loop validation (Sec. III-E.2): `num_workers`
+/// crowd workers each judge the output correctly with probability
+/// `worker_accuracy`; majority vote decides. The simulation takes the ground
+/// truth so it can model worker noise; the calling experiment measures how
+/// often the crowd verdict matches that truth as worker quality / quorum
+/// size vary.
+class CrowdValidator {
+ public:
+  CrowdValidator(size_t num_workers, double worker_accuracy, uint64_t seed)
+      : num_workers_(num_workers),
+        worker_accuracy_(worker_accuracy),
+        rng_(seed) {}
+
+  Verdict Judge(bool output_actually_correct);
+
+ private:
+  size_t num_workers_;
+  double worker_accuracy_;
+  common::Rng rng_;
+};
+
+/// Leave-one-out attribution over a prompt's few-shot examples (the
+/// "interpretable LLMs" direction of Sec. III-E.1): importance of example i
+/// = answer-change indicator + confidence drop when i is removed. Costs
+/// examples+1 model calls.
+struct ExampleAttribution {
+  size_t example_index = 0;
+  bool answer_changed = false;
+  double confidence_delta = 0.0;  // base confidence - ablated confidence
+  double importance = 0.0;
+};
+
+common::Result<std::vector<ExampleAttribution>> AttributeExamples(
+    llm::LlmModel& model, const llm::Prompt& prompt,
+    llm::UsageMeter* meter = nullptr);
+
+}  // namespace llmdm::validate
+
+#endif  // LLMDM_CORE_VALIDATE_VALIDATORS_H_

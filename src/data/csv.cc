@@ -1,0 +1,241 @@
+#include "data/csv.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace llmdm::data {
+namespace {
+
+// One parsed CSV record.
+using Record = std::vector<std::string>;
+
+common::Result<std::vector<Record>> ParseRecords(std::string_view text,
+                                                 char delimiter) {
+  std::vector<Record> records;
+  Record current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+    } else if (c == delimiter) {
+      end_field();
+      ++i;
+    } else if (c == '\r') {
+      ++i;  // swallow; \n handles the record break
+    } else if (c == '\n') {
+      end_record();
+      ++i;
+    } else {
+      field.push_back(c);
+      field_started = true;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return common::Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (!field.empty() || !current.empty() || field_started) end_record();
+  return records;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  int64_t v;
+  return common::ParseInt64(s, &v);
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  double v;
+  return common::ParseDouble(s, &v);
+}
+
+bool LooksLikeBool(const std::string& s) {
+  std::string l = common::ToLower(s);
+  return l == "true" || l == "false";
+}
+
+}  // namespace
+
+bool ParseIsoDate(std::string_view text, Date* out) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return false;
+  auto digits = [](std::string_view s) {
+    for (char c : s)
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    return true;
+  };
+  if (!digits(text.substr(0, 4)) || !digits(text.substr(5, 2)) ||
+      !digits(text.substr(8, 2)))
+    return false;
+  int y = std::stoi(std::string(text.substr(0, 4)));
+  int m = std::stoi(std::string(text.substr(5, 2)));
+  int d = std::stoi(std::string(text.substr(8, 2)));
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  *out = Date{y, m, d};
+  return true;
+}
+
+common::Result<Table> ParseCsv(std::string_view text,
+                               const CsvOptions& options) {
+  LLMDM_ASSIGN_OR_RETURN(std::vector<Record> records,
+                         ParseRecords(text, options.delimiter));
+  if (records.empty()) {
+    return common::Status::InvalidArgument("empty CSV input");
+  }
+  size_t width = records[0].size();
+  for (const Record& r : records) {
+    if (r.size() != width) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "ragged CSV: expected %zu fields, found %zu", width, r.size()));
+    }
+  }
+  Schema schema;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    for (const std::string& name : records[0]) {
+      schema.AddColumn(Column{std::string(common::Trim(name)),
+                              ColumnType::kText, true});
+    }
+    first_data_row = 1;
+  } else {
+    for (size_t c = 0; c < width; ++c) {
+      schema.AddColumn(
+          Column{common::StrFormat("col%zu", c), ColumnType::kText, true});
+    }
+  }
+
+  // Type inference: a column gets the narrowest type that fits every
+  // non-empty cell.
+  std::vector<ColumnType> types(width, ColumnType::kText);
+  if (options.infer_types) {
+    for (size_t c = 0; c < width; ++c) {
+      bool all_int = true, all_double = true, all_bool = true, all_date = true;
+      bool any = false;
+      for (size_t r = first_data_row; r < records.size(); ++r) {
+        const std::string& cell = records[r][c];
+        if (cell.empty()) continue;
+        any = true;
+        all_int = all_int && LooksLikeInt(cell);
+        all_double = all_double && LooksLikeDouble(cell);
+        all_bool = all_bool && LooksLikeBool(cell);
+        Date d;
+        all_date = all_date && ParseIsoDate(cell, &d);
+      }
+      if (!any) continue;
+      if (all_bool)
+        types[c] = ColumnType::kBool;
+      else if (all_int)
+        types[c] = ColumnType::kInt64;
+      else if (all_double)
+        types[c] = ColumnType::kDouble;
+      else if (all_date)
+        types[c] = ColumnType::kDate;
+    }
+    for (size_t c = 0; c < width; ++c) {
+      schema.mutable_column(c)->type = types[c];
+    }
+  }
+
+  Table table("csv", schema);
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    Row row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      const std::string& cell = records[r][c];
+      if (cell.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ColumnType::kBool:
+          row.push_back(Value::Bool(common::ToLower(cell) == "true"));
+          break;
+        case ColumnType::kInt64: {
+          int64_t v = 0;
+          common::ParseInt64(cell, &v);
+          row.push_back(Value::Int(v));
+          break;
+        }
+        case ColumnType::kDouble: {
+          double v = 0;
+          common::ParseDouble(cell, &v);
+          row.push_back(Value::Real(v));
+          break;
+        }
+        case ColumnType::kDate: {
+          Date d;
+          ParseIsoDate(cell, &d);
+          row.push_back(Value::MakeDate(d));
+          break;
+        }
+        default:
+          row.push_back(Value::Text(cell));
+      }
+    }
+    LLMDM_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+std::string WriteCsv(const Table& table, char delimiter) {
+  auto quote = [delimiter](const std::string& s) {
+    bool needs = s.find(delimiter) != std::string::npos ||
+                 s.find('"') != std::string::npos ||
+                 s.find('\n') != std::string::npos;
+    if (!needs) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c > 0) out.push_back(delimiter);
+    out += quote(table.schema().column(c).name);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumColumns(); ++c) {
+      if (c > 0) out.push_back(delimiter);
+      const Value& v = table.at(r, c);
+      if (!v.is_null()) out += quote(v.ToString());
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace llmdm::data

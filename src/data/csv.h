@@ -1,0 +1,34 @@
+#ifndef LLMDM_DATA_CSV_H_
+#define LLMDM_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace llmdm::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line is a header row.
+  bool has_header = true;
+  /// Infer INT/DOUBLE/DATE/BOOL column types from the data; otherwise all
+  /// columns are TEXT.
+  bool infer_types = true;
+};
+
+/// Parses RFC-4180-style CSV (quoted fields, embedded quotes doubled,
+/// embedded newlines inside quotes) into a Table.
+common::Result<Table> ParseCsv(std::string_view text,
+                               const CsvOptions& options = CsvOptions{});
+
+/// Serializes a table to CSV with a header row, quoting where needed.
+std::string WriteCsv(const Table& table, char delimiter = ',');
+
+/// Parses "YYYY-MM-DD" into a Date.
+bool ParseIsoDate(std::string_view text, Date* out);
+
+}  // namespace llmdm::data
+
+#endif  // LLMDM_DATA_CSV_H_

@@ -1,0 +1,72 @@
+#ifndef LLMDM_DATA_JSON_H_
+#define LLMDM_DATA_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace llmdm::data {
+
+/// Minimal JSON document model. Objects preserve key insertion order (schema
+/// extraction from semi-structured documents depends on field order being
+/// stable).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& mutable_items() { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  void Set(std::string key, JsonValue v);
+  /// Returns nullptr when absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Compact serialization (no whitespace).
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Recursive-descent JSON parser (full string escapes, nested
+/// structures, numbers with exponents). Rejects trailing garbage.
+common::Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace llmdm::data
+
+#endif  // LLMDM_DATA_JSON_H_

@@ -1,0 +1,141 @@
+#include "data/qa_workload.h"
+
+#include "common/string_util.h"
+
+namespace llmdm::data {
+namespace {
+
+const char* const kFirstNames[] = {
+    "Alice",  "Bob",    "Carol",  "David",  "Erin",   "Frank",  "Grace",
+    "Henry",  "Iris",   "Jack",   "Karen",  "Liam",   "Mona",   "Noah",
+    "Olivia", "Peter",  "Quinn",  "Rose",   "Sam",    "Tina",   "Uma",
+    "Victor", "Wendy",  "Xander", "Yara",   "Zane",
+};
+const char* const kLastNames[] = {
+    "Adams",   "Baker",  "Chen",    "Diaz",   "Evans",  "Fischer", "Garcia",
+    "Hughes",  "Ibrahim","Jones",   "Kim",    "Lopez",  "Miller",  "Nguyen",
+    "Olsen",   "Patel",  "Quimby",  "Rossi",  "Smith",  "Tanaka",  "Ueda",
+    "Vargas",  "Wong",   "Xu",      "Yilmaz", "Zhang",
+};
+const char* const kRelations[] = {"advisor", "manager", "coauthor", "mentor",
+                                  "neighbor"};
+
+}  // namespace
+
+KnowledgeBase KnowledgeBase::Generate(size_t num_entities, common::Rng& rng) {
+  KnowledgeBase kb;
+  kb.relations_.assign(std::begin(kRelations), std::end(kRelations));
+  // Unique names: first-last pairs, suffixed if the pool is exhausted.
+  size_t pool = std::size(kFirstNames) * std::size(kLastNames);
+  for (size_t i = 0; i < num_entities; ++i) {
+    size_t pick = (i < pool) ? i : i % pool;
+    std::string name = std::string(kFirstNames[pick % std::size(kFirstNames)]) +
+                       " " + kLastNames[pick / std::size(kFirstNames) %
+                                        std::size(kLastNames)];
+    if (i >= pool) name += common::StrFormat(" %zu", i / pool + 1);
+    kb.entities_.push_back(std::move(name));
+  }
+  // Total functional relations: relation(subject) -> a random entity.
+  for (const std::string& rel : kb.relations_) {
+    for (const std::string& subject : kb.entities_) {
+      const std::string& object = kb.entities_[rng.NextBelow(kb.entities_.size())];
+      kb.facts_[{rel, subject}] = object;
+    }
+  }
+  return kb;
+}
+
+common::Result<std::string> KnowledgeBase::Lookup(
+    const std::string& relation, const std::string& subject) const {
+  auto it = facts_.find({relation, subject});
+  if (it == facts_.end()) {
+    return common::Status::NotFound("no fact " + relation + "(" + subject +
+                                    ")");
+  }
+  return it->second;
+}
+
+common::Result<std::string> KnowledgeBase::AnswerChain(
+    const std::vector<std::string>& chain, const std::string& subject) const {
+  std::string current = subject;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    LLMDM_ASSIGN_OR_RETURN(current, Lookup(*it, current));
+  }
+  return current;
+}
+
+std::string KnowledgeBase::Describe() const {
+  std::string out;
+  for (const auto& [key, object] : facts_) {
+    out += "The " + key.first + " of " + key.second + " is " + object + ".\n";
+  }
+  return out;
+}
+
+std::string RenderChainQuestion(const std::vector<std::string>& chain,
+                                const std::string& subject) {
+  std::string out = "Who is";
+  for (size_t i = 0; i < chain.size(); ++i) {
+    out += " the " + chain[i] + " of";
+  }
+  out += " " + subject + "?";
+  return out;
+}
+
+common::Result<std::pair<std::vector<std::string>, std::string>>
+ParseChainQuestion(const std::string& question) {
+  std::string_view rest = question;
+  if (!common::StartsWith(rest, "Who is ")) {
+    return common::Status::InvalidArgument("not a chain question: " + question);
+  }
+  rest.remove_prefix(7);
+  std::vector<std::string> chain;
+  while (common::StartsWith(rest, "the ")) {
+    rest.remove_prefix(4);
+    size_t of = rest.find(" of ");
+    if (of == std::string_view::npos) {
+      return common::Status::InvalidArgument("malformed chain question");
+    }
+    chain.emplace_back(rest.substr(0, of));
+    rest.remove_prefix(of + 4);
+  }
+  if (chain.empty() || rest.empty() || rest.back() != '?') {
+    return common::Status::InvalidArgument("malformed chain question");
+  }
+  rest.remove_suffix(1);
+  return std::make_pair(std::move(chain), std::string(rest));
+}
+
+std::vector<QaItem> GenerateQaWorkload(const KnowledgeBase& kb, size_t n,
+                                       const std::vector<double>& hop_weights,
+                                       common::Rng& rng) {
+  std::vector<QaItem> out;
+  double total_weight = 0;
+  for (double w : hop_weights) total_weight += w;
+  for (size_t i = 0; i < n; ++i) {
+    // Sample a hop count from the weight vector.
+    double u = rng.UniformDouble() * total_weight;
+    int hops = 1;
+    double acc = 0;
+    for (size_t h = 0; h < hop_weights.size(); ++h) {
+      acc += hop_weights[h];
+      if (u <= acc) {
+        hops = static_cast<int>(h) + 1;
+        break;
+      }
+    }
+    std::vector<std::string> chain;
+    for (int h = 0; h < hops; ++h) {
+      chain.push_back(rng.Choice(kb.relations()));
+    }
+    const std::string& subject = rng.Choice(kb.entities());
+    QaItem item;
+    item.question = RenderChainQuestion(chain, subject);
+    item.answer = kb.AnswerChain(chain, subject).value_or("");
+    item.hops = hops;
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace llmdm::data

@@ -1,0 +1,27 @@
+#include "data/schema.h"
+
+#include "common/string_util.h"
+
+namespace llmdm::data {
+
+std::optional<size_t> Schema::Find(std::string_view name) const {
+  std::string lowered = common::ToLower(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (common::ToLower(columns_[i].name) == lowered) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += ColumnTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  return out;
+}
+
+}  // namespace llmdm::data

@@ -1,0 +1,50 @@
+#ifndef LLMDM_DATA_SCHEMA_H_
+#define LLMDM_DATA_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace llmdm::data {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool nullable = true;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// Ordered list of columns with case-insensitive name lookup (SQL
+/// identifiers are case-insensitive).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Index of the column named `name` (case-insensitive), if present.
+  std::optional<size_t> Find(std::string_view name) const;
+
+  /// "name TYPE, name TYPE, ..." — used in prompts that describe schemas.
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace llmdm::data
+
+#endif  // LLMDM_DATA_SCHEMA_H_

@@ -1,0 +1,184 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace llmdm::data {
+namespace {
+
+bool TypeCompatible(ColumnType column_type, const Value& v) {
+  if (v.is_null()) return true;  // nullability checked separately
+  switch (column_type) {
+    case ColumnType::kBool:
+      return v.is_bool();
+    case ColumnType::kInt64:
+      return v.is_int();
+    case ColumnType::kDouble:
+      return v.is_numeric();
+    case ColumnType::kText:
+      return v.is_text();
+    case ColumnType::kDate:
+      return v.is_date();
+    case ColumnType::kNull:
+      return v.is_null();
+  }
+  return false;
+}
+
+}  // namespace
+
+common::Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.size()) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "table %s: row arity %zu != schema arity %zu", name_.c_str(),
+        row.size(), schema_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema_.column(i);
+    if (row[i].is_null() && !col.nullable) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "table %s: NULL in non-nullable column %s", name_.c_str(),
+          col.name.c_str()));
+    }
+    if (!TypeCompatible(col.type, row[i])) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "table %s: column %s expects %s, got %s", name_.c_str(),
+          col.name.c_str(), std::string(ColumnTypeName(col.type)).c_str(),
+          std::string(ColumnTypeName(row[i].type())).c_str()));
+    }
+    // Widen int literals stored into DOUBLE columns so the storage is
+    // uniformly typed.
+    if (col.type == ColumnType::kDouble && row[i].is_int()) {
+      row[i] = Value::Real(static_cast<double>(row[i].AsInt()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<Value>> Table::ColumnValues(
+    std::string_view name) const {
+  auto idx = schema_.Find(name);
+  if (!idx.has_value()) {
+    return common::Status::NotFound(
+        common::StrFormat("no column named %s", std::string(name).c_str()));
+  }
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[*idx]);
+  return out;
+}
+
+common::Result<Table> Table::Project(
+    const std::vector<std::string>& column_names) const {
+  std::vector<size_t> indices;
+  Schema projected;
+  for (const auto& name : column_names) {
+    auto idx = schema_.Find(name);
+    if (!idx.has_value()) {
+      return common::Status::NotFound(
+          common::StrFormat("no column named %s", name.c_str()));
+    }
+    indices.push_back(*idx);
+    projected.AddColumn(schema_.column(*idx));
+  }
+  Table out(name_, std::move(projected));
+  for (const Row& r : rows_) {
+    Row pr;
+    pr.reserve(indices.size());
+    for (size_t idx : indices) pr.push_back(r[idx]);
+    out.AppendRowUnchecked(std::move(pr));
+  }
+  return out;
+}
+
+bool Table::BagEquals(const Table& other) const {
+  if (NumColumns() != other.NumColumns()) return false;
+  if (NumRows() != other.NumRows()) return false;
+  auto sorted_rows = [](const Table& t) {
+    std::vector<Row> rs = t.rows();
+    std::sort(rs.begin(), rs.end(), [](const Row& a, const Row& b) {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        if (a[i] < b[i]) return true;
+        if (b[i] < a[i]) return false;
+      }
+      return a.size() < b.size();
+    });
+    return rs;
+  };
+  std::vector<Row> a = sorted_rows(*this);
+  std::vector<Row> b = sorted_rows(other);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (!(a[i][j] == b[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Table::BagHash() const {
+  // XOR of per-row hashes is order-insensitive; row hash chains cell hashes.
+  uint64_t acc = 0x7461626CULL ^ (NumColumns() * 0x9E3779B97F4A7C15ULL);
+  for (const Row& r : rows_) {
+    uint64_t rh = 0x726F77ULL;
+    for (const Value& v : r) rh = common::HashCombine(rh, v.Hash());
+    acc ^= rh * 0xC4CEB9FE1A85EC53ULL;
+  }
+  return acc;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.size());
+  for (size_t i = 0; i < schema_.size(); ++i)
+    widths[i] = schema_.column(i).name.size();
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.size());
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto pad = [](const std::string& s, size_t w) {
+    std::string p = s;
+    p.resize(w, ' ');
+    return p;
+  };
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    out += pad(schema_.column(c).name, widths[c]);
+    out += (c + 1 == schema_.size()) ? "\n" : " | ";
+  }
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    out += std::string(widths[c], '-');
+    out += (c + 1 == schema_.size()) ? "\n" : "-+-";
+  }
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      out += pad(cells[r][c], widths[c]);
+      out += (c + 1 == schema_.size()) ? "\n" : " | ";
+    }
+  }
+  if (shown < rows_.size()) {
+    out += common::StrFormat("... (%zu more rows)\n", rows_.size() - shown);
+  }
+  return out;
+}
+
+std::string Table::SerializeRowAsText(size_t row_index) const {
+  std::string out;
+  const Row& r = rows_[row_index];
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (c > 0) out += "; ";
+    out += schema_.column(c).name;
+    out += " is ";
+    out += r[c].ToString();
+  }
+  return out;
+}
+
+}  // namespace llmdm::data

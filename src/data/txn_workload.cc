@@ -1,0 +1,113 @@
+#include "data/txn_workload.h"
+
+#include "common/string_util.h"
+
+namespace llmdm::data {
+
+std::string RenderTxnRequest(const TxnRequest& request) {
+  std::string out;
+  for (size_t i = 0; i < request.transfers.size(); ++i) {
+    const TransferSpec& t = request.transfers[i];
+    if (i > 0) out += " Then transfer ";
+    else out += "Transfer ";
+    out += common::StrFormat("%lld dollars from %s to %s.",
+                             (long long)t.amount, t.from.c_str(),
+                             t.to.c_str());
+  }
+  return out;
+}
+
+common::Result<TxnRequest> ParseTxnRequest(const std::string& text) {
+  TxnRequest request;
+  std::string_view rest = text;
+  for (;;) {
+    rest = common::Trim(rest);
+    if (rest.empty()) break;
+    for (std::string_view prefix :
+         {std::string_view("Then transfer "), std::string_view("Transfer "),
+          std::string_view("transfer ")}) {
+      if (common::StartsWith(rest, prefix)) {
+        rest.remove_prefix(prefix.size());
+        break;
+      }
+    }
+    size_t dollars = rest.find(" dollars from ");
+    if (dollars == std::string_view::npos) {
+      return common::Status::InvalidArgument("not a transfer request: " +
+                                             text);
+    }
+    TransferSpec t;
+    if (!common::ParseInt64(rest.substr(0, dollars), &t.amount)) {
+      return common::Status::InvalidArgument("bad amount in: " + text);
+    }
+    rest.remove_prefix(dollars + std::string_view(" dollars from ").size());
+    size_t to = rest.find(" to ");
+    if (to == std::string_view::npos) {
+      return common::Status::InvalidArgument("missing recipient in: " + text);
+    }
+    t.from = std::string(rest.substr(0, to));
+    rest.remove_prefix(to + 4);
+    size_t period = rest.find('.');
+    if (period == std::string_view::npos) {
+      return common::Status::InvalidArgument("missing '.' in: " + text);
+    }
+    t.to = std::string(rest.substr(0, period));
+    rest.remove_prefix(period + 1);
+    request.transfers.push_back(std::move(t));
+  }
+  if (request.transfers.empty()) {
+    return common::Status::InvalidArgument("no transfers found in: " + text);
+  }
+  return request;
+}
+
+std::vector<std::string> TxnToSql(const TxnRequest& request) {
+  std::vector<std::string> out;
+  for (const TransferSpec& t : request.transfers) {
+    out.push_back(common::StrFormat(
+        "UPDATE accounts SET balance = balance - %lld WHERE owner = '%s'",
+        (long long)t.amount, t.from.c_str()));
+    out.push_back(common::StrFormat(
+        "UPDATE accounts SET balance = balance + %lld WHERE owner = '%s'",
+        (long long)t.amount, t.to.c_str()));
+    out.push_back(common::StrFormat(
+        "INSERT INTO transfers (sender, receiver, amount) VALUES "
+        "('%s', '%s', %lld)",
+        t.from.c_str(), t.to.c_str(), (long long)t.amount));
+  }
+  return out;
+}
+
+std::string BuildAccountsDatabaseScript(const std::vector<std::string>& owners,
+                                        int64_t initial_balance) {
+  std::string sql =
+      "CREATE TABLE accounts (owner TEXT PRIMARY KEY, balance INT);\n"
+      "CREATE TABLE transfers (sender TEXT, receiver TEXT, amount INT);\n";
+  for (const std::string& owner : owners) {
+    sql += common::StrFormat("INSERT INTO accounts VALUES ('%s', %lld);\n",
+                             owner.c_str(), (long long)initial_balance);
+  }
+  return sql;
+}
+
+std::vector<TxnRequest> GenerateTxnWorkload(
+    size_t n, const std::vector<std::string>& owners, common::Rng& rng) {
+  std::vector<TxnRequest> out;
+  for (size_t i = 0; i < n; ++i) {
+    TxnRequest request;
+    int64_t transfers = rng.UniformInt(1, 3);
+    for (int64_t t = 0; t < transfers; ++t) {
+      TransferSpec spec;
+      spec.from = owners[rng.NextBelow(owners.size())];
+      do {
+        spec.to = owners[rng.NextBelow(owners.size())];
+      } while (spec.to == spec.from && owners.size() > 1);
+      spec.amount = rng.UniformInt(1, 50) * 10;
+      request.transfers.push_back(std::move(spec));
+    }
+    out.push_back(std::move(request));
+  }
+  return out;
+}
+
+}  // namespace llmdm::data

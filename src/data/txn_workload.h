@@ -1,0 +1,51 @@
+#ifndef LLMDM_DATA_TXN_WORKLOAD_H_
+#define LLMDM_DATA_TXN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace llmdm::data {
+
+/// One money movement in an NL2Transaction request (the paper's Alice buys a
+/// laptop from Bob + freight example, Sec. II-B.1).
+struct TransferSpec {
+  std::string from;
+  std::string to;
+  int64_t amount = 0;  // whole dollars
+
+  bool operator==(const TransferSpec&) const = default;
+};
+
+/// A multi-step payment request that must execute atomically.
+struct TxnRequest {
+  std::vector<TransferSpec> transfers;
+
+  bool operator==(const TxnRequest&) const = default;
+};
+
+/// Canonical NL: "Transfer 1000 dollars from Alice to Bob. Then transfer 5
+/// dollars from Bob to Express.".
+std::string RenderTxnRequest(const TxnRequest& request);
+
+/// Inverse of RenderTxnRequest.
+common::Result<TxnRequest> ParseTxnRequest(const std::string& text);
+
+/// The SQL statement sequence implementing the request over
+/// accounts(owner TEXT, balance INT): debit, credit and a ledger INSERT per
+/// transfer. Must run inside one transaction.
+std::vector<std::string> TxnToSql(const TxnRequest& request);
+
+/// DDL + seed balances for the accounts schema.
+std::string BuildAccountsDatabaseScript(const std::vector<std::string>& owners,
+                                        int64_t initial_balance);
+
+/// Random multi-transfer requests over `owners` (1-3 transfers each).
+std::vector<TxnRequest> GenerateTxnWorkload(
+    size_t n, const std::vector<std::string>& owners, common::Rng& rng);
+
+}  // namespace llmdm::data
+
+#endif  // LLMDM_DATA_TXN_WORKLOAD_H_

@@ -1,0 +1,267 @@
+#include "data/xml.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace llmdm::data {
+
+const XmlNode* XmlNode::FindChild(std::string_view child_tag) const {
+  for (const auto& c : children) {
+    if (c->tag == child_tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindChildren(
+    std::string_view child_tag) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->tag == child_tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string_view XmlNode::Attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+namespace {
+
+void EscapeInto(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        *out += "&lt;";
+        break;
+      case '>':
+        *out += "&gt;";
+        break;
+      case '&':
+        *out += "&amp;";
+        break;
+      case '"':
+        *out += "&quot;";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void SerializeInto(const XmlNode& node, std::string* out, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->push_back('<');
+  *out += node.tag;
+  for (const auto& [k, v] : node.attributes) {
+    out->push_back(' ');
+    *out += k;
+    *out += "=\"";
+    EscapeInto(v, out);
+    out->push_back('"');
+  }
+  std::string_view trimmed = common::Trim(node.text);
+  if (node.children.empty() && trimmed.empty()) {
+    *out += "/>\n";
+    return;
+  }
+  out->push_back('>');
+  if (!trimmed.empty()) {
+    EscapeInto(trimmed, out);
+  }
+  if (!node.children.empty()) {
+    out->push_back('\n');
+    for (const auto& c : node.children) SerializeInto(*c, out, depth + 1);
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  *out += "</";
+  *out += node.tag;
+  *out += ">\n";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  common::Result<std::unique_ptr<XmlNode>> Parse() {
+    SkipProlog();
+    LLMDM_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseElement());
+    SkipWsAndComments();
+    if (pos_ != text_.size()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "XML: trailing characters at offset %zu", pos_));
+    }
+    return root;
+  }
+
+ private:
+  common::Status Error(const std::string& what) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "XML parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool SkipComment() {
+    if (text_.substr(pos_, 4) == "<!--") {
+      size_t end = text_.find("-->", pos_ + 4);
+      pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWsAndComments() {
+    for (;;) {
+      SkipWs();
+      if (!SkipComment()) return;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWs();
+    if (text_.substr(pos_, 5) == "<?xml") {
+      size_t end = text_.find("?>", pos_);
+      pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+    }
+    SkipWsAndComments();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string DecodeEntities(std::string_view s) {
+    std::string out;
+    for (size_t i = 0; i < s.size();) {
+      if (s[i] == '&') {
+        if (s.substr(i, 4) == "&lt;") {
+          out.push_back('<');
+          i += 4;
+          continue;
+        }
+        if (s.substr(i, 4) == "&gt;") {
+          out.push_back('>');
+          i += 4;
+          continue;
+        }
+        if (s.substr(i, 5) == "&amp;") {
+          out.push_back('&');
+          i += 5;
+          continue;
+        }
+        if (s.substr(i, 6) == "&quot;") {
+          out.push_back('"');
+          i += 6;
+          continue;
+        }
+        if (s.substr(i, 6) == "&apos;") {
+          out.push_back('\'');
+          i += 6;
+          continue;
+        }
+      }
+      out.push_back(s[i]);
+      ++i;
+    }
+    return out;
+  }
+
+  common::Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Error("expected '<'");
+    }
+    ++pos_;
+    auto node = std::make_unique<XmlNode>();
+    node->tag = ParseName();
+    if (node->tag.empty()) return Error("empty tag name");
+    // Attributes.
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size()) return Error("unterminated start tag");
+      if (text_[pos_] == '/') {
+        if (text_.substr(pos_, 2) != "/>") return Error("bad empty-tag close");
+        pos_ += 2;
+        return node;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      std::string name = ParseName();
+      if (name.empty()) return Error("bad attribute name");
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '=')
+        return Error("expected '=' after attribute name");
+      ++pos_;
+      SkipWs();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\''))
+        return Error("expected quoted attribute value");
+      char quote = text_[pos_++];
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (pos_ >= text_.size()) return Error("unterminated attribute value");
+      node->attributes.emplace_back(
+          std::move(name), DecodeEntities(text_.substr(start, pos_ - start)));
+      ++pos_;
+    }
+    // Content.
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated element");
+      if (SkipComment()) continue;
+      if (text_[pos_] == '<') {
+        if (text_.substr(pos_, 2) == "</") {
+          pos_ += 2;
+          std::string closing = ParseName();
+          if (closing != node->tag) {
+            return Error(common::StrFormat("mismatched closing tag %s for %s",
+                                           closing.c_str(),
+                                           node->tag.c_str()));
+          }
+          SkipWs();
+          if (pos_ >= text_.size() || text_[pos_] != '>')
+            return Error("expected '>' in closing tag");
+          ++pos_;
+          return node;
+        }
+        LLMDM_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> child, ParseElement());
+        node->children.push_back(std::move(child));
+      } else {
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+        node->text += DecodeEntities(text_.substr(start, pos_ - start));
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string XmlNode::ToString() const {
+  std::string out;
+  SerializeInto(*this, &out, 0);
+  return out;
+}
+
+common::Result<std::unique_ptr<XmlNode>> ParseXml(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace llmdm::data

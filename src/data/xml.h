@@ -1,0 +1,39 @@
+#ifndef LLMDM_DATA_XML_H_
+#define LLMDM_DATA_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace llmdm::data {
+
+/// A parsed XML element: tag, attributes, text content (concatenated
+/// character data) and child elements in document order.
+struct XmlNode {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  /// First child with the given tag, or nullptr.
+  const XmlNode* FindChild(std::string_view child_tag) const;
+  /// All children with the given tag.
+  std::vector<const XmlNode*> FindChildren(std::string_view child_tag) const;
+  /// Attribute value, or empty string when absent.
+  std::string_view Attribute(std::string_view name) const;
+
+  /// Serializes back to XML (entities escaped).
+  std::string ToString() const;
+};
+
+/// Parses a well-formed XML document (elements, attributes, character data,
+/// comments, XML declaration, entity references &amp; &lt; &gt; &quot;
+/// &apos;). No namespaces/DTD — the transformation workloads don't use them.
+common::Result<std::unique_ptr<XmlNode>> ParseXml(std::string_view text);
+
+}  // namespace llmdm::data
+
+#endif  // LLMDM_DATA_XML_H_

@@ -1,0 +1,81 @@
+#include "embed/embedder.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "text/tokenizer.h"
+
+namespace llmdm::embed {
+
+float CosineSimilarity(const Vector& a, const Vector& b) {
+  float dot = 0, na = 0, nb = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  for (size_t i = n; i < a.size(); ++i) na += a[i] * a[i];
+  for (size_t i = n; i < b.size(); ++i) nb += b[i] * b[i];
+  if (na == 0 || nb == 0) return 0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+float L2DistanceSquared(const Vector& a, const Vector& b) {
+  float acc = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  for (size_t i = n; i < a.size(); ++i) acc += a[i] * a[i];
+  for (size_t i = n; i < b.size(); ++i) acc += b[i] * b[i];
+  return acc;
+}
+
+float DotProduct(const Vector& a, const Vector& b) {
+  float acc = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void L2Normalize(Vector* v) {
+  float norm = 0;
+  for (float x : *v) norm += x * x;
+  if (norm == 0) return;
+  norm = std::sqrt(norm);
+  for (float& x : *v) x /= norm;
+}
+
+Vector HashingEmbedder::Embed(std::string_view text) const {
+  Vector v(options_.dimension, 0.0f);
+  auto add_feature = [&](std::string_view feature, float weight) {
+    uint64_t h = common::Fnv1a(feature, options_.seed);
+    size_t bucket = h % options_.dimension;
+    // One independent bit decides the sign so that colliding features cancel
+    // rather than pile up (standard signed feature hashing).
+    float sign = ((h >> 61) & 1) ? 1.0f : -1.0f;
+    v[bucket] += sign * weight;
+  };
+
+  text::Tokenizer::Options tok_options;
+  tok_options.lowercase = true;
+  text::Tokenizer tokenizer(tok_options);
+  for (const std::string& token : tokenizer.Tokenize(text)) {
+    add_feature("w:" + token, options_.word_weight);
+  }
+  for (size_t n : {3u, 4u}) {
+    for (const std::string& gram : text::CharNgrams(text, n)) {
+      add_feature("g:" + gram, 1.0f);
+    }
+  }
+  L2Normalize(&v);
+  return v;
+}
+
+float HashingEmbedder::Similarity(std::string_view a, std::string_view b) const {
+  return CosineSimilarity(Embed(a), Embed(b));
+}
+
+}  // namespace llmdm::embed

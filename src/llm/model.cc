@@ -1,0 +1,37 @@
+#include "llm/model.h"
+
+namespace llmdm::llm {
+
+common::Result<Completion> LlmModel::CompleteMetered(const Prompt& prompt,
+                                                     UsageMeter* meter) {
+  auto result = Complete(prompt);
+  if (result.ok() && meter != nullptr) {
+    meter->Record(result->model, result->input_tokens, result->output_tokens,
+                  result->cost, result->latency_ms);
+  }
+  return result;
+}
+
+std::vector<ModelSpec> PaperModelSpecs() {
+  std::vector<ModelSpec> specs(3);
+  specs[0].name = "sim-babbage-002";
+  specs[0].capability = 0.35;
+  specs[0].input_price_per_1k = common::Money::FromDollars(0.0004);
+  specs[0].output_price_per_1k = common::Money::FromDollars(0.0004);
+  specs[0].latency_ms_per_1k_tokens = 150.0;
+
+  specs[1].name = "sim-gpt-3.5-turbo";
+  specs[1].capability = 0.72;
+  specs[1].input_price_per_1k = common::Money::FromDollars(0.001);
+  specs[1].output_price_per_1k = common::Money::FromDollars(0.002);
+  specs[1].latency_ms_per_1k_tokens = 400.0;
+
+  specs[2].name = "sim-gpt-4";
+  specs[2].capability = 0.95;
+  specs[2].input_price_per_1k = common::Money::FromDollars(0.03);
+  specs[2].output_price_per_1k = common::Money::FromDollars(0.06);
+  specs[2].latency_ms_per_1k_tokens = 1200.0;
+  return specs;
+}
+
+}  // namespace llmdm::llm

@@ -1,0 +1,63 @@
+#ifndef LLMDM_LLM_MODEL_H_
+#define LLMDM_LLM_MODEL_H_
+
+#include <string>
+
+#include "common/money.h"
+#include "common/result.h"
+#include "llm/prompt.h"
+#include "llm/usage.h"
+
+namespace llmdm::llm {
+
+/// Static description of a model tier: how capable it is and what it costs.
+/// The prices of the paper's three tiers (Sec. III-B.1 quotes GPT-3.5-Turbo
+/// at $0.001/1k input tokens and GPT-4 at $0.03/1k) are reproduced in
+/// PaperModelSpecs().
+struct ModelSpec {
+  std::string name;
+  /// Abstract capability in [0,1]; drives the simulated accuracy curve
+  /// (see skills.h for the capability->accuracy mapping).
+  double capability = 0.5;
+  common::Money input_price_per_1k;
+  common::Money output_price_per_1k;
+  /// Simulated wall-clock per 1k tokens processed (bigger models are slower).
+  double latency_ms_per_1k_tokens = 500.0;
+};
+
+/// One completion returned by a model.
+struct Completion {
+  std::string text;
+  /// The model's own estimate that `text` is correct, in [0,1]. Real systems
+  /// derive this from logprobs; cascades (Fig. 6) consume it.
+  double confidence = 0.5;
+  size_t input_tokens = 0;
+  size_t output_tokens = 0;
+  common::Money cost;
+  double latency_ms = 0.0;
+  std::string model;
+};
+
+/// Abstract LLM endpoint. The library is written against this interface so a
+/// real HTTP-backed client could be dropped in; this repo ships SimulatedLlm.
+class LlmModel {
+ public:
+  virtual ~LlmModel() = default;
+
+  virtual const ModelSpec& spec() const = 0;
+  const std::string& name() const { return spec().name; }
+
+  virtual common::Result<Completion> Complete(const Prompt& prompt) = 0;
+
+  /// Complete() plus usage metering (meter may be null).
+  common::Result<Completion> CompleteMetered(const Prompt& prompt,
+                                             UsageMeter* meter);
+};
+
+/// The three model tiers the paper benchmarks (Table I): sim-babbage-002,
+/// sim-gpt-3.5-turbo, sim-gpt-4, with the paper's quoted prices.
+std::vector<ModelSpec> PaperModelSpecs();
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_MODEL_H_

@@ -1,0 +1,32 @@
+#include "llm/prompt.h"
+
+#include "text/tokenizer.h"
+
+namespace llmdm::llm {
+
+std::string Prompt::Render() const {
+  std::string out;
+  if (!system.empty()) {
+    out += "[system] " + system + "\n";
+  }
+  if (!instructions.empty()) {
+    out += "[task] " + instructions + "\n";
+  }
+  for (const FewShotExample& ex : examples) {
+    out += "[example] input: " + ex.input + "\n[example] output: " + ex.output +
+           "\n";
+  }
+  out += "[input] " + input + "\n";
+  return out;
+}
+
+size_t Prompt::CountInputTokens() const { return text::CountTokens(Render()); }
+
+Prompt MakePrompt(std::string task_tag, std::string input) {
+  Prompt p;
+  p.task_tag = std::move(task_tag);
+  p.input = std::move(input);
+  return p;
+}
+
+}  // namespace llmdm::llm

@@ -1,0 +1,52 @@
+#ifndef LLMDM_LLM_PROMPT_H_
+#define LLMDM_LLM_PROMPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llmdm::llm {
+
+/// One in-context example ("few-shot" demonstration).
+struct FewShotExample {
+  std::string input;
+  std::string output;
+
+  bool operator==(const FewShotExample&) const = default;
+};
+
+/// A structured prompt. The structure mirrors how real LLM applications
+/// assemble prompts (system + task instructions + demonstrations + input);
+/// keeping the parts separate is what lets the query-combination optimizer
+/// deduplicate shared examples (Sec. III-B.1) and lets cost metering count
+/// exactly the tokens that would be billed.
+struct Prompt {
+  /// Routes the simulated model to a task skill ("qa", "nl2sql",
+  /// "tabular_predict", "tabular_generate", "sql2nl", "freeform", ...). A
+  /// hosted LLM infers the task from the text; the simulator makes the task
+  /// explicit so that behaviour is deterministic and testable.
+  std::string task_tag = "freeform";
+
+  std::string system;
+  std::string instructions;
+  std::vector<FewShotExample> examples;
+  std::string input;
+
+  /// Sampling salt: completions with different salts are independent draws
+  /// (the simulator's analogue of temperature>0 sampling), which is what
+  /// self-consistency confidence estimation needs.
+  uint64_t sample_salt = 0;
+
+  /// Full prompt text as it would be sent over the wire.
+  std::string Render() const;
+
+  /// Token count of Render() (the billed input size).
+  size_t CountInputTokens() const;
+};
+
+/// Builder-style convenience for one-liner prompt construction.
+Prompt MakePrompt(std::string task_tag, std::string input);
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_PROMPT_H_

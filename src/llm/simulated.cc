@@ -1,0 +1,80 @@
+#include "llm/simulated.h"
+
+#include "common/hash.h"
+#include "text/tokenizer.h"
+
+namespace llmdm::llm {
+
+void SimulatedLlm::RegisterSkill(std::unique_ptr<Skill> skill) {
+  std::string tag(skill->tag());
+  skills_[tag] = std::move(skill);
+}
+
+common::Result<Completion> SimulatedLlm::Complete(const Prompt& prompt) {
+  auto it = skills_.find(prompt.task_tag);
+  Skill* skill;
+  if (it != skills_.end()) {
+    skill = it->second.get();
+  } else {
+    auto fallback = skills_.find("freeform");
+    if (fallback == skills_.end()) {
+      return common::Status::Unimplemented("no skill for task tag '" +
+                                           prompt.task_tag + "'");
+    }
+    skill = fallback->second.get();
+  }
+
+  // Deterministic per-call noise stream: same (model, prompt, salt) -> same
+  // draw; different salts -> independent draws.
+  uint64_t h = common::Fnv1a(spec_.name, seed_);
+  h = common::HashCombine(h, common::Fnv1a(prompt.input));
+  h = common::HashCombine(h, common::Fnv1a(prompt.instructions));
+  h = common::HashCombine(h, prompt.sample_salt);
+  common::Rng rng(h);
+
+  SkillContext ctx;
+  ctx.capability = spec_.capability;
+  ctx.rng = &rng;
+  LLMDM_ASSIGN_OR_RETURN(SkillOutput out, skill->Run(prompt, ctx));
+
+  Completion completion;
+  completion.text = std::move(out.text);
+  completion.confidence = out.confidence;
+  completion.model = spec_.name;
+  completion.input_tokens = prompt.CountInputTokens();
+  completion.output_tokens = text::CountTokens(completion.text);
+  auto price = [](common::Money per_1k, size_t tokens) {
+    return common::Money::FromMicros(per_1k.micros() *
+                                     static_cast<int64_t>(tokens) / 1000);
+  };
+  completion.cost = price(spec_.input_price_per_1k, completion.input_tokens) +
+                    price(spec_.output_price_per_1k, completion.output_tokens);
+  completion.latency_ms =
+      spec_.latency_ms_per_1k_tokens *
+      static_cast<double>(completion.input_tokens + completion.output_tokens) /
+      1000.0;
+  return completion;
+}
+
+std::vector<std::shared_ptr<LlmModel>> CreatePaperModelLadder(
+    const data::KnowledgeBase* kb, uint64_t seed) {
+  std::vector<std::shared_ptr<LlmModel>> out;
+  for (const ModelSpec& spec : PaperModelSpecs()) {
+    auto model = std::make_shared<SimulatedLlm>(spec, seed);
+    if (kb != nullptr) {
+      model->RegisterSkill(std::make_unique<QaSkill>(kb));
+    }
+    model->RegisterSkill(std::make_unique<Nl2SqlSkill>());
+    model->RegisterSkill(std::make_unique<Nl2TxnSkill>());
+    model->RegisterSkill(std::make_unique<MatchSkill>());
+    model->RegisterSkill(std::make_unique<CtaSkill>());
+    model->RegisterSkill(std::make_unique<TabularPredictSkill>());
+    model->RegisterSkill(std::make_unique<TabularGenerateSkill>());
+    model->RegisterSkill(std::make_unique<Sql2NlSkill>());
+    model->RegisterSkill(std::make_unique<FreeformSkill>());
+    out.push_back(std::move(model));
+  }
+  return out;
+}
+
+}  // namespace llmdm::llm

@@ -1,0 +1,51 @@
+#ifndef LLMDM_LLM_SIMULATED_H_
+#define LLMDM_LLM_SIMULATED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "llm/model.h"
+#include "llm/skills.h"
+
+namespace llmdm::llm {
+
+/// Deterministic simulated LLM endpoint (the repo's substitute for the
+/// OpenAI models the paper calls — see DESIGN.md §2 for why the substitution
+/// preserves the experiments' behaviour).
+///
+/// A completion is produced by routing the prompt to a registered Skill and
+/// metering tokens/cost/latency from the rendered prompt and the skill's
+/// output. All stochasticity is hashed from
+/// (model name, service seed, prompt input, sample_salt), so:
+///  - the same call twice returns byte-identical completions (cache-friendly);
+///  - different sample_salts are independent draws (self-consistency works);
+///  - two model tiers disagree in capability, not in randomness.
+class SimulatedLlm : public LlmModel {
+ public:
+  SimulatedLlm(ModelSpec spec, uint64_t seed)
+      : spec_(std::move(spec)), seed_(seed) {}
+
+  const ModelSpec& spec() const override { return spec_; }
+
+  /// Registers a skill; prompts with task_tag == skill->tag() route to it.
+  void RegisterSkill(std::unique_ptr<Skill> skill);
+
+  common::Result<Completion> Complete(const Prompt& prompt) override;
+
+ private:
+  ModelSpec spec_;
+  uint64_t seed_;
+  std::map<std::string, std::unique_ptr<Skill>, std::less<>> skills_;
+};
+
+/// A ready-to-use ladder of the paper's three model tiers, each equipped
+/// with the full skill set. `kb` (may be null) enables the QA skill and must
+/// outlive the models.
+std::vector<std::shared_ptr<LlmModel>> CreatePaperModelLadder(
+    const data::KnowledgeBase* kb, uint64_t seed);
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_SIMULATED_H_

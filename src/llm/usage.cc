@@ -1,0 +1,33 @@
+#include "llm/usage.h"
+
+#include "common/string_util.h"
+
+namespace llmdm::llm {
+
+void UsageMeter::Record(const std::string& model, size_t input_tokens,
+                        size_t output_tokens, common::Money cost,
+                        double latency_ms) {
+  auto bump = [&](Totals& t) {
+    ++t.calls;
+    t.input_tokens += input_tokens;
+    t.output_tokens += output_tokens;
+    t.cost += cost;
+    t.latency_ms += latency_ms;
+  };
+  bump(totals_);
+  bump(by_model_[model]);
+}
+
+void UsageMeter::Reset() {
+  totals_ = Totals{};
+  by_model_.clear();
+}
+
+std::string UsageMeter::ToString() const {
+  return common::StrFormat(
+      "calls=%zu in=%zu out=%zu cost=%s latency=%.1fms", totals_.calls,
+      totals_.input_tokens, totals_.output_tokens,
+      totals_.cost.ToString(4).c_str(), totals_.latency_ms);
+}
+
+}  // namespace llmdm::llm

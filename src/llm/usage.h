@@ -1,0 +1,45 @@
+#ifndef LLMDM_LLM_USAGE_H_
+#define LLMDM_LLM_USAGE_H_
+
+#include <map>
+#include <string>
+
+#include "common/money.h"
+
+namespace llmdm::llm {
+
+/// Aggregated API usage: calls, tokens, dollars, simulated latency. Every
+/// experiment's "API Cost" row comes out of one of these.
+class UsageMeter {
+ public:
+  struct Totals {
+    size_t calls = 0;
+    size_t input_tokens = 0;
+    size_t output_tokens = 0;
+    common::Money cost;
+    double latency_ms = 0.0;
+  };
+
+  void Record(const std::string& model, size_t input_tokens,
+              size_t output_tokens, common::Money cost, double latency_ms);
+
+  const Totals& totals() const { return totals_; }
+  common::Money cost() const { return totals_.cost; }
+  size_t calls() const { return totals_.calls; }
+
+  /// Per-model breakdown (model name -> totals).
+  const std::map<std::string, Totals>& by_model() const { return by_model_; }
+
+  void Reset();
+
+  /// "calls=12 in=3456 out=789 cost=$0.123 latency=456.7ms".
+  std::string ToString() const;
+
+ private:
+  Totals totals_;
+  std::map<std::string, Totals> by_model_;
+};
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_USAGE_H_

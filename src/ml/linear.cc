@@ -1,0 +1,85 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace llmdm::ml {
+
+void LinearRegression::Train(const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& targets,
+                             const TrainOptions& options) {
+  size_t n = features.size();
+  size_t dim = n == 0 ? 0 : features[0].size();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  feature_stats_.assign(dim, {0.0, 1.0});
+  if (n == 0) return;
+
+  // Standardize features and center/scale targets for stable GD.
+  for (size_t d = 0; d < dim; ++d) {
+    double mean = 0;
+    for (const auto& x : features) mean += x[d];
+    mean /= static_cast<double>(n);
+    double var = 0;
+    for (const auto& x : features) var += (x[d] - mean) * (x[d] - mean);
+    var /= static_cast<double>(n);
+    feature_stats_[d] = {mean, std::sqrt(std::max(var, 1e-12))};
+  }
+  target_mean_ = 0;
+  for (double t : targets) target_mean_ += t;
+  target_mean_ /= static_cast<double>(n);
+  double tvar = 0;
+  for (double t : targets) tvar += (t - target_mean_) * (t - target_mean_);
+  target_scale_ = std::sqrt(std::max(tvar / static_cast<double>(n), 1e-12));
+
+  std::vector<std::vector<double>> xs(n, std::vector<double>(dim));
+  std::vector<double> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      xs[i][d] = (features[i][d] - feature_stats_[d].first) /
+                 feature_stats_[d].second;
+    }
+    ys[i] = (targets[i] - target_mean_) / target_scale_;
+  }
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::vector<double> grad_w(dim, 0.0);
+    double grad_b = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double pred = bias_;
+      for (size_t d = 0; d < dim; ++d) pred += weights_[d] * xs[i][d];
+      double err = pred - ys[i];
+      for (size_t d = 0; d < dim; ++d) grad_w[d] += err * xs[i][d];
+      grad_b += err;
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      weights_[d] -= options.learning_rate *
+                     (grad_w[d] / static_cast<double>(n) + options.l2 * weights_[d]);
+    }
+    bias_ -= options.learning_rate * grad_b / static_cast<double>(n);
+  }
+}
+
+double LinearRegression::Predict(const std::vector<double>& x) const {
+  double pred = bias_;
+  for (size_t d = 0; d < x.size() && d < weights_.size(); ++d) {
+    double standardized =
+        (x[d] - feature_stats_[d].first) / feature_stats_[d].second;
+    pred += weights_[d] * standardized;
+  }
+  return pred * target_scale_ + target_mean_;
+}
+
+double LinearRegression::Mape(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets) const {
+  if (features.empty()) return 0.0;
+  double acc = 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    double denom = std::max(std::abs(targets[i]), 1e-9);
+    acc += std::abs(Predict(features[i]) - targets[i]) / denom;
+  }
+  return acc / static_cast<double>(features.size());
+}
+
+}  // namespace llmdm::ml

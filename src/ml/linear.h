@@ -1,0 +1,46 @@
+#ifndef LLMDM_ML_LINEAR_H_
+#define LLMDM_ML_LINEAR_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace llmdm::ml {
+
+/// Ridge-regularized linear regression trained by gradient descent. Used as
+/// the "learned cost estimator" downstream of training-data generation
+/// (Fig. 3): real + LLM-augmented <query features, execution time> pairs.
+class LinearRegression {
+ public:
+  struct TrainOptions {
+    size_t epochs = 200;
+    double learning_rate = 0.05;
+    double l2 = 1e-3;
+  };
+
+  /// Trains on (features, targets); features are standardized internally.
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& targets,
+             const TrainOptions& options);
+  void Train(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& targets) {
+    Train(features, targets, TrainOptions{});
+  }
+
+  double Predict(const std::vector<double>& x) const;
+
+  /// Mean absolute percentage error on an eval set (targets must be > 0).
+  double Mape(const std::vector<std::vector<double>>& features,
+              const std::vector<double>& targets) const;
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<std::pair<double, double>> feature_stats_;  // (mean, stddev)
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+};
+
+}  // namespace llmdm::ml
+
+#endif  // LLMDM_ML_LINEAR_H_

@@ -1,0 +1,195 @@
+#include "ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace llmdm::ml {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+common::Result<Dataset> DatasetFromTable(const data::Table& table,
+                                         const std::string& label_column) {
+  auto label_idx = table.schema().Find(label_column);
+  if (!label_idx.has_value()) {
+    return common::Status::NotFound("no label column " + label_column);
+  }
+  if (table.schema().column(*label_idx).type != data::ColumnType::kBool) {
+    return common::Status::InvalidArgument("label column must be BOOL");
+  }
+  Dataset ds;
+  std::vector<size_t> feature_cols;
+  for (size_t c = 0; c < table.NumColumns(); ++c) {
+    if (c == *label_idx) continue;
+    // Identifier columns are keys, not signal; leaving them in just adds
+    // noise dimensions.
+    std::string name = common::ToLower(table.schema().column(c).name);
+    if (name == "id" || common::EndsWith(name, "_id")) continue;
+    data::ColumnType t = table.schema().column(c).type;
+    if (t == data::ColumnType::kInt64 || t == data::ColumnType::kDouble ||
+        t == data::ColumnType::kBool) {
+      feature_cols.push_back(c);
+      ds.feature_names.push_back(table.schema().column(c).name);
+    }
+  }
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    const data::Row& row = table.row(r);
+    if (row[*label_idx].is_null()) continue;
+    std::vector<double> x;
+    bool skip = false;
+    for (size_t c : feature_cols) {
+      if (row[c].is_null()) {
+        skip = true;
+        break;
+      }
+      if (row[c].is_bool()) {
+        x.push_back(row[c].AsBool() ? 1.0 : 0.0);
+      } else {
+        x.push_back(row[c].AsDouble());
+      }
+    }
+    if (skip) continue;
+    ds.features.push_back(std::move(x));
+    ds.labels.push_back(row[*label_idx].AsBool() ? 1 : 0);
+  }
+  return ds;
+}
+
+std::vector<std::pair<double, double>> Standardize(Dataset* dataset) {
+  std::vector<std::pair<double, double>> stats(dataset->dim(), {0.0, 1.0});
+  if (dataset->size() == 0) return stats;
+  for (size_t d = 0; d < dataset->dim(); ++d) {
+    double mean = 0;
+    for (const auto& x : dataset->features) mean += x[d];
+    mean /= static_cast<double>(dataset->size());
+    double var = 0;
+    for (const auto& x : dataset->features) var += (x[d] - mean) * (x[d] - mean);
+    var /= static_cast<double>(dataset->size());
+    double stddev = std::sqrt(std::max(var, 1e-12));
+    stats[d] = {mean, stddev};
+  }
+  ApplyStandardization(stats, dataset);
+  return stats;
+}
+
+void ApplyStandardization(
+    const std::vector<std::pair<double, double>>& stats, Dataset* dataset) {
+  for (auto& x : dataset->features) {
+    for (size_t d = 0; d < x.size() && d < stats.size(); ++d) {
+      x[d] = (x[d] - stats[d].first) / stats[d].second;
+    }
+  }
+}
+
+double LogisticRegression::Train(const Dataset& train,
+                                 const TrainOptions& options) {
+  size_t n = train.size();
+  size_t dim = train.dim();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  if (n == 0) return 0.0;
+  common::Rng rng(options.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  double last_loss = 0.0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < n; start += options.batch_size) {
+      size_t end = std::min(n, start + options.batch_size);
+      std::vector<double> grad_w(dim, 0.0);
+      double grad_b = 0.0;
+      for (size_t i = start; i < end; ++i) {
+        const auto& x = train.features[order[i]];
+        int y = train.labels[order[i]];
+        double p = PredictProbability(x);
+        double err = p - y;
+        // Per-example gradient (optionally clipped for DP-SGD).
+        std::vector<double> g(dim);
+        for (size_t d = 0; d < dim; ++d) g[d] = err * x[d];
+        double gb = err;
+        if (options.clip_norm > 0.0) {
+          double norm = gb * gb;
+          for (double v : g) norm += v * v;
+          norm = std::sqrt(norm);
+          if (norm > options.clip_norm) {
+            double scale = options.clip_norm / norm;
+            for (double& v : g) v *= scale;
+            gb *= scale;
+          }
+        }
+        for (size_t d = 0; d < dim; ++d) grad_w[d] += g[d];
+        grad_b += gb;
+      }
+      double batch = static_cast<double>(end - start);
+      if (options.noise_multiplier > 0.0 && options.clip_norm > 0.0) {
+        double sigma = options.noise_multiplier * options.clip_norm;
+        for (size_t d = 0; d < dim; ++d) grad_w[d] += rng.Normal(0.0, sigma);
+        grad_b += rng.Normal(0.0, sigma);
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        weights_[d] -= options.learning_rate *
+                       (grad_w[d] / batch + options.l2 * weights_[d]);
+      }
+      bias_ -= options.learning_rate * grad_b / batch;
+    }
+    // Track full loss once per epoch (cheap at our scale).
+    double loss = 0;
+    for (size_t i = 0; i < n; ++i) {
+      loss += ExampleLoss(train.features[i], train.labels[i]);
+    }
+    last_loss = loss / static_cast<double>(n);
+  }
+  return last_loss;
+}
+
+double LogisticRegression::PredictProbability(
+    const std::vector<double>& x) const {
+  double z = bias_;
+  for (size_t d = 0; d < x.size() && d < weights_.size(); ++d) {
+    z += weights_[d] * x[d];
+  }
+  return Sigmoid(z);
+}
+
+double LogisticRegression::Accuracy(const Dataset& eval) const {
+  if (eval.size() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < eval.size(); ++i) {
+    if (Predict(eval.features[i]) == eval.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(eval.size());
+}
+
+double LogisticRegression::ExampleLoss(const std::vector<double>& x,
+                                       int label) const {
+  double p = std::clamp(PredictProbability(x), 1e-9, 1.0 - 1e-9);
+  return label == 1 ? -std::log(p) : -std::log(1.0 - p);
+}
+
+LogisticRegression FederatedAverage(
+    const std::vector<LogisticRegression>& models,
+    const std::vector<size_t>& client_sizes) {
+  LogisticRegression out;
+  if (models.empty()) return out;
+  size_t dim = models[0].weights().size();
+  std::vector<double> w(dim, 0.0);
+  double b = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < models.size(); ++i) {
+    double weight = static_cast<double>(
+        i < client_sizes.size() ? client_sizes[i] : 1);
+    total += weight;
+    for (size_t d = 0; d < dim; ++d) w[d] += weight * models[i].weights()[d];
+    b += weight * models[i].bias();
+  }
+  for (double& v : w) v /= total;
+  out.SetParameters(std::move(w), b / total);
+  return out;
+}
+
+}  // namespace llmdm::ml

@@ -1,0 +1,86 @@
+#ifndef LLMDM_ML_LOGISTIC_H_
+#define LLMDM_ML_LOGISTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace llmdm::ml {
+
+/// A numeric feature matrix + binary labels extracted from a Table.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;  // 0/1
+  std::vector<std::string> feature_names;
+
+  size_t size() const { return features.size(); }
+  size_t dim() const { return features.empty() ? 0 : features[0].size(); }
+};
+
+/// Builds a Dataset from a table: numeric/bool columns become features
+/// (bool -> 0/1, text is skipped), `label_column` (BOOL) becomes the label.
+/// Rows with NULL in any used column are dropped.
+common::Result<Dataset> DatasetFromTable(const data::Table& table,
+                                         const std::string& label_column);
+
+/// Standardizes features to zero mean / unit variance (in place); returns
+/// the (mean, stddev) per feature so a holdout can reuse the scaling.
+std::vector<std::pair<double, double>> Standardize(Dataset* dataset);
+void ApplyStandardization(
+    const std::vector<std::pair<double, double>>& stats, Dataset* dataset);
+
+/// L2-regularized logistic regression trained by (optionally noisy)
+/// mini-batch gradient descent. The DP-SGD path (clip + Gaussian noise,
+/// Abadi et al.) is what Sec. III-D's "integrate DP into training" proposes.
+class LogisticRegression {
+ public:
+  struct TrainOptions {
+    size_t epochs = 30;
+    size_t batch_size = 16;
+    double learning_rate = 0.1;
+    double l2 = 1e-3;
+    /// DP-SGD: per-example gradient clip norm; <= 0 disables clipping.
+    double clip_norm = 0.0;
+    /// DP-SGD: Gaussian noise stddev added to the summed clipped gradient
+    /// (scaled by clip_norm / batch). 0 = no noise.
+    double noise_multiplier = 0.0;
+    uint64_t seed = 1;
+  };
+
+  /// Trains on `train`; returns the final training loss.
+  double Train(const Dataset& train, const TrainOptions& options);
+
+  /// P(y=1 | x).
+  double PredictProbability(const std::vector<double>& x) const;
+  int Predict(const std::vector<double>& x) const {
+    return PredictProbability(x) >= 0.5 ? 1 : 0;
+  }
+
+  double Accuracy(const Dataset& eval) const;
+  /// Per-example log loss (used by membership-inference attacks).
+  double ExampleLoss(const std::vector<double>& x, int label) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+  void SetParameters(std::vector<double> weights, double bias) {
+    weights_ = std::move(weights);
+    bias_ = bias;
+  }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Federated averaging: averages parameters of `models` weighted by
+/// `client_sizes` (Sec. III-D data collaboration).
+LogisticRegression FederatedAverage(
+    const std::vector<LogisticRegression>& models,
+    const std::vector<size_t>& client_sizes);
+
+}  // namespace llmdm::ml
+
+#endif  // LLMDM_ML_LOGISTIC_H_

@@ -1,0 +1,369 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace llmdm::sql {
+namespace {
+
+// Quotes a text literal with SQL '' escaping.
+std::string QuoteText(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+std::string LiteralToSql(const data::Value& v) {
+  if (v.is_text()) return QuoteText(v.AsText());
+  if (v.is_date()) return "DATE " + QuoteText(v.AsDate().ToString());
+  return v.ToString();
+}
+
+}  // namespace
+
+// --- Expr -------------------------------------------------------------------
+
+ExprPtr MakeLiteral(data::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->op = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr MakeAggregate(std::string name, ExprPtr arg, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->op = std::move(name);
+  e->args.push_back(std::move(arg));
+  e->distinct = distinct;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return LiteralToSql(literal);
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? name : qualifier + "." + name;
+    case ExprKind::kStar:
+      return qualifier.empty() ? "*" : qualifier + ".*";
+    case ExprKind::kUnary:
+      if (op == "NOT") return "(NOT " + args[0]->ToString() + ")";
+      return "(" + op + args[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + op + " " + args[1]->ToString() +
+             ")";
+    case ExprKind::kFunction: {
+      std::string out = op + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kAggregate:
+      return op + "(" + (distinct ? "DISTINCT " : "") + args[0]->ToString() +
+             ")";
+    case ExprKind::kInList: {
+      std::string out =
+          args[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += args[i]->ToString();
+      }
+      return "(" + out + "))";
+    }
+    case ExprKind::kInSubquery:
+      return "(" + args[0]->ToString() + (negated ? " NOT IN (" : " IN (") +
+             subquery->ToString() + "))";
+    case ExprKind::kExists:
+      return std::string(negated ? "(NOT EXISTS (" : "(EXISTS (") +
+             subquery->ToString() + "))";
+    case ExprKind::kScalarSubquery:
+      return "(" + subquery->ToString() + ")";
+    case ExprKind::kBetween:
+      return "(" + args[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             args[1]->ToString() + " AND " + args[2]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return "(" + args[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL") +
+             ")";
+    case ExprKind::kLike:
+      return "(" + args[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             args[1]->ToString() + ")";
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t n = args.size();
+      size_t pairs = has_else ? (n - 1) / 2 : n / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + args[2 * i]->ToString() + " THEN " +
+               args[2 * i + 1]->ToString();
+      }
+      if (has_else) out += " ELSE " + args[n - 1]->ToString();
+      return out + " END";
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->qualifier = qualifier;
+  e->name = name;
+  e->op = op;
+  e->negated = negated;
+  e->distinct = distinct;
+  e->has_else = has_else;
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  if (subquery) e->subquery = subquery->Clone();
+  return e;
+}
+
+// --- TableRef ----------------------------------------------------------------
+
+std::string TableRef::ToString() const {
+  switch (kind) {
+    case Kind::kBase:
+      return alias.empty() ? table_name : table_name + " AS " + alias;
+    case Kind::kSubquery:
+      return "(" + subquery->ToString() + ")" +
+             (alias.empty() ? "" : " AS " + alias);
+    case Kind::kJoin: {
+      std::string joiner;
+      switch (join_type) {
+        case JoinType::kInner:
+          joiner = " JOIN ";
+          break;
+        case JoinType::kLeft:
+          joiner = " LEFT JOIN ";
+          break;
+        case JoinType::kCross:
+          joiner = " CROSS JOIN ";
+          break;
+      }
+      std::string out = left->ToString() + joiner + right->ToString();
+      if (on) out += " ON " + on->ToString();
+      return out;
+    }
+  }
+  return "?";
+}
+
+TableRefPtr TableRef::Clone() const {
+  auto t = std::make_unique<TableRef>();
+  t->kind = kind;
+  t->table_name = table_name;
+  t->alias = alias;
+  t->join_type = join_type;
+  if (subquery) t->subquery = subquery->Clone();
+  if (left) t->left = left->Clone();
+  if (right) t->right = right->Clone();
+  if (on) t->on = on->Clone();
+  return t;
+}
+
+SelectItem SelectItem::Clone() const {
+  return SelectItem{expr->Clone(), alias};
+}
+
+OrderItem OrderItem::Clone() const {
+  return OrderItem{expr->Clone(), descending};
+}
+
+// --- SelectStmt ----------------------------------------------------------------
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i]->ToString();
+    }
+  }
+  if (where) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += common::StrFormat(" LIMIT %lld", (long long)limit);
+  if (set_op != SetOp::kNone && set_rhs) {
+    switch (set_op) {
+      case SetOp::kUnion:
+        out += " UNION ";
+        break;
+      case SetOp::kUnionAll:
+        out += " UNION ALL ";
+        break;
+      case SetOp::kIntersect:
+        out += " INTERSECT ";
+        break;
+      case SetOp::kExcept:
+        out += " EXCEPT ";
+        break;
+      case SetOp::kNone:
+        break;
+    }
+    out += set_rhs->ToString();
+  }
+  return out;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto s = std::make_unique<SelectStmt>();
+  s->distinct = distinct;
+  for (const auto& item : items) s->items.push_back(item.Clone());
+  for (const auto& f : from) s->from.push_back(f->Clone());
+  if (where) s->where = where->Clone();
+  for (const auto& g : group_by) s->group_by.push_back(g->Clone());
+  if (having) s->having = having->Clone();
+  for (const auto& o : order_by) s->order_by.push_back(o.Clone());
+  s->limit = limit;
+  s->set_op = set_op;
+  if (set_rhs) s->set_rhs = set_rhs->Clone();
+  return s;
+}
+
+// --- Other statements -----------------------------------------------------------
+
+std::string CreateTableStmt::ToString() const {
+  std::string out = "CREATE TABLE " + table_name + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].name;
+    out += ' ';
+    out += data::ColumnTypeName(columns[i].type);
+    if (!columns[i].nullable) out += " NOT NULL";
+  }
+  return out + ")";
+}
+
+std::string DropTableStmt::ToString() const {
+  return std::string("DROP TABLE ") + (if_exists ? "IF EXISTS " : "") +
+         table_name;
+}
+
+std::string InsertStmt::ToString() const {
+  std::string out = "INSERT INTO " + table_name;
+  if (!columns.empty()) {
+    out += " (" + common::Join(columns, ", ") + ")";
+  }
+  if (select) {
+    out += " " + select->ToString();
+    return out;
+  }
+  out += " VALUES ";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += ", ";
+      out += rows[r][c]->ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string UpdateStmt::ToString() const {
+  std::string out = "UPDATE " + table_name + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].first + " = " + assignments[i].second->ToString();
+  }
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::string DeleteStmt::ToString() const {
+  std::string out = "DELETE FROM " + table_name;
+  if (where) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::string Statement::ToString() const {
+  switch (kind) {
+    case StatementKind::kSelect:
+      return select->ToString();
+    case StatementKind::kCreateTable:
+      return create_table->ToString();
+    case StatementKind::kDropTable:
+      return drop_table->ToString();
+    case StatementKind::kInsert:
+      return insert->ToString();
+    case StatementKind::kUpdate:
+      return update->ToString();
+    case StatementKind::kDelete:
+      return del->ToString();
+    case StatementKind::kBegin:
+      return "BEGIN";
+    case StatementKind::kCommit:
+      return "COMMIT";
+    case StatementKind::kRollback:
+      return "ROLLBACK";
+  }
+  return "?";
+}
+
+}  // namespace llmdm::sql

@@ -1,0 +1,191 @@
+#ifndef LLMDM_SQL_AST_H_
+#define LLMDM_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace llmdm::sql {
+
+struct SelectStmt;
+
+/// Expression node kinds. One struct with a kind tag keeps the parser and
+/// evaluator compact; fields are interpreted per kind (documented below).
+enum class ExprKind {
+  kLiteral,          // literal_
+  kColumnRef,        // qualifier_ (may be empty) + name_
+  kStar,             // `*` in COUNT(*) or SELECT *
+  kUnary,            // op_ in {NOT, -}; args_[0]
+  kBinary,           // op_; args_[0], args_[1]
+  kFunction,         // op_ = function name; args_
+  kAggregate,        // op_ in {COUNT, SUM, AVG, MIN, MAX}; args_[0]; distinct_
+  kInList,           // args_[0] IN (args_[1..]); negated_
+  kInSubquery,       // args_[0] IN (subquery_); negated_
+  kExists,           // EXISTS (subquery_); negated_
+  kScalarSubquery,   // (subquery_) used as a value
+  kBetween,          // args_[0] BETWEEN args_[1] AND args_[2]; negated_
+  kIsNull,           // args_[0] IS [NOT] NULL; negated_
+  kLike,             // args_[0] LIKE args_[1]; negated_
+  kCase,             // CASE WHEN a1 THEN a2 [WHEN ...] [ELSE an] END (pairs)
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  data::Value literal;          // kLiteral
+  std::string qualifier;        // kColumnRef: optional table alias
+  std::string name;             // kColumnRef: column name
+  std::string op;               // operator / function / aggregate name
+  std::vector<ExprPtr> args;
+  std::unique_ptr<SelectStmt> subquery;
+  bool negated = false;         // NOT IN / NOT LIKE / IS NOT NULL / NOT BETWEEN
+  bool distinct = false;        // COUNT(DISTINCT x)
+  bool has_else = false;        // kCase: last arg is the ELSE branch
+
+  /// Unparses back to SQL text (parenthesized conservatively). Guaranteed to
+  /// re-parse to an equivalent tree; used by the SQL generator and the
+  /// decomposition optimizer.
+  std::string ToString() const;
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+};
+
+// --- Convenience constructors -------------------------------------------
+
+ExprPtr MakeLiteral(data::Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string name);
+ExprPtr MakeStar();
+ExprPtr MakeUnary(std::string op, ExprPtr operand);
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+ExprPtr MakeAggregate(std::string name, ExprPtr arg, bool distinct);
+
+// --- FROM clause ----------------------------------------------------------
+
+enum class JoinType { kInner, kLeft, kCross };
+
+struct TableRef;
+using TableRefPtr = std::unique_ptr<TableRef>;
+
+struct TableRef {
+  enum class Kind { kBase, kSubquery, kJoin };
+  Kind kind = Kind::kBase;
+
+  // kBase
+  std::string table_name;
+  // kBase / kSubquery
+  std::string alias;
+  std::unique_ptr<SelectStmt> subquery;
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  TableRefPtr left;
+  TableRefPtr right;
+  ExprPtr on;
+
+  std::string ToString() const;
+  TableRefPtr Clone() const;
+};
+
+// --- SELECT ----------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty if none
+
+  SelectItem Clone() const;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+
+  OrderItem Clone() const;
+};
+
+enum class SetOp { kNone, kUnion, kUnionAll, kIntersect, kExcept };
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRefPtr> from;  // comma-separated factors (implicit cross)
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+
+  SetOp set_op = SetOp::kNone;
+  std::unique_ptr<SelectStmt> set_rhs;
+
+  std::string ToString() const;
+  std::unique_ptr<SelectStmt> Clone() const;
+};
+
+// --- Other statements -------------------------------------------------------
+
+struct CreateTableStmt {
+  std::string table_name;
+  std::vector<data::Column> columns;
+  std::string ToString() const;
+};
+
+struct DropTableStmt {
+  std::string table_name;
+  bool if_exists = false;
+  std::string ToString() const;
+};
+
+struct InsertStmt {
+  std::string table_name;
+  std::vector<std::string> columns;         // empty = all, in schema order
+  std::vector<std::vector<ExprPtr>> rows;   // VALUES rows
+  std::unique_ptr<SelectStmt> select;       // INSERT ... SELECT alternative
+  std::string ToString() const;
+};
+
+struct UpdateStmt {
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+  std::string ToString() const;
+};
+
+struct DeleteStmt {
+  std::string table_name;
+  ExprPtr where;
+  std::string ToString() const;
+};
+
+enum class StatementKind {
+  kSelect,
+  kCreateTable,
+  kDropTable,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kBegin,
+  kCommit,
+  kRollback,
+};
+
+struct Statement {
+  StatementKind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+
+  std::string ToString() const;
+};
+
+}  // namespace llmdm::sql
+
+#endif  // LLMDM_SQL_AST_H_

@@ -1,0 +1,71 @@
+#include "sql/catalog.h"
+
+#include "common/string_util.h"
+
+namespace llmdm::sql {
+
+common::Status Catalog::CreateTable(const std::string& name,
+                                    data::Schema schema) {
+  std::string key = common::ToLower(name);
+  if (tables_.count(key)) {
+    return common::Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_.emplace(key, data::Table(name, std::move(schema)));
+  return common::Status::Ok();
+}
+
+common::Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  std::string key = common::ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return common::Status::Ok();
+    return common::Status::NotFound("no such table: " + name);
+  }
+  tables_.erase(it);
+  return common::Status::Ok();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(common::ToLower(name)) > 0;
+}
+
+common::Result<const data::Table*> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(common::ToLower(name));
+  if (it == tables_.end()) {
+    return common::Status::NotFound("no such table: " + name);
+  }
+  return &it->second;
+}
+
+common::Result<data::Table*> Catalog::GetMutableTable(
+    const std::string& name) {
+  auto it = tables_.find(common::ToLower(name));
+  if (it == tables_.end()) {
+    return common::Status::NotFound("no such table: " + name);
+  }
+  return &it->second;
+}
+
+void Catalog::PutTable(data::Table table) {
+  std::string key = common::ToLower(table.name());
+  tables_.insert_or_assign(key, std::move(table));
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) out.push_back(table.name());
+  return out;
+}
+
+std::string Catalog::DescribeForPrompt() const {
+  std::string out;
+  for (const auto& [key, table] : tables_) {
+    out += "Table " + table.name() + "(" + table.schema().ToString() + ")";
+    out += common::StrFormat(" -- %zu rows\n", table.NumRows());
+  }
+  return out;
+}
+
+}  // namespace llmdm::sql

@@ -1,0 +1,95 @@
+#include "sql/database.h"
+
+#include "sql/parser.h"
+
+namespace llmdm::sql {
+
+common::Result<ExecResult> Database::ExecuteParsed(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kBegin: {
+      if (snapshot_.has_value()) {
+        return common::Status::FailedPrecondition(
+            "nested transactions are not supported");
+      }
+      snapshot_ = catalog_;
+      return ExecResult{};
+    }
+    case StatementKind::kCommit: {
+      if (!snapshot_.has_value()) {
+        return common::Status::FailedPrecondition("COMMIT outside transaction");
+      }
+      snapshot_.reset();
+      return ExecResult{};
+    }
+    case StatementKind::kRollback: {
+      if (!snapshot_.has_value()) {
+        return common::Status::FailedPrecondition(
+            "ROLLBACK outside transaction");
+      }
+      catalog_ = std::move(*snapshot_);
+      snapshot_.reset();
+      return ExecResult{};
+    }
+    default: {
+      Executor executor(&catalog_);
+      auto result = executor.Execute(stmt);
+      if (!result.ok() && snapshot_.has_value()) {
+        // Statement failure aborts the transaction.
+        catalog_ = std::move(*snapshot_);
+        snapshot_.reset();
+      }
+      return result;
+    }
+  }
+}
+
+common::Result<ExecResult> Database::Execute(std::string_view sql) {
+  LLMDM_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteParsed(stmt);
+}
+
+common::Result<ExecResult> Database::ExecuteScript(std::string_view sql) {
+  LLMDM_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseScript(sql));
+  ExecResult last;
+  for (const Statement& stmt : stmts) {
+    LLMDM_ASSIGN_OR_RETURN(ExecResult r, ExecuteParsed(stmt));
+    if (r.has_rows) last = std::move(r);
+  }
+  return last;
+}
+
+common::Result<int64_t> Database::ExecuteAtomically(
+    const std::vector<std::string>& statements) {
+  if (snapshot_.has_value()) {
+    return common::Status::FailedPrecondition(
+        "already inside a transaction");
+  }
+  snapshot_ = catalog_;
+  int64_t affected = 0;
+  for (const std::string& sql : statements) {
+    auto parsed = ParseStatement(sql);
+    if (!parsed.ok()) {
+      catalog_ = std::move(*snapshot_);
+      snapshot_.reset();
+      return parsed.status();
+    }
+    Executor executor(&catalog_);
+    auto result = executor.Execute(*parsed);
+    if (!result.ok()) {
+      catalog_ = std::move(*snapshot_);
+      snapshot_.reset();
+      return result.status();
+    }
+    affected += result->affected_rows;
+  }
+  snapshot_.reset();
+  return affected;
+}
+
+common::Result<data::Table> Database::Query(std::string_view sql) {
+  LLMDM_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> select, ParseSelect(sql));
+  Executor executor(&catalog_);
+  return executor.ExecuteSelect(*select);
+}
+
+}  // namespace llmdm::sql

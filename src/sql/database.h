@@ -1,0 +1,56 @@
+#ifndef LLMDM_SQL_DATABASE_H_
+#define LLMDM_SQL_DATABASE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+
+namespace llmdm::sql {
+
+/// Top-level SQL facade: parse + execute text, with BEGIN/COMMIT/ROLLBACK
+/// transactions (snapshot-based: BEGIN copies the catalog; ROLLBACK restores
+/// it; a failed statement inside a transaction aborts the transaction, which
+/// is the behaviour NL2Transaction relies on for atomicity).
+class Database {
+ public:
+  Database() = default;
+
+  // A Database owns its catalog; copying would silently fork the data.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Parses and executes one statement.
+  common::Result<ExecResult> Execute(std::string_view sql);
+
+  /// Parses and executes a semicolon-separated script; returns the result of
+  /// the last row-returning statement (if any). Stops at the first error.
+  common::Result<ExecResult> ExecuteScript(std::string_view sql);
+
+  /// Runs `statements` atomically: BEGIN, each statement, COMMIT; any error
+  /// rolls back and returns that error. Counts total affected rows.
+  common::Result<int64_t> ExecuteAtomically(
+      const std::vector<std::string>& statements);
+
+  /// Executes a SELECT and returns the result table.
+  common::Result<data::Table> Query(std::string_view sql);
+
+  bool in_transaction() const { return snapshot_.has_value(); }
+
+ private:
+  common::Result<ExecResult> ExecuteParsed(const Statement& stmt);
+
+  Catalog catalog_;
+  std::optional<Catalog> snapshot_;
+};
+
+}  // namespace llmdm::sql
+
+#endif  // LLMDM_SQL_DATABASE_H_

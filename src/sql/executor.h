@@ -1,0 +1,46 @@
+#ifndef LLMDM_SQL_EXECUTOR_H_
+#define LLMDM_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace llmdm::sql {
+
+/// Result of executing one statement: a result set for SELECT, an affected-
+/// row count for DML, nothing for DDL/transaction control.
+struct ExecResult {
+  data::Table table;        // SELECT output (empty schema otherwise)
+  int64_t affected_rows = 0;
+  bool has_rows = false;    // true iff `table` is meaningful
+};
+
+/// Materializing SQL executor over a Catalog. Supports the dialect produced
+/// by sql::ParseStatement: SELECT with inner/left/cross joins, WHERE,
+/// GROUP BY / HAVING, aggregates (COUNT/SUM/AVG/MIN/MAX [DISTINCT]),
+/// ORDER BY (expressions, aliases or ordinals), LIMIT, DISTINCT, UNION /
+/// UNION ALL / INTERSECT / EXCEPT, scalar/IN/EXISTS sub-queries (correlated
+/// sub-queries resolve free columns through the enclosing scopes), CASE,
+/// scalar functions; plus CREATE/DROP TABLE, INSERT (VALUES and SELECT),
+/// UPDATE and DELETE. NULL follows SQL three-valued logic.
+class Executor {
+ public:
+  explicit Executor(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Executes a parsed statement. Transaction-control statements are the
+  /// Database facade's job and are rejected here.
+  common::Result<ExecResult> Execute(const Statement& stmt);
+
+  /// Executes a SELECT and returns the result table.
+  common::Result<data::Table> ExecuteSelect(const SelectStmt& select);
+
+ private:
+  Catalog* catalog_;
+};
+
+}  // namespace llmdm::sql
+
+#endif  // LLMDM_SQL_EXECUTOR_H_

@@ -1,0 +1,204 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace llmdm::sql {
+namespace {
+
+constexpr std::array kKeywords = {
+    "SELECT",    "FROM",     "WHERE",   "GROUP",    "BY",       "HAVING",
+    "ORDER",     "LIMIT",    "ASC",     "DESC",     "AS",       "ON",
+    "JOIN",      "INNER",    "LEFT",    "RIGHT",    "OUTER",    "CROSS",
+    "AND",       "OR",       "NOT",     "IN",       "IS",       "NULL",
+    "LIKE",      "BETWEEN",  "EXISTS",  "DISTINCT", "UNION",    "ALL",
+    "INTERSECT", "EXCEPT",   "INSERT",  "INTO",     "VALUES",   "UPDATE",
+    "SET",       "DELETE",   "CREATE",  "TABLE",    "DROP",     "PRIMARY",
+    "KEY",       "INT",      "INTEGER", "DOUBLE",   "REAL",     "FLOAT",
+    "TEXT",      "VARCHAR",  "BOOL",    "BOOLEAN",  "DATE",     "TRUE",
+    "FALSE",     "BEGIN",    "COMMIT",  "ROLLBACK", "TRANSACTION",
+    "COUNT",     "SUM",      "AVG",     "MIN",      "MAX",      "CASE",
+    "WHEN",      "THEN",     "ELSE",    "END",      "IF",
+};
+
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper_word) {
+  for (std::string_view kw : kKeywords) {
+    if (kw == upper_word) return true;
+  }
+  return false;
+}
+
+common::Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto error = [&](const std::string& what) {
+    return common::Status::InvalidArgument(
+        common::StrFormat("SQL lex error at offset %zu: %s", i, what.c_str()));
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_'))
+        ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = common::ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // A second dot ends the number (e.g. "1..2" is malformed; caught
+          // by the parser).
+          if (is_float) break;
+          is_float = true;
+        }
+        ++i;
+      }
+      std::string num(sql.substr(start, i - start));
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        if (!common::ParseDouble(num, &tok.float_value)) {
+          return error("bad numeric literal " + num);
+        }
+      } else {
+        tok.type = TokenType::kInteger;
+        if (!common::ParseInt64(num, &tok.int_value)) {
+          return error("bad integer literal " + num);
+        }
+      }
+      tok.text = std::move(num);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value.push_back(sql[i]);
+          ++i;
+        }
+      }
+      if (!closed) return error("unterminated string literal");
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+    } else {
+      switch (c) {
+        case ',':
+          tok.type = TokenType::kComma;
+          tok.text = ",";
+          ++i;
+          break;
+        case '.':
+          tok.type = TokenType::kDot;
+          tok.text = ".";
+          ++i;
+          break;
+        case '(':
+          tok.type = TokenType::kLParen;
+          tok.text = "(";
+          ++i;
+          break;
+        case ')':
+          tok.type = TokenType::kRParen;
+          tok.text = ")";
+          ++i;
+          break;
+        case ';':
+          tok.type = TokenType::kSemicolon;
+          tok.text = ";";
+          ++i;
+          break;
+        case '=':
+          tok.type = TokenType::kOperator;
+          tok.text = "=";
+          ++i;
+          break;
+        case '<':
+          tok.type = TokenType::kOperator;
+          if (i + 1 < sql.size() && sql[i + 1] == '=') {
+            tok.text = "<=";
+            i += 2;
+          } else if (i + 1 < sql.size() && sql[i + 1] == '>') {
+            tok.text = "<>";
+            i += 2;
+          } else {
+            tok.text = "<";
+            ++i;
+          }
+          break;
+        case '>':
+          tok.type = TokenType::kOperator;
+          if (i + 1 < sql.size() && sql[i + 1] == '=') {
+            tok.text = ">=";
+            i += 2;
+          } else {
+            tok.text = ">";
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < sql.size() && sql[i + 1] == '=') {
+            tok.type = TokenType::kOperator;
+            tok.text = "<>";  // normalize != to <>
+            i += 2;
+          } else {
+            return error("unexpected '!'");
+          }
+          break;
+        case '+':
+        case '-':
+        case '*':
+        case '/':
+        case '%':
+          tok.type = TokenType::kOperator;
+          tok.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return error(common::StrFormat("unexpected character '%c'", c));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = sql.size();
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace llmdm::sql

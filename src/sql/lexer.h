@@ -1,0 +1,23 @@
+#ifndef LLMDM_SQL_LEXER_H_
+#define LLMDM_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace llmdm::sql {
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their original spelling.
+/// Supports line comments (`-- ...`) and single-quoted string literals with
+/// `''` escapes.
+common::Result<std::vector<Token>> Lex(std::string_view sql);
+
+/// True if `word` (upper-cased) is a reserved SQL keyword in this dialect.
+bool IsReservedKeyword(std::string_view upper_word);
+
+}  // namespace llmdm::sql
+
+#endif  // LLMDM_SQL_LEXER_H_

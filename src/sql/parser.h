@@ -1,0 +1,23 @@
+#ifndef LLMDM_SQL_PARSER_H_
+#define LLMDM_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace llmdm::sql {
+
+/// Parses one SQL statement (a trailing semicolon is allowed).
+common::Result<Statement> ParseStatement(std::string_view sql);
+
+/// Parses a semicolon-separated script into statements.
+common::Result<std::vector<Statement>> ParseScript(std::string_view sql);
+
+/// Parses a SELECT only (convenience for code that manipulates query ASTs).
+common::Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+}  // namespace llmdm::sql
+
+#endif  // LLMDM_SQL_PARSER_H_

@@ -1,0 +1,40 @@
+#ifndef LLMDM_SQL_TOKEN_H_
+#define LLMDM_SQL_TOKEN_H_
+
+#include <string>
+
+namespace llmdm::sql {
+
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,  // table / column names (keywords are folded to kKeyword)
+  kKeyword,     // upper-cased reserved word
+  kString,      // 'text literal' (quotes stripped, '' unescaped)
+  kInteger,
+  kFloat,
+  kOperator,   // = <> != < <= > >= + - * / %
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kSemicolon,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // normalized: keywords upper-cased
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t offset = 0;    // byte offset in the input, for error messages
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+}  // namespace llmdm::sql
+
+#endif  // LLMDM_SQL_TOKEN_H_

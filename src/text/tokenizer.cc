@@ -1,0 +1,85 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace llmdm::text {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view input) const {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < input.size() && IsWordChar(input[i])) ++i;
+      std::string_view word = input.substr(start, i - start);
+      // Chunk long words into fixed-size pieces, approximating how BPE breaks
+      // rare words into several sub-words.
+      for (size_t off = 0; off < word.size(); off += options_.max_piece_len) {
+        std::string piece(word.substr(off, options_.max_piece_len));
+        if (options_.lowercase) piece = common::ToLower(piece);
+        out.push_back(std::move(piece));
+      }
+    } else {
+      out.emplace_back(1, c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t Tokenizer::CountTokens(std::string_view input) const {
+  size_t count = 0;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < input.size() && IsWordChar(input[i])) ++i;
+      size_t len = i - start;
+      count += (len + options_.max_piece_len - 1) / options_.max_piece_len;
+    } else {
+      ++count;
+      ++i;
+    }
+  }
+  return count;
+}
+
+size_t CountTokens(std::string_view input) {
+  static const Tokenizer kDefault{};
+  return kDefault.CountTokens(input);
+}
+
+std::vector<std::string> CharNgrams(std::string_view input, size_t n) {
+  std::vector<std::string> out;
+  if (n == 0) return out;
+  std::string padded = "^";
+  padded.append(common::ToLower(input));
+  padded.push_back('$');
+  if (padded.size() < n) return out;
+  out.reserve(padded.size() - n + 1);
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    out.emplace_back(padded.substr(i, n));
+  }
+  return out;
+}
+
+}  // namespace llmdm::text

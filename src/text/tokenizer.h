@@ -1,0 +1,51 @@
+#ifndef LLMDM_TEXT_TOKENIZER_H_
+#define LLMDM_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmdm::text {
+
+/// Deterministic sub-word tokenizer used for (a) metering simulated LLM API
+/// costs and (b) producing bag-of-token features for embeddings.
+///
+/// The scheme approximates BPE statistics without a learned merge table:
+/// words and punctuation are split lexically, then words longer than
+/// `max_piece_len` are chunked. On English-like text this yields roughly
+/// 1.3 tokens per word, matching the ~4 chars/token rule of thumb that the
+/// paper's quoted per-1k-token prices assume.
+class Tokenizer {
+ public:
+  struct Options {
+    /// Maximum characters per word piece before chunking.
+    size_t max_piece_len = 6;
+    /// Lowercase pieces (embedding features want case folding; cost metering
+    /// does not care).
+    bool lowercase = false;
+  };
+
+  Tokenizer() : Tokenizer(Options{}) {}
+  explicit Tokenizer(const Options& options) : options_(options) {}
+
+  /// Splits `input` into word pieces and punctuation tokens.
+  std::vector<std::string> Tokenize(std::string_view input) const;
+
+  /// Token count without materializing the pieces (fast path for metering).
+  size_t CountTokens(std::string_view input) const;
+
+ private:
+  Options options_;
+};
+
+/// Counts tokens with the default tokenizer; convenience for cost metering.
+size_t CountTokens(std::string_view input);
+
+/// Character n-grams of length n (with boundary markers). Used by the
+/// embedder for robustness to small rewordings.
+std::vector<std::string> CharNgrams(std::string_view input, size_t n);
+
+}  // namespace llmdm::text
+
+#endif  // LLMDM_TEXT_TOKENIZER_H_

@@ -1,0 +1,38 @@
+#include "vectordb/flat_index.h"
+
+#include <algorithm>
+
+namespace llmdm::vectordb {
+
+common::Status FlatIndex::Add(uint64_t id, Vector vector) {
+  vectors_[id] = std::move(vector);
+  return common::Status::Ok();
+}
+
+common::Status FlatIndex::Remove(uint64_t id) {
+  if (vectors_.erase(id) == 0) {
+    return common::Status::NotFound("no vector with id " + std::to_string(id));
+  }
+  return common::Status::Ok();
+}
+
+bool FlatIndex::Contains(uint64_t id) const { return vectors_.count(id) > 0; }
+
+std::vector<SearchResult> FlatIndex::Search(const Vector& query,
+                                            size_t k) const {
+  std::vector<SearchResult> all;
+  all.reserve(vectors_.size());
+  for (const auto& [id, v] : vectors_) {
+    all.push_back(SearchResult{id, embed::CosineSimilarity(query, v)});
+  }
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const SearchResult& a, const SearchResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;  // deterministic tie-break
+                    });
+  all.resize(take);
+  return all;
+}
+
+}  // namespace llmdm::vectordb

@@ -1,0 +1,31 @@
+#ifndef LLMDM_VECTORDB_FLAT_INDEX_H_
+#define LLMDM_VECTORDB_FLAT_INDEX_H_
+
+#include <unordered_map>
+
+#include "vectordb/index.h"
+
+namespace llmdm::vectordb {
+
+/// Exact brute-force index. O(n·d) per query; the recall oracle against
+/// which IVF/HNSW are measured, and the right choice for small collections
+/// (the semantic cache and the prompt store both default to it).
+class FlatIndex : public VectorIndex {
+ public:
+  FlatIndex() = default;
+
+  common::Status Add(uint64_t id, Vector vector) override;
+  common::Status Remove(uint64_t id) override;
+  bool Contains(uint64_t id) const override;
+  size_t Size() const override { return vectors_.size(); }
+
+  std::vector<SearchResult> Search(const Vector& query,
+                                   size_t k) const override;
+
+ private:
+  std::unordered_map<uint64_t, Vector> vectors_;
+};
+
+}  // namespace llmdm::vectordb
+
+#endif  // LLMDM_VECTORDB_FLAT_INDEX_H_

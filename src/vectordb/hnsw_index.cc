@@ -1,0 +1,185 @@
+#include "vectordb/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace llmdm::vectordb {
+
+int HnswIndex::RandomLevel() {
+  // Geometric level distribution with normalization 1/ln(M).
+  double ml = 1.0 / std::log(static_cast<double>(options_.m));
+  double u = rng_.UniformDouble();
+  if (u < 1e-12) u = 1e-12;
+  return static_cast<int>(-std::log(u) * ml);
+}
+
+float HnswIndex::Sim(const Vector& a, uint32_t node) const {
+  return embed::CosineSimilarity(a, nodes_[node].vector);
+}
+
+std::vector<std::pair<float, uint32_t>> HnswIndex::SearchLayer(
+    const Vector& query, uint32_t entry, size_t ef, size_t level) const {
+  // Max-heap of candidates to expand, min-heap of current best `ef`.
+  using Scored = std::pair<float, uint32_t>;
+  std::priority_queue<Scored> candidates;              // best first
+  std::priority_queue<Scored, std::vector<Scored>, std::greater<>> best;
+  std::unordered_set<uint32_t> visited;
+
+  float entry_sim = Sim(query, entry);
+  candidates.emplace(entry_sim, entry);
+  best.emplace(entry_sim, entry);
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    auto [sim, node] = candidates.top();
+    candidates.pop();
+    if (best.size() >= ef && sim < best.top().first) break;
+    if (level < nodes_[node].neighbors.size()) {
+      for (uint32_t peer : nodes_[node].neighbors[level]) {
+        if (!visited.insert(peer).second) continue;
+        float peer_sim = Sim(query, peer);
+        if (best.size() < ef || peer_sim > best.top().first) {
+          candidates.emplace(peer_sim, peer);
+          best.emplace(peer_sim, peer);
+          if (best.size() > ef) best.pop();
+        }
+      }
+    }
+  }
+  std::vector<Scored> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // best first
+  return out;
+}
+
+void HnswIndex::Connect(uint32_t node, uint32_t peer, size_t level) {
+  auto& adj = nodes_[node].neighbors[level];
+  adj.push_back(peer);
+  size_t cap = MaxDegree(level);
+  if (adj.size() <= cap) return;
+  // Prune to the `cap` most similar neighbors (simple selection heuristic).
+  const Vector& base = nodes_[node].vector;
+  std::partial_sort(adj.begin(), adj.begin() + cap, adj.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return Sim(base, a) > Sim(base, b);
+                    });
+  adj.resize(cap);
+}
+
+common::Status HnswIndex::Add(uint64_t id, Vector vector) {
+  auto existing = id_to_node_.find(id);
+  if (existing != id_to_node_.end()) {
+    // Replace: tombstone the old node and insert fresh (keeps graph sane).
+    if (!nodes_[existing->second].deleted) {
+      nodes_[existing->second].deleted = true;
+      --live_count_;
+    }
+    id_to_node_.erase(existing);
+  }
+
+  int level = RandomLevel();
+  uint32_t node_index = static_cast<uint32_t>(nodes_.size());
+  Node node;
+  node.vector = std::move(vector);
+  node.external_id = id;
+  node.neighbors.resize(static_cast<size_t>(level) + 1);
+  nodes_.push_back(std::move(node));
+  id_to_node_[id] = node_index;
+  ++live_count_;
+
+  if (top_level_ < 0) {
+    top_level_ = level;
+    entry_point_ = node_index;
+    return common::Status::Ok();
+  }
+
+  const Vector& q = nodes_[node_index].vector;
+  uint32_t entry = entry_point_;
+  // Greedy descent through levels above the new node's level.
+  for (int l = top_level_; l > level; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      if (static_cast<size_t>(l) < nodes_[entry].neighbors.size()) {
+        for (uint32_t peer : nodes_[entry].neighbors[static_cast<size_t>(l)]) {
+          if (Sim(q, peer) > Sim(q, entry)) {
+            entry = peer;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+  // Insert with beam search at each level from min(level, top) down to 0.
+  for (int l = std::min(level, top_level_); l >= 0; --l) {
+    auto found = SearchLayer(q, entry, options_.ef_construction,
+                             static_cast<size_t>(l));
+    size_t links = std::min(options_.m, found.size());
+    for (size_t i = 0; i < links; ++i) {
+      uint32_t peer = found[i].second;
+      if (peer == node_index) continue;
+      Connect(node_index, peer, static_cast<size_t>(l));
+      Connect(peer, node_index, static_cast<size_t>(l));
+    }
+    if (!found.empty()) entry = found[0].second;
+  }
+  if (level > top_level_) {
+    top_level_ = level;
+    entry_point_ = node_index;
+  }
+  return common::Status::Ok();
+}
+
+common::Status HnswIndex::Remove(uint64_t id) {
+  auto it = id_to_node_.find(id);
+  if (it == id_to_node_.end() || nodes_[it->second].deleted) {
+    return common::Status::NotFound("no vector with id " + std::to_string(id));
+  }
+  nodes_[it->second].deleted = true;
+  id_to_node_.erase(it);
+  --live_count_;
+  return common::Status::Ok();
+}
+
+bool HnswIndex::Contains(uint64_t id) const {
+  auto it = id_to_node_.find(id);
+  return it != id_to_node_.end() && !nodes_[it->second].deleted;
+}
+
+size_t HnswIndex::Size() const { return live_count_; }
+
+std::vector<SearchResult> HnswIndex::Search(const Vector& query,
+                                            size_t k) const {
+  if (top_level_ < 0 || live_count_ == 0) return {};
+  uint32_t entry = entry_point_;
+  for (int l = top_level_; l > 0; --l) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      if (static_cast<size_t>(l) < nodes_[entry].neighbors.size()) {
+        for (uint32_t peer : nodes_[entry].neighbors[static_cast<size_t>(l)]) {
+          if (Sim(query, peer) > Sim(query, entry)) {
+            entry = peer;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+  size_t ef = std::max(options_.ef_search, k);
+  auto found = SearchLayer(query, entry, ef, 0);
+  std::vector<SearchResult> out;
+  for (const auto& [sim, node] : found) {
+    if (nodes_[node].deleted) continue;
+    out.push_back(SearchResult{nodes_[node].external_id, sim});
+    if (out.size() == k) break;
+  }
+  return out;
+}
+
+}  // namespace llmdm::vectordb

@@ -1,0 +1,76 @@
+#ifndef LLMDM_VECTORDB_HNSW_INDEX_H_
+#define LLMDM_VECTORDB_HNSW_INDEX_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "vectordb/index.h"
+
+namespace llmdm::vectordb {
+
+/// Hierarchical Navigable Small World graph index (Malkov & Yashunin).
+/// Approximate search in O(log n) hops; the standard engine behind the
+/// vector databases the paper builds on (Sec. I, III-B.2).
+///
+/// Deletions are tombstoned: the node stays in the graph as a routing point
+/// but is filtered from results (the approach HNSW-based stores actually
+/// ship, since unlinking would degrade graph connectivity).
+class HnswIndex : public VectorIndex {
+ public:
+  struct Options {
+    size_t m = 16;                // out-degree target at levels > 0
+    size_t ef_construction = 100; // beam width at insert time
+    size_t ef_search = 64;        // beam width at query time
+    uint64_t seed = 7;            // level assignment seed
+  };
+
+  HnswIndex() : HnswIndex(Options{}) {}
+  explicit HnswIndex(const Options& options)
+      : options_(options), rng_(options.seed) {}
+
+  common::Status Add(uint64_t id, Vector vector) override;
+  common::Status Remove(uint64_t id) override;
+  bool Contains(uint64_t id) const override;
+  size_t Size() const override;
+
+  std::vector<SearchResult> Search(const Vector& query,
+                                   size_t k) const override;
+
+  size_t ef_search() const { return options_.ef_search; }
+  void set_ef_search(size_t ef) { options_.ef_search = ef; }
+
+ private:
+  struct Node {
+    Vector vector;
+    // neighbors[level] = adjacency list at that level.
+    std::vector<std::vector<uint32_t>> neighbors;
+    uint64_t external_id = 0;
+    bool deleted = false;
+  };
+
+  int RandomLevel();
+  float Sim(const Vector& a, uint32_t node) const;
+  // Greedy beam search at one level; returns up to `ef` closest nodes.
+  std::vector<std::pair<float, uint32_t>> SearchLayer(const Vector& query,
+                                                      uint32_t entry,
+                                                      size_t ef,
+                                                      size_t level) const;
+  void Connect(uint32_t node, uint32_t peer, size_t level);
+  size_t MaxDegree(size_t level) const {
+    return level == 0 ? options_.m * 2 : options_.m;
+  }
+
+  Options options_;
+  common::Rng rng_;
+  std::vector<Node> nodes_;
+  std::unordered_map<uint64_t, uint32_t> id_to_node_;
+  int top_level_ = -1;
+  uint32_t entry_point_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace llmdm::vectordb
+
+#endif  // LLMDM_VECTORDB_HNSW_INDEX_H_

@@ -1,0 +1,41 @@
+#ifndef LLMDM_VECTORDB_INDEX_H_
+#define LLMDM_VECTORDB_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/embedder.h"
+
+namespace llmdm::vectordb {
+
+using embed::Vector;
+
+/// One nearest-neighbour hit. `score` is cosine similarity (higher = closer);
+/// all library embeddings are unit-normalized so this equals the dot product.
+struct SearchResult {
+  uint64_t id = 0;
+  float score = 0.0f;
+
+  bool operator==(const SearchResult&) const = default;
+};
+
+/// Common interface for the vector indexes (flat / IVF / HNSW). Vectors are
+/// keyed by caller-chosen 64-bit ids; adding an existing id replaces it.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual common::Status Add(uint64_t id, Vector vector) = 0;
+  virtual common::Status Remove(uint64_t id) = 0;
+  virtual bool Contains(uint64_t id) const = 0;
+  virtual size_t Size() const = 0;
+
+  /// Top-k by cosine similarity, best first. May return fewer than k.
+  virtual std::vector<SearchResult> Search(const Vector& query,
+                                           size_t k) const = 0;
+};
+
+}  // namespace llmdm::vectordb
+
+#endif  // LLMDM_VECTORDB_INDEX_H_

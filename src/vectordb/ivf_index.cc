@@ -1,0 +1,131 @@
+#include "vectordb/ivf_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace llmdm::vectordb {
+
+common::Status IvfIndex::Add(uint64_t id, Vector vector) {
+  vectors_[id] = std::move(vector);
+  stale_ = true;
+  return common::Status::Ok();
+}
+
+common::Status IvfIndex::Remove(uint64_t id) {
+  if (vectors_.erase(id) == 0) {
+    return common::Status::NotFound("no vector with id " + std::to_string(id));
+  }
+  stale_ = true;
+  return common::Status::Ok();
+}
+
+bool IvfIndex::Contains(uint64_t id) const { return vectors_.count(id) > 0; }
+
+void IvfIndex::Build() {
+  stale_ = true;
+  BuildIfStale();
+}
+
+void IvfIndex::BuildIfStale() const {
+  if (!stale_) return;
+  stale_ = false;
+  centroids_.clear();
+  cells_.clear();
+  if (vectors_.empty()) return;
+
+  // Deterministic iteration order for reproducible clustering.
+  std::vector<uint64_t> ids;
+  ids.reserve(vectors_.size());
+  for (const auto& [id, v] : vectors_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  size_t nlist = std::min(options_.nlist, ids.size());
+  common::Rng rng(options_.seed);
+
+  // k-means++ style seeding would be overkill here; random distinct picks
+  // followed by Lloyd iterations converge fine on normalized embeddings.
+  std::vector<uint64_t> shuffled = ids;
+  rng.Shuffle(shuffled);
+  centroids_.assign(nlist, Vector{});
+  for (size_t c = 0; c < nlist; ++c) centroids_[c] = vectors_.at(shuffled[c]);
+
+  std::vector<size_t> assignment(ids.size(), 0);
+  for (size_t iter = 0; iter < options_.kmeans_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const Vector& v = vectors_.at(ids[i]);
+      size_t best = 0;
+      float best_sim = -2.0f;
+      for (size_t c = 0; c < nlist; ++c) {
+        float sim = embed::CosineSimilarity(v, centroids_[c]);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids as the (renormalized) means of their members.
+    std::vector<Vector> sums(nlist);
+    std::vector<size_t> counts(nlist, 0);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const Vector& v = vectors_.at(ids[i]);
+      Vector& s = sums[assignment[i]];
+      if (s.empty()) s.assign(v.size(), 0.0f);
+      for (size_t d = 0; d < v.size(); ++d) s[d] += v[d];
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;  // empty cell keeps its old centroid
+      embed::L2Normalize(&sums[c]);
+      centroids_[c] = std::move(sums[c]);
+    }
+  }
+
+  cells_.assign(nlist, {});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    cells_[assignment[i]].push_back(ids[i]);
+  }
+}
+
+std::vector<SearchResult> IvfIndex::Search(const Vector& query,
+                                           size_t k) const {
+  BuildIfStale();
+  if (centroids_.empty()) return {};
+
+  // Rank cells by centroid similarity.
+  std::vector<std::pair<float, size_t>> cell_scores;
+  cell_scores.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    cell_scores.emplace_back(embed::CosineSimilarity(query, centroids_[c]), c);
+  }
+  size_t probe = std::min(options_.nprobe, cell_scores.size());
+  std::partial_sort(cell_scores.begin(), cell_scores.begin() + probe,
+                    cell_scores.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<SearchResult> candidates;
+  for (size_t p = 0; p < probe; ++p) {
+    for (uint64_t id : cells_[cell_scores[p].second]) {
+      candidates.push_back(
+          SearchResult{id, embed::CosineSimilarity(query, vectors_.at(id))});
+    }
+  }
+  size_t take = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [](const SearchResult& a, const SearchResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.id < b.id;
+                    });
+  candidates.resize(take);
+  return candidates;
+}
+
+}  // namespace llmdm::vectordb

@@ -1,0 +1,57 @@
+#ifndef LLMDM_VECTORDB_IVF_INDEX_H_
+#define LLMDM_VECTORDB_IVF_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "vectordb/index.h"
+
+namespace llmdm::vectordb {
+
+/// Inverted-file index: a k-means coarse quantizer partitions the collection
+/// into `nlist` cells; a query scans only the `nprobe` cells whose centroids
+/// are closest. Classic recall/speed dial for mid-size collections.
+///
+/// The cell assignment is (re)built lazily on the first search after a
+/// mutation, so interleaved add/search workloads stay correct.
+class IvfIndex : public VectorIndex {
+ public:
+  struct Options {
+    size_t nlist = 16;            // number of k-means cells
+    size_t nprobe = 4;            // cells scanned per query
+    size_t kmeans_iterations = 8;
+    uint64_t seed = 42;           // k-means init seed
+  };
+
+  IvfIndex() : IvfIndex(Options{}) {}
+  explicit IvfIndex(const Options& options) : options_(options) {}
+
+  common::Status Add(uint64_t id, Vector vector) override;
+  common::Status Remove(uint64_t id) override;
+  bool Contains(uint64_t id) const override;
+  size_t Size() const override { return vectors_.size(); }
+
+  std::vector<SearchResult> Search(const Vector& query,
+                                   size_t k) const override;
+
+  /// Forces a (re)build of the coarse quantizer; otherwise it happens lazily.
+  void Build();
+
+  size_t nprobe() const { return options_.nprobe; }
+  void set_nprobe(size_t nprobe) { options_.nprobe = nprobe; }
+
+ private:
+  void BuildIfStale() const;
+
+  Options options_;
+  std::unordered_map<uint64_t, Vector> vectors_;
+
+  // Built state (mutable: rebuilt lazily from const Search).
+  mutable bool stale_ = true;
+  mutable std::vector<Vector> centroids_;
+  mutable std::vector<std::vector<uint64_t>> cells_;
+};
+
+}  // namespace llmdm::vectordb
+
+#endif  // LLMDM_VECTORDB_IVF_INDEX_H_

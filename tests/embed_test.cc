@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "embed/embedder.h"
+#include "text/tokenizer.h"
+
+namespace llmdm::embed {
+namespace {
+
+TEST(Tokenizer, SplitsWordsAndPunct) {
+  text::Tokenizer tok;
+  auto pieces = tok.Tokenize("SELECT name, id FROM t;");
+  EXPECT_EQ(pieces, (std::vector<std::string>{"SELECT", "name", ",", "id",
+                                              "FROM", "t", ";"}));
+}
+
+TEST(Tokenizer, ChunksLongWords) {
+  text::Tokenizer tok;
+  auto pieces = tok.Tokenize("internationalization");
+  EXPECT_GT(pieces.size(), 2u);
+  std::string joined;
+  for (const auto& p : pieces) joined += p;
+  EXPECT_EQ(joined, "internationalization");
+}
+
+TEST(Tokenizer, CountMatchesTokenize) {
+  text::Tokenizer tok;
+  const char* samples[] = {
+      "", "hello world", "a,b,,c", "the quick brown fox jumps over 42 dogs!",
+      "SELECT COUNT(*) FROM stadium WHERE capacity > 50000",
+  };
+  for (const char* s : samples) {
+    EXPECT_EQ(tok.CountTokens(s), tok.Tokenize(s).size()) << s;
+  }
+}
+
+TEST(Tokenizer, CharNgrams) {
+  auto grams = text::CharNgrams("ab", 3);
+  // "^ab$" -> {"^ab", "ab$"}
+  EXPECT_EQ(grams, (std::vector<std::string>{"^ab", "ab$"}));
+}
+
+TEST(Embedder, DeterministicAndNormalized) {
+  HashingEmbedder e;
+  Vector a = e.Embed("hello world");
+  Vector b = e.Embed("hello world");
+  EXPECT_EQ(a, b);
+  float norm = 0;
+  for (float x : a) norm += x * x;
+  EXPECT_NEAR(norm, 1.0f, 1e-4f);
+}
+
+TEST(Embedder, SelfSimilarityIsOne) {
+  HashingEmbedder e;
+  EXPECT_NEAR(e.Similarity("some query text", "some query text"), 1.0f, 1e-5f);
+}
+
+TEST(Embedder, ParaphraseCloserThanUnrelated) {
+  HashingEmbedder e;
+  std::string base = "Show the names of stadiums that had concerts in 2014";
+  std::string paraphrase =
+      "What are the names of stadiums that had concerts in 2014?";
+  std::string unrelated = "The patient was prescribed antibiotics for fever";
+  EXPECT_GT(e.Similarity(base, paraphrase), 0.75f);
+  EXPECT_LT(e.Similarity(base, unrelated), 0.35f);
+  EXPECT_GT(e.Similarity(base, paraphrase), e.Similarity(base, unrelated));
+}
+
+TEST(Embedder, DifferentSeedsDifferentSpaces) {
+  HashingEmbedder::Options o1, o2;
+  o2.seed = 12345;
+  HashingEmbedder e1(o1), e2(o2);
+  Vector a = e1.Embed("query");
+  Vector b = e2.Embed("query");
+  EXPECT_LT(CosineSimilarity(a, b), 0.9f);
+}
+
+TEST(Distances, BasicIdentities) {
+  Vector a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, a), 1.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, b), 0.0f);
+  EXPECT_FLOAT_EQ(L2DistanceSquared(a, b), 2.0f);
+  EXPECT_FLOAT_EQ(DotProduct(a, b), 0.0f);
+  Vector z{0, 0, 0};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, z), 0.0f);
+}
+
+TEST(Distances, Normalize) {
+  Vector v{3, 4};
+  L2Normalize(&v);
+  EXPECT_FLOAT_EQ(v[0], 0.6f);
+  EXPECT_FLOAT_EQ(v[1], 0.8f);
+  Vector z{0, 0};
+  L2Normalize(&z);  // must not divide by zero
+  EXPECT_FLOAT_EQ(z[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace llmdm::embed

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "data/nl2sql_workload.h"
+#include "data/qa_workload.h"
+#include "llm/simulated.h"
+#include "sql/database.h"
+
+namespace llmdm::llm {
+namespace {
+
+class LlmTest : public ::testing::Test {
+ protected:
+  LlmTest() {
+    common::Rng rng(101);
+    kb_ = data::KnowledgeBase::Generate(60, rng);
+    models_ = CreatePaperModelLadder(&kb_, 2024);
+  }
+
+  LlmModel& babbage() { return *models_[0]; }
+  LlmModel& gpt35() { return *models_[1]; }
+  LlmModel& gpt4() { return *models_[2]; }
+
+  data::KnowledgeBase kb_;
+  std::vector<std::shared_ptr<LlmModel>> models_;
+};
+
+TEST_F(LlmTest, PromptRenderAndTokens) {
+  Prompt p = MakePrompt("qa", "Who is the advisor of Alice Adams?");
+  p.system = "You are a helpful assistant.";
+  p.examples.push_back({"Who is the mentor of Bob Baker?", "Carol Chen"});
+  std::string rendered = p.Render();
+  EXPECT_NE(rendered.find("[system]"), std::string::npos);
+  EXPECT_NE(rendered.find("[example]"), std::string::npos);
+  EXPECT_NE(rendered.find("[input]"), std::string::npos);
+  EXPECT_GT(p.CountInputTokens(), 20u);
+}
+
+TEST_F(LlmTest, DeterministicCompletions) {
+  Prompt p = MakePrompt("qa", "Who is the advisor of " + kb_.entities()[0] + "?");
+  auto a = gpt35().Complete(p);
+  auto b = gpt35().Complete(p);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->text, b->text);
+  EXPECT_EQ(a->cost, b->cost);
+}
+
+TEST_F(LlmTest, SampleSaltGivesIndependentDraws) {
+  // Across many questions, at least some completions must differ by salt
+  // (hard questions on the small model flip between right and wrong).
+  int diffs = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::string subject = kb_.entities()[i % kb_.entities().size()];
+    Prompt p = MakePrompt(
+        "qa", data::RenderChainQuestion({"advisor", "manager"}, subject));
+    Prompt p2 = p;
+    p2.sample_salt = 1;
+    auto a = babbage().Complete(p);
+    auto b = babbage().Complete(p2);
+    ASSERT_TRUE(a.ok() && b.ok());
+    if (a->text != b->text) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST_F(LlmTest, CostScalesWithModelAndTokens) {
+  Prompt p = MakePrompt("qa", "Who is the advisor of " + kb_.entities()[1] + "?");
+  auto small = babbage().Complete(p);
+  auto large = gpt4().Complete(p);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->cost, small->cost);
+  // Longer prompt costs more on the same model.
+  Prompt longer = p;
+  for (int i = 0; i < 5; ++i) {
+    longer.examples.push_back({"Who is the mentor of X?", "Y"});
+  }
+  auto long_result = gpt4().Complete(longer);
+  ASSERT_TRUE(long_result.ok());
+  EXPECT_GT(long_result->cost, large->cost);
+}
+
+TEST_F(LlmTest, AccuracyOrderedByCapability) {
+  common::Rng rng(7);
+  auto workload = data::GenerateQaWorkload(kb_, 120, {1.0, 1.0, 1.0}, rng);
+  auto accuracy = [&](LlmModel& model) {
+    int correct = 0;
+    for (const auto& item : workload) {
+      Prompt p = MakePrompt("qa", item.question);
+      auto c = model.Complete(p);
+      EXPECT_TRUE(c.ok());
+      if (c.ok() && c->text == item.answer) ++correct;
+    }
+    return static_cast<double>(correct) / workload.size();
+  };
+  double acc_small = accuracy(babbage());
+  double acc_mid = accuracy(gpt35());
+  double acc_large = accuracy(gpt4());
+  EXPECT_LT(acc_small, acc_mid);
+  EXPECT_LT(acc_mid, acc_large);
+  EXPECT_LT(acc_small, 0.55);
+  EXPECT_GT(acc_large, 0.80);
+}
+
+TEST_F(LlmTest, HopsMakeQuestionsHarder) {
+  common::Rng rng(8);
+  auto easy = data::GenerateQaWorkload(kb_, 80, {1.0}, rng);
+  auto hard = data::GenerateQaWorkload(kb_, 80, {0.0, 0.0, 1.0}, rng);
+  auto accuracy = [&](const std::vector<data::QaItem>& items) {
+    int correct = 0;
+    for (const auto& item : items) {
+      auto c = gpt35().Complete(MakePrompt("qa", item.question));
+      if (c.ok() && c->text == item.answer) ++correct;
+    }
+    return static_cast<double>(correct) / items.size();
+  };
+  EXPECT_GT(accuracy(easy), accuracy(hard) + 0.1);
+}
+
+TEST_F(LlmTest, UsageMeterAccumulates) {
+  UsageMeter meter;
+  Prompt p = MakePrompt("qa", "Who is the advisor of " + kb_.entities()[2] + "?");
+  ASSERT_TRUE(gpt35().CompleteMetered(p, &meter).ok());
+  ASSERT_TRUE(gpt4().CompleteMetered(p, &meter).ok());
+  EXPECT_EQ(meter.calls(), 2u);
+  EXPECT_GT(meter.cost().micros(), 0);
+  EXPECT_EQ(meter.by_model().size(), 2u);
+  meter.Reset();
+  EXPECT_EQ(meter.calls(), 0u);
+}
+
+TEST_F(LlmTest, UnknownTagFallsBackToFreeform) {
+  Prompt p = MakePrompt("no_such_skill", "do something");
+  auto c = gpt4().Complete(p);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c->text.find("Understood"), std::string::npos);
+}
+
+// ---- NL2SQL skill end-to-end against the SQL engine ------------------------
+
+class Nl2SqlSkillTest : public ::testing::Test {
+ protected:
+  Nl2SqlSkillTest() {
+    common::Rng rng(55);
+    auto script = data::BuildStadiumDatabaseScript(10, {2014, 2015}, rng);
+    auto r = db_.ExecuteScript(script);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    models_ = CreatePaperModelLadder(nullptr, 31337);
+  }
+
+  // Execution-match grading.
+  bool Correct(const std::string& predicted_sql, const std::string& gold_sql) {
+    auto gold = db_.Query(gold_sql);
+    EXPECT_TRUE(gold.ok()) << gold_sql;
+    auto pred = db_.Query(predicted_sql);
+    if (!pred.ok()) return false;
+    return gold.ok() && pred->BagEquals(*gold);
+  }
+
+  sql::Database db_;
+  std::vector<std::shared_ptr<LlmModel>> models_;
+};
+
+TEST_F(Nl2SqlSkillTest, GoldSqlExecutes) {
+  for (const auto& q : data::PaperQ1ToQ5()) {
+    auto r = db_.Query(q.ToGoldSql());
+    EXPECT_TRUE(r.ok()) << q.ToGoldSql() << " -> " << r.status().ToString();
+  }
+}
+
+TEST_F(Nl2SqlSkillTest, NlRoundTripsThroughParser) {
+  common::Rng rng(66);
+  data::Nl2SqlWorkloadOptions options;
+  options.num_queries = 30;
+  auto workload = data::GenerateNl2SqlWorkload(options, rng);
+  for (const auto& q : workload) {
+    auto parsed = data::ParseNl2SqlQuestion(q.ToNaturalLanguage());
+    ASSERT_TRUE(parsed.ok()) << q.ToNaturalLanguage();
+    EXPECT_EQ(*parsed, q);
+  }
+}
+
+TEST_F(Nl2SqlSkillTest, AccuracyImprovesWithModelSize) {
+  common::Rng rng(67);
+  data::Nl2SqlWorkloadOptions options;
+  options.num_queries = 80;
+  auto workload = data::GenerateNl2SqlWorkload(options, rng);
+  auto accuracy = [&](LlmModel& model) {
+    int correct = 0;
+    for (const auto& q : workload) {
+      Prompt p = MakePrompt("nl2sql", q.ToNaturalLanguage());
+      auto c = model.Complete(p);
+      EXPECT_TRUE(c.ok());
+      if (c.ok() && Correct(c->text, q.ToGoldSql())) ++correct;
+    }
+    return static_cast<double>(correct) / workload.size();
+  };
+  double small = accuracy(*models_[0]);
+  double large = accuracy(*models_[2]);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, 0.75);
+}
+
+TEST_F(Nl2SqlSkillTest, RelevantExamplesHelp) {
+  common::Rng rng(68);
+  data::Nl2SqlWorkloadOptions options;
+  options.num_queries = 80;
+  options.compound_rate = 1.0;
+  auto workload = data::GenerateNl2SqlWorkload(options, rng);
+  auto paper = data::PaperQ1ToQ5();
+  auto accuracy = [&](bool with_examples) {
+    int correct = 0;
+    for (const auto& q : workload) {
+      Prompt p = MakePrompt("nl2sql", q.ToNaturalLanguage());
+      if (with_examples) {
+        for (const auto& ex : paper) {
+          p.examples.push_back({ex.ToNaturalLanguage(), ex.ToGoldSql()});
+        }
+      }
+      auto c = models_[1]->Complete(p);
+      if (c.ok() && Correct(c->text, q.ToGoldSql())) ++correct;
+    }
+    return static_cast<double>(correct) / workload.size();
+  };
+  EXPECT_GT(accuracy(true), accuracy(false));
+}
+
+// ---- tabular skills ------------------------------------------------------------
+
+TEST(TabularSkillTest, PredictNumericViaIcl) {
+  auto models = CreatePaperModelLadder(nullptr, 9);
+  Prompt p = MakePrompt("tabular_predict", "x is 5");
+  // y = 2x exactly; 5 -> 10.
+  for (int x = 1; x <= 8; ++x) {
+    if (x == 5) continue;
+    p.examples.push_back({common::StrFormat("x is %d", x),
+                          common::StrFormat("%d", 2 * x)});
+  }
+  auto c = models[2]->Complete(p);
+  ASSERT_TRUE(c.ok());
+  double v = 0;
+  ASSERT_TRUE(common::ParseDouble(c->text, &v));
+  EXPECT_NEAR(v, 10.0, 2.5);
+}
+
+TEST(TabularSkillTest, PredictCategoricalViaIcl) {
+  auto models = CreatePaperModelLadder(nullptr, 10);
+  Prompt p = MakePrompt("tabular_predict", "temp is 39.5; cough is yes");
+  p.examples.push_back({"temp is 39.8; cough is yes", "flu"});
+  p.examples.push_back({"temp is 39.2; cough is yes", "flu"});
+  p.examples.push_back({"temp is 36.5; cough is no", "healthy"});
+  p.examples.push_back({"temp is 36.8; cough is no", "healthy"});
+  auto c = models[2]->Complete(p);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->text, "flu");
+}
+
+TEST(TabularSkillTest, GenerateMimicsSchema) {
+  auto models = CreatePaperModelLadder(nullptr, 11);
+  Prompt p = MakePrompt("tabular_generate", "generate one more row");
+  p.examples.push_back({"age is 30; city is Boston", "ok"});
+  p.examples.push_back({"age is 40; city is London", "ok"});
+  p.examples.push_back({"age is 50; city is Boston", "ok"});
+  auto c = models[2]->Complete(p);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c->text.find("age is "), std::string::npos);
+  EXPECT_NE(c->text.find("; city is "), std::string::npos);
+}
+
+TEST(Sql2NlSkillTest, DescribesAggregate) {
+  auto models = CreatePaperModelLadder(nullptr, 12);
+  Prompt p = MakePrompt("sql2nl",
+                        "SELECT AVG(salary) FROM employee\n=> 500.0");
+  auto c = models[2]->Complete(p);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c->text.find("average"), std::string::npos);
+  EXPECT_NE(c->text.find("employee"), std::string::npos);
+  EXPECT_NE(c->text.find("500.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llmdm::llm

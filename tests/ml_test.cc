@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "data/tabular_gen.h"
+#include "ml/linear.h"
+#include "ml/logistic.h"
+
+namespace llmdm::ml {
+namespace {
+
+TEST(DatasetFromTable, ExtractsNumericAndBoolFeatures) {
+  common::Rng rng(1);
+  data::PatientDataOptions options;
+  options.num_rows = 50;
+  data::Table patients = data::GeneratePatientTable(options, rng);
+  auto ds = DatasetFromTable(patients, "has_heart_disease");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 50u);
+  // age, bmi, systolic_bp, cholesterol, smoker (sex is text; patient_id is
+  // an identifier and deliberately excluded).
+  EXPECT_EQ(ds->dim(), 5u);
+  EXPECT_FALSE(DatasetFromTable(patients, "missing").ok());
+  EXPECT_FALSE(DatasetFromTable(patients, "age").ok());  // not BOOL
+}
+
+TEST(DatasetFromTable, DropsRowsWithNulls) {
+  common::Rng rng(2);
+  data::PatientDataOptions options;
+  options.num_rows = 60;
+  data::Table patients = data::GeneratePatientTable(options, rng);
+  auto blanked = data::InjectMissing(&patients, "bmi", 0.25, rng);
+  auto ds = DatasetFromTable(patients, "has_heart_disease");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 60u - blanked.size());
+}
+
+TEST(Standardize, ZeroMeanUnitVariance) {
+  Dataset ds;
+  ds.features = {{1.0, 10.0}, {3.0, 20.0}, {5.0, 30.0}};
+  ds.labels = {0, 1, 0};
+  auto stats = Standardize(&ds);
+  for (size_t d = 0; d < 2; ++d) {
+    double mean = 0;
+    for (const auto& x : ds.features) mean += x[d];
+    EXPECT_NEAR(mean / 3.0, 0.0, 1e-9);
+  }
+  // Stats reusable on held-out data.
+  Dataset holdout;
+  holdout.features = {{3.0, 20.0}};
+  holdout.labels = {1};
+  ApplyStandardization(stats, &holdout);
+  EXPECT_NEAR(holdout.features[0][0], 0.0, 1e-9);
+}
+
+TEST(LogisticRegression, LearnsSeparableProblem) {
+  common::Rng rng(3);
+  Dataset train;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(-2, 2);
+    double y = rng.Uniform(-2, 2);
+    train.features.push_back({x, y});
+    train.labels.push_back(x + y > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  LogisticRegression::TrainOptions options;
+  options.epochs = 80;
+  model.Train(train, options);
+  EXPECT_GT(model.Accuracy(train), 0.95);
+}
+
+TEST(LogisticRegression, PatientRiskIsLearnable) {
+  common::Rng rng(4);
+  data::PatientDataOptions options;
+  options.num_rows = 400;
+  auto train_table = data::GeneratePatientTable(options, rng);
+  auto holdout_table = data::GeneratePatientTable(options, rng);
+  auto train = DatasetFromTable(train_table, "has_heart_disease");
+  auto holdout = DatasetFromTable(holdout_table, "has_heart_disease");
+  ASSERT_TRUE(train.ok() && holdout.ok());
+  auto stats = Standardize(&*train);
+  ApplyStandardization(stats, &*holdout);
+  LogisticRegression model;
+  LogisticRegression::TrainOptions topts;
+  topts.epochs = 60;
+  model.Train(*train, topts);
+  EXPECT_GT(model.Accuracy(*holdout), 0.7);
+}
+
+TEST(LogisticRegression, ClippingBoundsGradients) {
+  // With aggressive clipping the model still learns, just slower.
+  common::Rng rng(5);
+  Dataset train;
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(-2, 2);
+    train.features.push_back({x});
+    train.labels.push_back(x > 0 ? 1 : 0);
+  }
+  LogisticRegression model;
+  LogisticRegression::TrainOptions options;
+  options.epochs = 100;
+  options.clip_norm = 0.1;
+  model.Train(train, options);
+  EXPECT_GT(model.Accuracy(train), 0.9);
+}
+
+TEST(LogisticRegression, ExampleLossOrdering) {
+  LogisticRegression model;
+  model.SetParameters({2.0}, 0.0);
+  // Confidently-correct example has lower loss than confidently-wrong.
+  EXPECT_LT(model.ExampleLoss({3.0}, 1), model.ExampleLoss({3.0}, 0));
+}
+
+TEST(FederatedAverage, WeightsBySize) {
+  LogisticRegression a, b;
+  a.SetParameters({1.0}, 1.0);
+  b.SetParameters({3.0}, 3.0);
+  LogisticRegression avg = FederatedAverage({a, b}, {3, 1});
+  EXPECT_NEAR(avg.weights()[0], 1.5, 1e-12);
+  EXPECT_NEAR(avg.bias(), 1.5, 1e-12);
+}
+
+TEST(LinearRegression, RecoversLinearStructure) {
+  common::Rng rng(6);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.Uniform(0, 10), b = rng.Uniform(0, 5);
+    x.push_back({a, b});
+    y.push_back(3.0 * a + 7.0 * b + 2.0 + rng.Normal(0, 0.1));
+  }
+  LinearRegression model;
+  model.Train(x, y);
+  EXPECT_NEAR(model.Predict({4.0, 2.0}), 3.0 * 4 + 7.0 * 2 + 2.0, 0.5);
+  EXPECT_LT(model.Mape(x, y), 0.05);
+}
+
+TEST(LinearRegression, EmptyInputSafe) {
+  LinearRegression model;
+  model.Train({}, {});
+  EXPECT_DOUBLE_EQ(model.Mape({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace llmdm::ml

@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include "core/optimize/cascade.h"
+#include "core/optimize/decomposition.h"
+#include "core/optimize/prompt_store.h"
+#include "core/optimize/semantic_cache.h"
+#include "data/nl2sql_workload.h"
+#include "data/qa_workload.h"
+#include "llm/simulated.h"
+#include "sql/database.h"
+
+namespace llmdm::optimize {
+namespace {
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  CascadeTest() {
+    common::Rng rng(303);
+    kb_ = data::KnowledgeBase::Generate(50, rng);
+    ladder_ = llm::CreatePaperModelLadder(&kb_, 777);
+    workload_ = data::GenerateQaWorkload(kb_, 60, {1.0, 1.0, 0.6}, rng);
+  }
+
+  data::KnowledgeBase kb_;
+  std::vector<std::shared_ptr<llm::LlmModel>> ladder_;
+  std::vector<data::QaItem> workload_;
+};
+
+TEST_F(CascadeTest, EmptyLadderRejected) {
+  LlmCascade cascade({}, LlmCascade::Options{});
+  EXPECT_FALSE(cascade.Run(llm::MakePrompt("qa", "Who is X?")).ok());
+}
+
+TEST_F(CascadeTest, AcceptsAtSomeRungAndMeters) {
+  LlmCascade cascade(ladder_, LlmCascade::Options{});
+  llm::UsageMeter meter;
+  auto r = cascade.Run(llm::MakePrompt("qa", workload_[0].question), &meter);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->answer.empty());
+  EXPECT_FALSE(r->trace.empty());
+  EXPECT_TRUE(r->trace.back().accepted);
+  EXPECT_EQ(meter.calls(), r->total_calls);
+  EXPECT_GT(r->cost.micros(), 0);
+}
+
+TEST_F(CascadeTest, ThresholdZeroAlwaysTakesSmallModel) {
+  LlmCascade::Options options;
+  options.accept_threshold = 0.0;
+  LlmCascade cascade(ladder_, options);
+  auto r = cascade.Run(llm::MakePrompt("qa", workload_[1].question));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->model, ladder_[0]->name());
+  EXPECT_EQ(r->trace.size(), 1u);
+}
+
+TEST_F(CascadeTest, ImpossibleThresholdEscalatesToTop) {
+  LlmCascade::Options options;
+  options.accept_threshold = 1.1;
+  LlmCascade cascade(ladder_, options);
+  auto r = cascade.Run(llm::MakePrompt("qa", workload_[2].question));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->model, ladder_.back()->name());
+  EXPECT_EQ(r->trace.size(), ladder_.size());
+}
+
+TEST_F(CascadeTest, MatchesBigModelAccuracyAtLowerCost) {
+  // The Table I shape: cascade accuracy ~ gpt-4 accuracy, cost well below.
+  LlmCascade::Options options;
+  options.accept_threshold = 0.8;
+  LlmCascade cascade(ladder_, options);
+
+  int cascade_correct = 0, big_correct = 0;
+  llm::UsageMeter cascade_meter, big_meter;
+  for (const auto& item : workload_) {
+    llm::Prompt p = llm::MakePrompt("qa", item.question);
+    auto cr = cascade.Run(p, &cascade_meter);
+    ASSERT_TRUE(cr.ok());
+    if (cr->answer == item.answer) ++cascade_correct;
+    auto br = ladder_.back()->CompleteMetered(p, &big_meter);
+    ASSERT_TRUE(br.ok());
+    if (br->text == item.answer) ++big_correct;
+  }
+  double cascade_acc = double(cascade_correct) / double(workload_.size());
+  double big_acc = double(big_correct) / double(workload_.size());
+  EXPECT_GT(cascade_acc, big_acc - 0.12);       // near-parity accuracy
+  EXPECT_LT(cascade_meter.cost().dollars(),
+            big_meter.cost().dollars() * 0.7);  // clear cost win
+}
+
+TEST(CalibrateThreshold, PrefersSeparatingThreshold) {
+  // Scores above 0.6 are always right, below always wrong: the calibrated
+  // threshold should fall in between (escalating the wrong ones).
+  std::vector<CalibrationSample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back({0.9, true});
+    samples.push_back({0.3, false});
+  }
+  double t = CalibrateAcceptThreshold(samples, /*escalation_accuracy=*/0.95,
+                                      /*escalation_cost_ratio=*/20.0);
+  EXPECT_GT(t, 0.3);
+  EXPECT_LE(t, 0.9);
+}
+
+TEST(CalibrateThreshold, EmptySamplesFallBack) {
+  EXPECT_DOUBLE_EQ(CalibrateAcceptThreshold({}, 0.9, 10.0), 0.7);
+}
+
+// ---- decomposition ------------------------------------------------------------
+
+TEST(Decomposition, SplitsCompoundQuestion) {
+  auto d = DecomposeQuestion(
+      "What are the names of stadiums that had concerts in 2014 or had "
+      "sports meetings in 2015?");
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->sub_questions.size(), 2u);
+  EXPECT_EQ(d->sub_questions[0], "stadiums that had concerts in 2014");
+  EXPECT_EQ(d->sub_questions[1], "stadiums that had sports meetings in 2015");
+  EXPECT_EQ(d->combiner, data::Combiner::kOr);
+}
+
+TEST(Decomposition, AtomicStaysAtomic) {
+  auto d = DecomposeQuestion(
+      "What are the names of stadiums that had concerts in 2014?");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->atomic());
+}
+
+TEST(Decomposition, RecombineUsesSetAlgebra) {
+  EXPECT_EQ(RecombineSql({"A", "B"}, data::Combiner::kOr), "A UNION B");
+  EXPECT_EQ(RecombineSql({"A", "B"}, data::Combiner::kAnd), "A INTERSECT B");
+  EXPECT_EQ(RecombineSql({"A", "B"}, data::Combiner::kAndNot), "A EXCEPT B");
+  EXPECT_EQ(RecombineSql({"A"}, data::Combiner::kOr), "A");
+}
+
+class BatchOptimizerTest : public ::testing::Test {
+ protected:
+  BatchOptimizerTest() {
+    common::Rng rng(404);
+    auto script = data::BuildStadiumDatabaseScript(12, {2014, 2015}, rng);
+    EXPECT_TRUE(db_.ExecuteScript(script).ok());
+    models_ = llm::CreatePaperModelLadder(nullptr, 909);
+    // A workload with heavy sub-query sharing (small condition pool).
+    data::Nl2SqlWorkloadOptions options;
+    options.num_queries = 20;
+    options.condition_pool = 4;
+    options.compound_rate = 0.8;
+    for (const auto& q : data::GenerateNl2SqlWorkload(options, rng)) {
+      questions_.push_back(q.ToNaturalLanguage());
+      gold_.push_back(q.ToGoldSql());
+    }
+  }
+
+  double GradeAll(const std::vector<std::string>& sql) {
+    int correct = 0;
+    for (size_t i = 0; i < sql.size(); ++i) {
+      auto gold = db_.Query(gold_[i]);
+      auto pred = db_.Query(sql[i]);
+      if (gold.ok() && pred.ok() && pred->BagEquals(*gold)) ++correct;
+    }
+    return double(correct) / double(sql.size());
+  }
+
+  sql::Database db_;
+  std::vector<std::shared_ptr<llm::LlmModel>> models_;
+  std::vector<std::string> questions_;
+  std::vector<std::string> gold_;
+};
+
+TEST_F(BatchOptimizerTest, PlanDedupesSharedSubqueries) {
+  QueryBatchOptimizer::Options options;
+  options.enable_decomposition = true;
+  QueryBatchOptimizer optimizer(options);
+  BatchPlan plan = optimizer.Plan(questions_);
+  // With a pool of 4 conditions, unique units must be far fewer than the sum
+  // of all per-query units.
+  size_t total_units = 0;
+  for (const auto& item : plan.items) total_units += item.units.size();
+  EXPECT_LT(plan.unique_units.size(), total_units);
+  EXPECT_EQ(plan.items.size(), questions_.size());
+}
+
+TEST_F(BatchOptimizerTest, DirectPlanWhenDecompositionDisabled) {
+  QueryBatchOptimizer::Options options;
+  options.enable_decomposition = false;
+  QueryBatchOptimizer optimizer(options);
+  BatchPlan plan = optimizer.Plan(questions_);
+  for (const auto& item : plan.items) {
+    EXPECT_FALSE(item.decomposed);
+    EXPECT_EQ(item.units.size(), 1u);
+  }
+}
+
+TEST_F(BatchOptimizerTest, TableIIShape) {
+  // Origin vs Decomposition vs Decomposition+Combination: accuracy must not
+  // drop and cost must fall monotonically.
+  auto examples = data::PaperQ1ToQ5();
+  std::vector<llm::FewShotExample> few_shot;
+  for (const auto& ex : examples) {
+    few_shot.push_back({ex.ToNaturalLanguage(), ex.ToGoldSql()});
+  }
+  auto run = [&](bool decompose, bool combine) {
+    QueryBatchOptimizer::Options options;
+    options.enable_decomposition = decompose;
+    options.enable_combination = combine;
+    options.examples = few_shot;
+    QueryBatchOptimizer optimizer(options);
+    BatchPlan plan = optimizer.Plan(questions_);
+    llm::UsageMeter meter;
+    auto exec = optimizer.Execute(plan, *models_[1], &meter);
+    EXPECT_TRUE(exec.ok());
+    return std::make_pair(GradeAll(exec->sql), meter.cost().dollars());
+  };
+  auto [acc_origin, cost_origin] = run(false, false);
+  auto [acc_decomp, cost_decomp] = run(true, false);
+  auto [acc_comb, cost_comb] = run(true, true);
+
+  EXPECT_GE(acc_decomp, acc_origin);        // decomposition helps accuracy
+  EXPECT_LT(cost_decomp, cost_origin);      // and costs less
+  EXPECT_NEAR(acc_comb, acc_decomp, 1e-9);  // combination: same answers
+  EXPECT_LT(cost_comb, cost_decomp);        // at lower cost still
+}
+
+// ---- semantic cache -------------------------------------------------------------
+
+TEST(SemanticCache, ExactishHitAboveThreshold) {
+  SemanticCache cache(SemanticCache::Options{});
+  cache.Insert("What are the names of stadiums that had concerts in 2014?",
+               "SELECT ...", common::Money::FromDollars(0.01));
+  auto hit = cache.Lookup(
+      "What are the names of stadiums that had concerts in 2014?",
+      common::Money::FromDollars(0.02));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_GT(hit->similarity, 0.99f);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().saved, common::Money::FromDollars(0.02));
+}
+
+TEST(SemanticCache, ParaphraseHitsNonExactMatch) {
+  SemanticCache::Options options;
+  options.similarity_threshold = 0.85;
+  SemanticCache cache(options);
+  cache.Insert("Show the names of stadiums that had concerts in 2014",
+               "SELECT name ...");
+  auto hit = cache.Lookup(
+      "What are the names of stadiums that had concerts in 2014?");
+  EXPECT_TRUE(hit.has_value());
+}
+
+TEST(SemanticCache, UnrelatedQueryMisses) {
+  SemanticCache cache(SemanticCache::Options{});
+  cache.Insert("stadium concerts question", "answer A");
+  auto hit = cache.Lookup("completely different medical topic on insulin");
+  EXPECT_FALSE(hit.has_value());
+}
+
+TEST(SemanticCache, EvictionRespectsCapacity) {
+  SemanticCache::Options options;
+  options.capacity = 4;
+  options.policy = EvictionPolicy::kLru;
+  SemanticCache cache(options);
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert("query number " + std::to_string(i) + " about topic " +
+                     std::to_string(i * 7),
+                 "answer");
+  }
+  EXPECT_EQ(cache.Size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 6u);
+}
+
+TEST(SemanticCache, CostAwareKeepsReusedEntries) {
+  SemanticCache::Options options;
+  options.capacity = 2;
+  options.policy = EvictionPolicy::kCostAware;
+  SemanticCache cache(options);
+  cache.Insert("alpha workload query about stadium capacity", "A");
+  cache.Insert("beta workload query about patient cholesterol", "B");
+  // Make alpha valuable through reuse hits.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(
+        cache.Lookup("alpha workload query about stadium capacity").has_value());
+  }
+  cache.Insert("gamma workload query about federated learning", "C");
+  // Alpha must survive; beta (no hits) is the victim.
+  EXPECT_TRUE(
+      cache.Lookup("alpha workload query about stadium capacity").has_value());
+  EXPECT_FALSE(
+      cache.Lookup("beta workload query about patient cholesterol").has_value());
+}
+
+TEST(SemanticCache, PredictiveAdmissionSkipsSingletons) {
+  SemanticCache::Options options;
+  options.capacity = 4;
+  options.predictive_admission = true;
+  SemanticCache cache(options);
+  // One-off queries never enter the cache...
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert("one-off query number " + std::to_string(i), "a");
+  }
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_EQ(cache.stats().admission_rejections, 10u);
+  // ...but a recurring query is admitted on its second sighting.
+  cache.Insert("the recurring data prep question", "a");
+  EXPECT_EQ(cache.Size(), 0u);
+  cache.Insert("the recurring data prep question", "a");
+  EXPECT_EQ(cache.Size(), 1u);
+  EXPECT_TRUE(cache.Lookup("the recurring data prep question").has_value());
+}
+
+TEST(SemanticCache, PredictiveAdmissionProtectsHotEntries) {
+  // Under a singleton-heavy stream with a tiny cache, the doorkeeper keeps
+  // the one hot query resident while plain insertion churns it out.
+  auto run = [](bool predictive) {
+    SemanticCache::Options options;
+    options.capacity = 2;
+    options.predictive_admission = predictive;
+    SemanticCache cache(options);
+    common::Rng rng(13);
+    size_t hot_hits = 0;
+    for (int step = 0; step < 200; ++step) {
+      std::string q = (step % 4 == 0)
+                          ? std::string("the hot recurring question")
+                          : "cold singleton " + std::to_string(step) +
+                                " about subject " + std::to_string(step * 17);
+      if (cache.Lookup(q).has_value()) {
+        if (q == "the hot recurring question") ++hot_hits;
+      } else {
+        cache.Insert(q, "answer");
+      }
+    }
+    return hot_hits;
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(SemanticCache, TopKAugmentationReturnsNeighbors) {
+  SemanticCache cache(SemanticCache::Options{});
+  cache.Insert("stadiums that had concerts in 2014", "SQL1");
+  cache.Insert("stadiums that had concerts in 2015", "SQL2");
+  cache.Insert("patients with high cholesterol", "SQL3");
+  auto hits = cache.TopKForAugmentation("stadiums that had concerts in 2016", 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].response, "SQL3");
+  EXPECT_NE(hits[1].response, "SQL3");
+}
+
+TEST(CachedLlm, HitAvoidsCostMissPopulates) {
+  common::Rng rng(11);
+  auto kb = data::KnowledgeBase::Generate(30, rng);
+  auto models = llm::CreatePaperModelLadder(&kb, 123);
+  SemanticCache cache(SemanticCache::Options{});
+  CachedLlm cached(models[2], &cache);
+
+  llm::Prompt p = llm::MakePrompt(
+      "qa", data::RenderChainQuestion({"advisor"}, kb.entities()[0]));
+  auto first = cached.Complete(p);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->cost.micros(), 0);
+  auto second = cached.Complete(p);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cost.micros(), 0);
+  EXPECT_EQ(second->text, first->text);
+  EXPECT_EQ(cached.cache_hits(), 1u);
+}
+
+// ---- prompt store -----------------------------------------------------------------
+
+TEST(PromptStore, SelectsSimilarExamples) {
+  PromptStore store(PromptStore::Options{});
+  store.Add("stadiums that had concerts in 2014", "SQL-concert-2014");
+  store.Add("stadiums that had sports meetings in 2015", "SQL-meeting-2015");
+  store.Add("patients with diabetes diagnosis", "SQL-patients");
+  auto examples = store.Select("stadiums that had concerts in 2015", 2,
+                               PromptStore::Selection::kSimilarity);
+  ASSERT_EQ(examples.size(), 2u);
+  EXPECT_NE(examples[0].output, "SQL-patients");
+}
+
+TEST(PromptStore, UtilityWeightingDemotesFailures) {
+  PromptStore store(PromptStore::Options{});
+  uint64_t bad = store.Add("stadiums that had concerts in 2014", "BAD");
+  uint64_t good = store.Add("stadiums that had concerts in 2015", "GOOD");
+  for (int i = 0; i < 20; ++i) {
+    store.RecordOutcome(bad, false);
+    store.RecordOutcome(good, true);
+  }
+  auto examples = store.Select("stadiums that had concerts in 2016", 1,
+                               PromptStore::Selection::kUtilityWeighted);
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].output, "GOOD");
+}
+
+TEST(PromptStore, BudgetedRetentionEvicts) {
+  PromptStore::Options options;
+  options.capacity = 3;
+  PromptStore store(options);
+  for (int i = 0; i < 10; ++i) {
+    store.Add("historical prompt " + std::to_string(i), "out");
+  }
+  EXPECT_EQ(store.Size(), 3u);
+}
+
+TEST(PromptStore, LastSelectedIdsAlignWithExamples) {
+  PromptStore store(PromptStore::Options{});
+  store.Add("a question about stadium concerts", "A");
+  store.Add("another question about stadium concerts", "B");
+  auto examples = store.Select("question about stadium concerts", 2,
+                               PromptStore::Selection::kSimilarity);
+  EXPECT_EQ(store.last_selected_ids().size(), examples.size());
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const StoredPrompt* p = store.Get(store.last_selected_ids()[i]);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->output, examples[i].output);
+  }
+}
+
+}  // namespace
+}  // namespace llmdm::optimize

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/privacy/dp.h"
+#include "core/privacy/federated.h"
+#include "data/tabular_gen.h"
+
+namespace llmdm::privacy {
+namespace {
+
+ml::Dataset MakeDataset(size_t rows, uint64_t seed) {
+  common::Rng rng(seed);
+  data::PatientDataOptions options;
+  options.num_rows = rows;
+  data::Table patients = data::GeneratePatientTable(options, rng);
+  auto ds = ml::DatasetFromTable(patients, "has_heart_disease");
+  EXPECT_TRUE(ds.ok());
+  ml::Standardize(&*ds);
+  return *ds;
+}
+
+// ---- DP mechanisms ---------------------------------------------------------------
+
+TEST(DpMechanism, BudgetAccounting) {
+  DpMechanism mech(1.0, 42);
+  EXPECT_TRUE(mech.LaplaceNoise(10.0, 1.0, 0.4).ok());
+  EXPECT_TRUE(mech.LaplaceNoise(10.0, 1.0, 0.4).ok());
+  EXPECT_NEAR(mech.remaining_budget(), 0.2, 1e-12);
+  // Third query would overspend.
+  EXPECT_FALSE(mech.LaplaceNoise(10.0, 1.0, 0.4).ok());
+  EXPECT_EQ(mech.LaplaceNoise(10.0, 1.0, 0.4).status().code(),
+            common::StatusCode::kResourceExhausted);
+}
+
+TEST(DpMechanism, RejectsBadParameters) {
+  DpMechanism mech(10.0, 42);
+  EXPECT_FALSE(mech.LaplaceNoise(1.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(mech.GaussianNoise(1.0, 1.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(mech.GaussianNoise(1.0, 1.0, 1.0, 1.5).ok());
+}
+
+TEST(DpMechanism, NoiseScalesInverselyWithEpsilon) {
+  // Empirical spread at eps=0.1 must exceed spread at eps=10.
+  auto spread = [](double epsilon) {
+    DpMechanism mech(1e9, 7);
+    double acc = 0;
+    for (int i = 0; i < 400; ++i) {
+      acc += std::abs(*mech.LaplaceNoise(0.0, 1.0, epsilon));
+    }
+    return acc / 400;
+  };
+  EXPECT_GT(spread(0.1), spread(10.0) * 10);
+}
+
+TEST(DpAggregator, NoisyStatsNearTruth) {
+  common::Rng rng(81);
+  data::PatientDataOptions options;
+  options.num_rows = 300;
+  data::Table patients = data::GeneratePatientTable(options, rng);
+  DpAggregator agg(&patients, 10.0, 99);
+  auto count = agg.NoisyCount("age", 2.0);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(*count, 300.0, 15.0);
+  auto mean = agg.NoisyMean("age", 20, 90, 4.0);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(*mean, 55.0, 10.0);  // ages uniform on [25,85]
+  EXPECT_LT(agg.remaining_budget(), 10.0);
+}
+
+// ---- DP-SGD + membership inference -------------------------------------------------
+
+TEST(DpTraining, NonPrivateModelLearns) {
+  ml::Dataset train = MakeDataset(300, 1);
+  ml::Dataset holdout = MakeDataset(150, 2);
+  DpTrainingReport report = TrainWithDpAndAudit(train, holdout, 0.0, 0.0, 3);
+  EXPECT_GT(report.holdout_accuracy, 0.7);
+  EXPECT_DOUBLE_EQ(report.approx_epsilon, 0.0);
+}
+
+TEST(DpTraining, NoiseTradesUtilityForPrivacy) {
+  ml::Dataset train = MakeDataset(300, 4);
+  ml::Dataset holdout = MakeDataset(150, 5);
+  DpTrainingReport clear = TrainWithDpAndAudit(train, holdout, 0.0, 0.0, 6);
+  DpTrainingReport mild = TrainWithDpAndAudit(train, holdout, 0.5, 1.0, 6);
+  DpTrainingReport heavy = TrainWithDpAndAudit(train, holdout, 8.0, 1.0, 6);
+  // Attack advantage shrinks as noise grows.
+  EXPECT_LE(heavy.attack.advantage(), clear.attack.advantage() + 0.02);
+  // Utility degrades with heavy noise.
+  EXPECT_GE(clear.holdout_accuracy, heavy.holdout_accuracy - 0.02);
+  // Mild DP keeps most of the utility.
+  EXPECT_GT(mild.holdout_accuracy, 0.6);
+  // Epsilon proxy shrinks with more noise.
+  EXPECT_GT(mild.approx_epsilon, heavy.approx_epsilon);
+}
+
+TEST(MembershipAttack, DetectsOverfitModel) {
+  // A tiny training set overfits; the attack should get real advantage.
+  ml::Dataset small_train = MakeDataset(30, 7);
+  ml::Dataset fresh = MakeDataset(200, 8);
+  ml::LogisticRegression model;
+  ml::LogisticRegression::TrainOptions options;
+  options.epochs = 400;
+  options.l2 = 0.0;
+  model.Train(small_train, options);
+  auto attack = RunMembershipInferenceAttack(model, small_train, fresh);
+  EXPECT_GT(attack.advantage(), 0.05);
+}
+
+// ---- federated learning --------------------------------------------------------------
+
+TEST(Federated, IidClientsReachCentralizedQuality) {
+  ml::Dataset all = MakeDataset(400, 9);
+  ml::Dataset holdout = MakeDataset(200, 10);
+  common::Rng rng(11);
+  auto clients = MakeHeterogeneousClients(all, 4, 0.0, rng);
+  FederatedTrainer::Options options;
+  options.rounds = 12;
+  FederatedTrainer trainer(options);
+  auto report = trainer.Train(clients, holdout);
+  ASSERT_TRUE(report.ok());
+  ml::LogisticRegression central;
+  ml::LogisticRegression::TrainOptions copts;
+  central.Train(all, copts);
+  EXPECT_GT(report->final_accuracy, central.Accuracy(holdout) - 0.08);
+}
+
+TEST(Federated, HeterogeneityHurtsAndAdaptationHelps) {
+  ml::Dataset all = MakeDataset(400, 12);
+  ml::Dataset holdout = MakeDataset(200, 13);
+  common::Rng rng(14);
+  auto skewed = MakeHeterogeneousClients(all, 4, 0.9, rng);
+  common::Rng rng2(14);
+  auto iid = MakeHeterogeneousClients(all, 4, 0.0, rng2);
+
+  FederatedTrainer::Options plain;
+  plain.rounds = 10;
+  FederatedTrainer plain_trainer(plain);
+  auto iid_report = plain_trainer.Train(iid, holdout);
+  auto skew_report = plain_trainer.Train(skewed, holdout);
+  ASSERT_TRUE(iid_report.ok() && skew_report.ok());
+  EXPECT_GE(iid_report->final_accuracy, skew_report->final_accuracy - 0.02);
+
+  FederatedTrainer::Options adaptive = plain;
+  adaptive.adaptive_weighting = true;
+  FederatedTrainer adaptive_trainer(adaptive);
+  auto adaptive_report = adaptive_trainer.Train(skewed, holdout);
+  ASSERT_TRUE(adaptive_report.ok());
+  EXPECT_GE(adaptive_report->final_accuracy,
+            skew_report->final_accuracy - 0.05);
+}
+
+TEST(Federated, ComposesWithDpSgd) {
+  // DP-FedAvg: each client trains its local model with DP-SGD, then the
+  // server averages — the combination Sec. III-D actually calls for
+  // (collaboration without sharing data, AND noise against memorization).
+  ml::Dataset all = MakeDataset(400, 18);
+  ml::Dataset holdout = MakeDataset(200, 19);
+  common::Rng rng(20);
+  auto clients = MakeHeterogeneousClients(all, 4, 0.3, rng);
+  std::vector<ml::LogisticRegression> locals;
+  std::vector<size_t> sizes;
+  for (const auto& client : clients) {
+    ml::LogisticRegression local;
+    ml::LogisticRegression::TrainOptions options;
+    options.clip_norm = 1.0;
+    options.noise_multiplier = 0.5;
+    options.epochs = 30;
+    options.seed = 21 + sizes.size();
+    local.Train(client.shard, options);
+    locals.push_back(std::move(local));
+    sizes.push_back(client.shard.size());
+  }
+  ml::LogisticRegression global = ml::FederatedAverage(locals, sizes);
+  // Averaging cancels much of the independent DP noise: the global model
+  // must beat the average local model on the common holdout.
+  double local_mean = 0;
+  for (const auto& m : locals) local_mean += m.Accuracy(holdout);
+  local_mean /= double(locals.size());
+  EXPECT_GT(global.Accuracy(holdout), local_mean - 0.02);
+  EXPECT_GT(global.Accuracy(holdout), 0.6);
+}
+
+TEST(Federated, ShardSizesSumToDataset) {
+  ml::Dataset all = MakeDataset(200, 15);
+  common::Rng rng(16);
+  auto clients = MakeHeterogeneousClients(all, 5, 0.5, rng);
+  size_t total = 0;
+  for (const auto& c : clients) total += c.shard.size();
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(Federated, NoClientsRejected) {
+  FederatedTrainer trainer(FederatedTrainer::Options{});
+  EXPECT_FALSE(trainer.Train({}, MakeDataset(10, 17)).ok());
+}
+
+}  // namespace
+}  // namespace llmdm::privacy

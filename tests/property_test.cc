@@ -1,0 +1,385 @@
+// Property-based and parameterized sweeps across module invariants. Each
+// suite runs over a set of seeds / sizes via TEST_P so that the invariants
+// are exercised on many independently generated instances.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/money.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/generation/sql_generator.h"
+#include "core/optimize/decomposition.h"
+#include "core/optimize/semantic_cache.h"
+#include "core/transform/column_pattern.h"
+#include "core/transform/table_transform.h"
+#include "data/nl2sql_workload.h"
+#include "data/qa_workload.h"
+#include "data/txn_workload.h"
+#include "sql/database.h"
+#include "sql/parser.h"
+#include "text/tokenizer.h"
+
+namespace llmdm {
+namespace {
+
+// ---- SQL engine: generated-query determinism & round-trip ------------------
+
+class SqlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlPropertyTest, GeneratedQueriesRoundTripAndAreDeterministic) {
+  common::Rng rng(GetParam());
+  sql::Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    data::BuildStadiumDatabaseScript(10, {2013, 2014, 2015},
+                                                     rng))
+                  .ok());
+  generation::SqlGenerator generator(nullptr, GetParam() * 31 + 7);
+  generation::SqlGenConstraints constraints;
+  constraints.count = 15;
+  auto queries = generator.Generate(db, constraints);
+  ASSERT_TRUE(queries.ok());
+  for (const auto& q : *queries) {
+    // (1) parse -> unparse -> parse preserves execution semantics.
+    auto parsed = sql::ParseStatement(q.sql);
+    ASSERT_TRUE(parsed.ok()) << q.sql;
+    std::string printed = parsed->ToString();
+    auto reparsed = sql::ParseStatement(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    auto a = db.Query(q.sql);
+    auto b = db.Query(printed);
+    ASSERT_TRUE(a.ok() && b.ok()) << printed;
+    EXPECT_TRUE(a->BagEquals(*b)) << q.sql << " vs " << printed;
+    // (2) execution is deterministic.
+    auto again = db.Query(q.sql);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(a->BagHash(), again->BagHash());
+  }
+}
+
+TEST_P(SqlPropertyTest, EquivalencePairsHoldOnFreshData) {
+  common::Rng rng(GetParam() ^ 0xABCDEF);
+  sql::Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    data::BuildStadiumDatabaseScript(12, {2014, 2015}, rng))
+                  .ok());
+  generation::SqlGenerator generator(nullptr, GetParam() * 13 + 1);
+  auto pairs = generator.GenerateEquivalentPairs(db, 10);
+  ASSERT_TRUE(pairs.ok());
+  for (const auto& [a, b] : *pairs) {
+    auto ra = db.Query(a);
+    auto rb = db.Query(b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_TRUE(ra->BagEquals(*rb)) << a << " vs " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- NL2SQL workload: NL <-> structure <-> SQL coherence --------------------
+
+class Nl2SqlPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Nl2SqlPropertyTest, NlRoundTripAndGoldExecutes) {
+  common::Rng rng(GetParam());
+  sql::Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    data::BuildStadiumDatabaseScript(12, {2014, 2015}, rng))
+                  .ok());
+  data::Nl2SqlWorkloadOptions options;
+  options.num_queries = 25;
+  options.condition_pool = 3 + GetParam() % 6;
+  auto workload = data::GenerateNl2SqlWorkload(options, rng);
+  for (const auto& q : workload) {
+    // NL parses back to the same structure.
+    auto parsed = data::ParseNl2SqlQuestion(q.ToNaturalLanguage());
+    ASSERT_TRUE(parsed.ok()) << q.ToNaturalLanguage();
+    EXPECT_EQ(*parsed, q);
+    // Gold SQL executes.
+    EXPECT_TRUE(db.Query(q.ToGoldSql()).ok()) << q.ToGoldSql();
+    // Decomposition + client-side set algebra reproduces the gold result.
+    auto d = optimize::DecomposeQuestion(q.ToNaturalLanguage());
+    ASSERT_TRUE(d.ok());
+    if (!d->atomic()) {
+      std::vector<std::string> parts;
+      for (const auto& sub : d->sub_questions) {
+        auto sub_q = data::ParseNl2SqlQuestion(sub);
+        ASSERT_TRUE(sub_q.ok()) << sub;
+        parts.push_back(sub_q->ToGoldSql());
+      }
+      auto recombined = db.Query(optimize::RecombineSql(parts, d->combiner));
+      auto gold = db.Query(q.ToGoldSql());
+      ASSERT_TRUE(recombined.ok() && gold.ok());
+      EXPECT_TRUE(recombined->BagEquals(*gold))
+          << q.ToGoldSql() << " vs recombination";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Nl2SqlPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---- transactions: conservation invariant -----------------------------------
+
+class TxnPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TxnPropertyTest, RenderParseRoundTripAndSqlBalance) {
+  common::Rng rng(GetParam());
+  auto workload = data::GenerateTxnWorkload(20, {"A", "B", "C", "D"}, rng);
+  for (const auto& request : workload) {
+    auto parsed = data::ParseTxnRequest(data::RenderTxnRequest(request));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, request);
+    // The SQL sequence is structurally balanced: 3 statements per transfer,
+    // with equal debit and credit amounts.
+    auto sql = data::TxnToSql(request);
+    EXPECT_EQ(sql.size(), request.transfers.size() * 3);
+  }
+}
+
+TEST_P(TxnPropertyTest, AtomicExecutionConservesTotal) {
+  common::Rng rng(GetParam() + 100);
+  sql::Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    data::BuildAccountsDatabaseScript({"A", "B", "C"}, 10000))
+                  .ok());
+  auto total = [&]() {
+    return db.Query("SELECT SUM(balance) FROM accounts")->at(0, 0).AsInt();
+  };
+  int64_t before = total();
+  auto workload = data::GenerateTxnWorkload(15, {"A", "B", "C"}, rng);
+  for (const auto& request : workload) {
+    ASSERT_TRUE(db.ExecuteAtomically(data::TxnToSql(request)).ok());
+    EXPECT_EQ(total(), before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnPropertyTest,
+                         ::testing::Values(3, 14, 159, 265));
+
+// ---- pattern mining: the mined pattern covers its inputs ---------------------
+
+class PatternPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternPropertyTest, MinedPatternMatchesEveryInput) {
+  common::Rng rng(GetParam());
+  // Random same-shape values: letters{a} sep digits{b} sep letters{c}.
+  const char* separators[] = {"-", "/", " ", "."};
+  const std::string sep = separators[rng.NextBelow(4)];
+  std::vector<std::string> values;
+  for (int i = 0; i < 12; ++i) {
+    std::string v;
+    int64_t letters = rng.UniformInt(1, 4);
+    for (int64_t j = 0; j < letters; ++j) {
+      v.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+    }
+    v += sep;
+    int64_t digits = rng.UniformInt(1, 5);
+    for (int64_t j = 0; j < digits; ++j) {
+      v.push_back(static_cast<char>('0' + rng.NextBelow(10)));
+    }
+    values.push_back(std::move(v));
+  }
+  auto pattern = transform::MineColumnPattern(values);
+  ASSERT_TRUE(pattern.ok());
+  for (const auto& v : values) {
+    EXPECT_TRUE(transform::MatchesPattern(*pattern, v))
+        << v << " vs " << transform::PatternToString(*pattern);
+  }
+  // A value with a different separator must not match.
+  std::string breaker = "zz@123";
+  EXPECT_FALSE(transform::MatchesPattern(*pattern, breaker));
+}
+
+TEST_P(PatternPropertyTest, DateReformatRoundTrips) {
+  common::Rng rng(GetParam() * 7 + 5);
+  for (int i = 0; i < 20; ++i) {
+    data::Date d{int(rng.UniformInt(1990, 2030)), int(rng.UniformInt(1, 12)),
+                 int(rng.UniformInt(1, 28))};
+    std::string iso = d.ToString();
+    for (auto style :
+         {transform::DateStyle::kSlashMDY, transform::DateStyle::kMonthDY,
+          transform::DateStyle::kDMonthY}) {
+      auto there = transform::ReformatDate(iso, style);
+      ASSERT_TRUE(there.ok());
+      auto back = transform::ReformatDate(*there, transform::DateStyle::kIso);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(*back, iso);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternPropertyTest,
+                         ::testing::Values(7, 77, 777, 7777));
+
+// ---- grid operator synthesis: score never decreases, programs verify ---------
+
+class GridPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridPropertyTest, SynthesisNeverWorsensTheGrid) {
+  common::Rng rng(GetParam());
+  // Build a clean table, then damage it with a random mangle sequence.
+  transform::Grid clean{{"name", "score", "year"}};
+  for (int i = 0; i < 8; ++i) {
+    clean.push_back({common::StrFormat("row%d", i),
+                     std::to_string(rng.UniformInt(0, 100)),
+                     std::to_string(rng.UniformInt(2000, 2024))});
+  }
+  transform::Grid damaged = clean;
+  if (rng.Bernoulli(0.5)) {
+    damaged = transform::ApplyOp(damaged, transform::TableOp::kTranspose);
+  }
+  damaged.push_back(std::vector<std::string>(damaged[0].size(), ""));
+  double before = transform::RelationalScore(damaged);
+  auto result = transform::SynthesizeRelationalization(damaged);
+  EXPECT_GE(result.score, before - 1e-9);
+  // Replaying the program from the damaged grid reproduces the result.
+  transform::Grid replay = damaged;
+  for (auto op : result.program) replay = transform::ApplyOp(replay, op);
+  EXPECT_EQ(replay, result.transformed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridPropertyTest,
+                         ::testing::Values(1, 10, 100, 1000));
+
+// ---- semantic cache: structural invariants under load ------------------------
+
+class CachePropertyTest
+    : public ::testing::TestWithParam<optimize::EvictionPolicy> {};
+
+TEST_P(CachePropertyTest, CapacityAndStatsInvariants) {
+  optimize::SemanticCache::Options options;
+  options.capacity = 8;
+  options.policy = GetParam();
+  optimize::SemanticCache cache(options);
+  common::Rng rng(42);
+  size_t manual_hits = 0, manual_lookups = 0;
+  for (int step = 0; step < 300; ++step) {
+    std::string q = common::StrFormat(
+        "query about topic %llu with qualifier %llu",
+        (unsigned long long)rng.NextBelow(25),
+        (unsigned long long)rng.NextBelow(3));
+    ++manual_lookups;
+    if (cache.Lookup(q, common::Money::FromMicros(100)).has_value()) {
+      ++manual_hits;
+    } else {
+      cache.Insert(q, "answer");
+    }
+    // Invariant: live size never exceeds capacity.
+    ASSERT_LE(cache.Size(), options.capacity);
+  }
+  EXPECT_EQ(cache.stats().lookups, manual_lookups);
+  EXPECT_EQ(cache.stats().hits, manual_hits);
+  EXPECT_EQ(cache.stats().saved,
+            common::Money::FromMicros(100 * int64_t(manual_hits)));
+  // insertions = misses; evictions = insertions - live (all inserts unique
+  // enough to not refresh).
+  EXPECT_EQ(cache.stats().insertions, manual_lookups - manual_hits);
+  EXPECT_EQ(cache.stats().evictions, cache.stats().insertions - cache.Size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachePropertyTest,
+                         ::testing::Values(optimize::EvictionPolicy::kLru,
+                                           optimize::EvictionPolicy::kLfu,
+                                           optimize::EvictionPolicy::kCostAware));
+
+// ---- tokenizer: counting and reconstruction ----------------------------------
+
+class TokenizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerPropertyTest, CountEqualsTokenizeAndPiecesReassemble) {
+  common::Rng rng(GetParam());
+  text::Tokenizer tok;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random text over words, punctuation and whitespace.
+    std::string s;
+    int64_t parts = rng.UniformInt(0, 30);
+    for (int64_t i = 0; i < parts; ++i) {
+      switch (rng.NextBelow(4)) {
+        case 0: {
+          int64_t len = rng.UniformInt(1, 14);
+          for (int64_t j = 0; j < len; ++j) {
+            s.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+          }
+          break;
+        }
+        case 1:
+          s.push_back(",.;:!?"[rng.NextBelow(6)]);
+          break;
+        case 2:
+          s += std::to_string(rng.UniformInt(0, 99999));
+          break;
+        default:
+          s.push_back(" \t\n"[rng.NextBelow(3)]);
+      }
+    }
+    auto pieces = tok.Tokenize(s);
+    EXPECT_EQ(pieces.size(), tok.CountTokens(s)) << s;
+    // Concatenated pieces equal the input minus whitespace.
+    std::string reassembled;
+    for (const auto& p : pieces) reassembled += p;
+    std::string no_ws;
+    for (char c : s) {
+      if (!std::isspace(static_cast<unsigned char>(c))) no_ws.push_back(c);
+    }
+    EXPECT_EQ(reassembled, no_ws);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerPropertyTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ---- QA knowledge base: chain answers compose --------------------------------
+
+class KbPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KbPropertyTest, ChainsComposeAndQuestionsRoundTrip) {
+  common::Rng rng(GetParam());
+  auto kb = data::KnowledgeBase::Generate(40, rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::string> chain;
+    int64_t hops = rng.UniformInt(1, 3);
+    for (int64_t h = 0; h < hops; ++h) chain.push_back(rng.Choice(kb.relations()));
+    const std::string& subject = rng.Choice(kb.entities());
+    // Composition: chain answer equals iterated single-hop lookups.
+    std::string step = subject;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      auto next = kb.Lookup(*it, step);
+      ASSERT_TRUE(next.ok());
+      step = *next;
+    }
+    auto direct = kb.AnswerChain(chain, subject);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(*direct, step);
+    // Question text round-trips.
+    auto parsed =
+        data::ParseChainQuestion(data::RenderChainQuestion(chain, subject));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->first, chain);
+    EXPECT_EQ(parsed->second, subject);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KbPropertyTest,
+                         ::testing::Values(5, 50, 500));
+
+// ---- money: exactness under random walks --------------------------------------
+
+TEST(MoneyProperty, SumOfPartsIsExact) {
+  common::Rng rng(2718);
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t n = rng.UniformInt(1, 50);
+    common::Money sum = common::Money::Zero();
+    int64_t micros_total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t micros = rng.UniformInt(-100000, 100000);
+      sum += common::Money::FromMicros(micros);
+      micros_total += micros;
+    }
+    EXPECT_EQ(sum, common::Money::FromMicros(micros_total));
+  }
+}
+
+}  // namespace
+}  // namespace llmdm

@@ -1,0 +1,225 @@
+// Failure-injection and fuzz-flavoured robustness tests: every parser and
+// engine entry point must return a Status on malformed input — never crash,
+// never loop — and transactional surfaces must keep their invariants when
+// statements fail mid-flight.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/csv.h"
+#include "data/json.h"
+#include "data/nl2sql_workload.h"
+#include "data/qa_workload.h"
+#include "data/txn_workload.h"
+#include "data/xml.h"
+#include "sql/database.h"
+#include "sql/parser.h"
+
+namespace llmdm {
+namespace {
+
+// Mutates a valid input string: deletions, duplications, substitutions.
+std::string Mutate(const std::string& input, common::Rng& rng) {
+  std::string out = input;
+  int64_t edits = rng.UniformInt(1, 5);
+  for (int64_t e = 0; e < edits && !out.empty(); ++e) {
+    size_t pos = rng.NextBelow(out.size());
+    switch (rng.NextBelow(4)) {
+      case 0:
+        out.erase(pos, 1);
+        break;
+      case 1:
+        out.insert(pos, 1, out[pos]);
+        break;
+      case 2:
+        out[pos] = static_cast<char>(rng.UniformInt(32, 126));
+        break;
+      default: {
+        // Splice a random chunk somewhere else.
+        size_t len = std::min<size_t>(out.size() - pos, rng.NextBelow(8) + 1);
+        std::string chunk = out.substr(pos, len);
+        out.insert(rng.NextBelow(out.size()), chunk);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, SqlParserNeverCrashes) {
+  common::Rng rng(GetParam());
+  const std::string seeds[] = {
+      "SELECT name FROM stadium WHERE capacity > 50000 ORDER BY name LIMIT 3",
+      "SELECT s.name, COUNT(*) FROM stadium s JOIN concert c ON s.id = "
+      "c.stadium_id GROUP BY s.name HAVING COUNT(*) > 1",
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+      "UPDATE t SET a = a + 1 WHERE b BETWEEN 1 AND 9",
+      "SELECT CASE WHEN a IS NULL THEN 'n' ELSE 'y' END FROM t",
+      "SELECT * FROM (SELECT a FROM t) x WHERE a IN (SELECT b FROM u)",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = Mutate(seeds[rng.NextBelow(std::size(seeds))], rng);
+    // Must return (ok or error), not crash/hang.
+    auto result = sql::ParseStatement(mutated);
+    if (result.ok()) {
+      // Whatever parsed must unparse and re-parse.
+      EXPECT_TRUE(sql::ParseStatement(result->ToString()).ok())
+          << result->ToString();
+    }
+  }
+}
+
+TEST_P(FuzzTest, SqlExecutorNeverCrashesOnParseableGarbage) {
+  common::Rng rng(GetParam() + 10);
+  sql::Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    data::BuildStadiumDatabaseScript(8, {2014, 2015}, rng))
+                  .ok());
+  const std::string seeds[] = {
+      "SELECT name FROM stadium WHERE capacity > 50000",
+      "SELECT stadium_id, SUM(attendance) FROM concert GROUP BY stadium_id",
+      "SELECT name FROM stadium WHERE id IN (SELECT stadium_id FROM concert)",
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = Mutate(seeds[rng.NextBelow(std::size(seeds))], rng);
+    auto result = db.Execute(mutated);  // may fail; must not crash
+    (void)result;
+  }
+  // The database must still be intact afterwards.
+  auto check = db.Query("SELECT COUNT(*) FROM stadium");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->at(0, 0), data::Value::Int(8));
+}
+
+TEST_P(FuzzTest, JsonParserNeverCrashes) {
+  common::Rng rng(GetParam() + 20);
+  const std::string seeds[] = {
+      R"({"a": [1, 2.5, "x"], "b": {"c": null, "d": true}})",
+      R"([{"k": "v"}, {"k": "w"}, 3, "tail"])",
+      "\"escaped \\\"quotes\\\" and \\u00e9\"",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = Mutate(seeds[rng.NextBelow(std::size(seeds))], rng);
+    auto result = data::ParseJson(mutated);
+    if (result.ok()) {
+      // Round-trip property on anything that still parses.
+      auto again = data::ParseJson(result->ToString());
+      EXPECT_TRUE(again.ok()) << result->ToString();
+    }
+  }
+}
+
+TEST_P(FuzzTest, XmlParserNeverCrashes) {
+  common::Rng rng(GetParam() + 30);
+  const std::string seeds[] = {
+      "<a b=\"1\"><c>text &amp; entities</c><d/></a>",
+      "<reports><report id=\"1\"><x>1</x></report><!-- note --></reports>",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = Mutate(seeds[rng.NextBelow(std::size(seeds))], rng);
+    auto result = data::ParseXml(mutated);
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, CsvParserNeverCrashes) {
+  common::Rng rng(GetParam() + 40);
+  const std::string seeds[] = {
+      "a,b,c\n1,2,3\n4,,6\n",
+      "name,date\n\"x,y\",2023-08-14\n\"he said \"\"hi\"\"\",2024-01-01\n",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = Mutate(seeds[rng.NextBelow(std::size(seeds))], rng);
+    auto result = data::ParseCsv(mutated);
+    (void)result;
+  }
+}
+
+TEST_P(FuzzTest, WorkloadParsersNeverCrash) {
+  common::Rng rng(GetParam() + 50);
+  const std::string seeds[] = {
+      "What are the names of stadiums that had concerts in 2014 or had "
+      "sports meetings in 2015?",
+      "Who is the manager of the advisor of Alice Adams?",
+      "Transfer 100 dollars from A to B. Then transfer 5 dollars from B to C.",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = Mutate(seeds[rng.NextBelow(std::size(seeds))], rng);
+    (void)data::ParseNl2SqlQuestion(mutated);
+    (void)data::ParseChainQuestion(mutated);
+    (void)data::ParseTxnRequest(mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(101, 202, 303));
+
+// ---- failure injection on the transactional surface ------------------------
+
+TEST(FailureInjection, MidScriptFailureLeavesCleanState) {
+  sql::Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    data::BuildAccountsDatabaseScript({"A", "B"}, 100))
+                  .ok());
+  // Sequences with a failure at every position: state must always be
+  // all-or-nothing.
+  std::vector<std::string> good = data::TxnToSql(
+      data::TxnRequest{{data::TransferSpec{"A", "B", 30}}});
+  for (size_t failure_at = 0; failure_at <= good.size(); ++failure_at) {
+    std::vector<std::string> script = good;
+    if (failure_at < good.size()) {
+      script.insert(script.begin() + static_cast<long>(failure_at),
+                    "UPDATE missing_table SET x = 1");
+    }
+    auto result = db.ExecuteAtomically(script);
+    auto total = db.Query("SELECT SUM(balance) FROM accounts");
+    ASSERT_TRUE(total.ok());
+    EXPECT_EQ(total->at(0, 0), data::Value::Int(200));
+    auto a = db.Query("SELECT balance FROM accounts WHERE owner = 'A'");
+    if (failure_at < good.size()) {
+      EXPECT_FALSE(result.ok());
+      // Rolled back: A unchanged from the previous committed state.
+    } else {
+      EXPECT_TRUE(result.ok());
+    }
+    // Reset A/B for the next round.
+    ASSERT_TRUE(db.Execute("UPDATE accounts SET balance = 100").ok());
+  }
+}
+
+TEST(FailureInjection, TransactionSurvivesParseErrors) {
+  sql::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(db.ExecuteAtomically({"UPDATE t SET a = 2",
+                                     "THIS IS NOT SQL AT ALL"})
+                   .ok());
+  EXPECT_FALSE(db.in_transaction());
+  EXPECT_EQ(db.Query("SELECT a FROM t")->at(0, 0), data::Value::Int(1));
+}
+
+TEST(FailureInjection, DdlInsideTransactionRollsBack) {
+  sql::Database db;
+  ASSERT_TRUE(db.Execute("BEGIN").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE temp_t (x INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO temp_t VALUES (1)").ok());
+  ASSERT_TRUE(db.Execute("ROLLBACK").ok());
+  // The table created inside the transaction is gone.
+  EXPECT_FALSE(db.catalog().HasTable("temp_t"));
+}
+
+TEST(FailureInjection, DropInsideTransactionRestoredOnRollback) {
+  sql::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE keeper (x INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO keeper VALUES (7)").ok());
+  ASSERT_TRUE(db.Execute("BEGIN").ok());
+  ASSERT_TRUE(db.Execute("DROP TABLE keeper").ok());
+  EXPECT_FALSE(db.catalog().HasTable("keeper"));
+  ASSERT_TRUE(db.Execute("ROLLBACK").ok());
+  ASSERT_TRUE(db.catalog().HasTable("keeper"));
+  EXPECT_EQ(db.Query("SELECT x FROM keeper")->at(0, 0), data::Value::Int(7));
+}
+
+}  // namespace
+}  // namespace llmdm

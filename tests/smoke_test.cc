@@ -1,0 +1,11 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace llmdm {
+namespace {
+
+TEST(Smoke, StatusOk) { EXPECT_TRUE(common::Status::Ok().ok()); }
+
+}  // namespace
+}  // namespace llmdm

@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+#include "sql/parser.h"
+
+namespace llmdm::sql {
+namespace {
+
+using data::ColumnType;
+using data::Value;
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE stadium (id INT PRIMARY KEY, name TEXT, capacity INT, city TEXT)");
+    Exec("CREATE TABLE concert (id INT, stadium_id INT, year INT, attendance INT)");
+    Exec("CREATE TABLE sports_meeting (id INT, stadium_id INT, year INT)");
+    Exec("INSERT INTO stadium VALUES (1, 'Olympic', 80000, 'Beijing'), "
+         "(2, 'National', 60000, 'Singapore'), (3, 'City Arena', 30000, 'Boston'), "
+         "(4, 'River Park', 45000, 'London')");
+    Exec("INSERT INTO concert VALUES (1, 1, 2014, 50000), (2, 1, 2015, 40000), "
+         "(3, 2, 2014, 30000), (4, 3, 2015, 20000), (5, 1, 2014, 60000)");
+    Exec("INSERT INTO sports_meeting VALUES (1, 2, 2015), (2, 3, 2015), (3, 4, 2014)");
+  }
+
+  void Exec(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  data::Table Query(const std::string& sql) {
+    auto r = db_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : data::Table{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlTest, SimpleSelect) {
+  auto t = Query("SELECT name FROM stadium WHERE capacity > 50000");
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.NumColumns(), 1u);
+}
+
+TEST_F(SqlTest, SelectStar) {
+  auto t = Query("SELECT * FROM stadium");
+  EXPECT_EQ(t.NumRows(), 4u);
+  EXPECT_EQ(t.NumColumns(), 4u);
+  EXPECT_EQ(t.schema().column(1).name, "name");
+}
+
+TEST_F(SqlTest, Arithmetic) {
+  auto t = Query("SELECT 1 + 2 * 3, 7 / 2, 7 % 3, -4");
+  EXPECT_EQ(t.at(0, 0), Value::Int(7));
+  EXPECT_DOUBLE_EQ(t.at(0, 1).AsDouble(), 3.5);
+  EXPECT_EQ(t.at(0, 2), Value::Int(1));
+  EXPECT_EQ(t.at(0, 3), Value::Int(-4));
+}
+
+TEST_F(SqlTest, OrderByAndLimit) {
+  auto t = Query("SELECT name FROM stadium ORDER BY capacity DESC LIMIT 2");
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Olympic");
+  EXPECT_EQ(t.at(1, 0).AsText(), "National");
+}
+
+TEST_F(SqlTest, OrderByOrdinalAndAlias) {
+  auto t = Query("SELECT name AS n, capacity AS c FROM stadium ORDER BY c");
+  EXPECT_EQ(t.at(0, 0).AsText(), "City Arena");
+  auto t2 = Query("SELECT name, capacity FROM stadium ORDER BY 2 DESC");
+  EXPECT_EQ(t2.at(0, 0).AsText(), "Olympic");
+}
+
+TEST_F(SqlTest, InnerJoin) {
+  auto t = Query(
+      "SELECT DISTINCT stadium.name FROM stadium JOIN concert "
+      "ON stadium.id = concert.stadium_id WHERE concert.year = 2014");
+  EXPECT_EQ(t.NumRows(), 2u);  // Olympic, National
+}
+
+TEST_F(SqlTest, LeftJoinPadsNulls) {
+  auto t = Query(
+      "SELECT s.name, c.id FROM stadium s LEFT JOIN concert c "
+      "ON s.id = c.stadium_id ORDER BY s.id, c.id");
+  // River Park has no concerts -> one padded row.
+  bool found_null = false;
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    if (t.at(i, 0).AsText() == "River Park") {
+      EXPECT_TRUE(t.at(i, 1).is_null());
+      found_null = true;
+    }
+  }
+  EXPECT_TRUE(found_null);
+}
+
+TEST_F(SqlTest, MultiJoinThreeTables) {
+  auto t = Query(
+      "SELECT DISTINCT s.name FROM stadium s "
+      "JOIN concert c ON s.id = c.stadium_id "
+      "JOIN sports_meeting m ON s.id = m.stadium_id");
+  // Stadiums with both a concert and a sports meeting: National(2), City Arena(3).
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST_F(SqlTest, GroupByHaving) {
+  auto t = Query(
+      "SELECT stadium_id, COUNT(*) AS n, SUM(attendance) AS total "
+      "FROM concert GROUP BY stadium_id HAVING COUNT(*) >= 2 ORDER BY n DESC");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value::Int(1));
+  EXPECT_EQ(t.at(0, 1), Value::Int(3));
+  EXPECT_EQ(t.at(0, 2), Value::Int(150000));
+}
+
+TEST_F(SqlTest, AggregatesOverWholeTable) {
+  auto t = Query(
+      "SELECT COUNT(*), MIN(capacity), MAX(capacity), AVG(capacity) FROM stadium");
+  EXPECT_EQ(t.at(0, 0), Value::Int(4));
+  EXPECT_EQ(t.at(0, 1), Value::Int(30000));
+  EXPECT_EQ(t.at(0, 2), Value::Int(80000));
+  EXPECT_DOUBLE_EQ(t.at(0, 3).AsDouble(), 53750.0);
+}
+
+TEST_F(SqlTest, CountDistinct) {
+  auto t = Query("SELECT COUNT(DISTINCT year) FROM concert");
+  EXPECT_EQ(t.at(0, 0), Value::Int(2));
+}
+
+TEST_F(SqlTest, AggregateOnEmptyInput) {
+  auto t = Query("SELECT COUNT(*), SUM(capacity) FROM stadium WHERE capacity > 999999");
+  EXPECT_EQ(t.at(0, 0), Value::Int(0));
+  EXPECT_TRUE(t.at(0, 1).is_null());
+}
+
+TEST_F(SqlTest, InSubquery) {
+  auto t = Query(
+      "SELECT name FROM stadium WHERE id IN "
+      "(SELECT stadium_id FROM concert WHERE year = 2014)");
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST_F(SqlTest, NotInSubquery) {
+  auto t = Query(
+      "SELECT name FROM stadium WHERE id NOT IN "
+      "(SELECT stadium_id FROM concert)");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "River Park");
+}
+
+TEST_F(SqlTest, CorrelatedExists) {
+  auto t = Query(
+      "SELECT name FROM stadium s WHERE EXISTS "
+      "(SELECT 1 FROM concert c WHERE c.stadium_id = s.id AND c.year = 2015)");
+  EXPECT_EQ(t.NumRows(), 2u);  // Olympic, City Arena
+}
+
+TEST_F(SqlTest, ScalarSubquery) {
+  auto t = Query(
+      "SELECT name FROM stadium WHERE capacity = "
+      "(SELECT MAX(capacity) FROM stadium)");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Olympic");
+}
+
+TEST_F(SqlTest, FromSubquery) {
+  auto t = Query(
+      "SELECT n FROM (SELECT name AS n, capacity FROM stadium) big "
+      "WHERE big.capacity > 50000 ORDER BY n");
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "National");
+}
+
+TEST_F(SqlTest, UnionDeduplicates) {
+  auto t = Query(
+      "SELECT stadium_id FROM concert WHERE year = 2014 UNION "
+      "SELECT stadium_id FROM sports_meeting WHERE year = 2015");
+  EXPECT_EQ(t.NumRows(), 3u);  // {1,2} U {2,3} = {1,2,3}
+}
+
+TEST_F(SqlTest, UnionAllKeepsDuplicates) {
+  auto t = Query(
+      "SELECT stadium_id FROM concert WHERE year = 2014 UNION ALL "
+      "SELECT stadium_id FROM concert WHERE year = 2014");
+  EXPECT_EQ(t.NumRows(), 6u);
+}
+
+TEST_F(SqlTest, IntersectAndExcept) {
+  auto inter = Query(
+      "SELECT stadium_id FROM concert INTERSECT "
+      "SELECT stadium_id FROM sports_meeting");
+  EXPECT_EQ(inter.NumRows(), 2u);  // 2 and 3
+  auto except = Query(
+      "SELECT stadium_id FROM concert EXCEPT "
+      "SELECT stadium_id FROM sports_meeting");
+  ASSERT_EQ(except.NumRows(), 1u);
+  EXPECT_EQ(except.at(0, 0), Value::Int(1));
+}
+
+TEST_F(SqlTest, LikePatterns) {
+  auto t = Query("SELECT name FROM stadium WHERE name LIKE '%ark%'");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "River Park");
+  auto t2 = Query("SELECT name FROM stadium WHERE name LIKE '_lympic'");
+  EXPECT_EQ(t2.NumRows(), 1u);
+  auto t3 = Query("SELECT name FROM stadium WHERE name NOT LIKE '%a%'");
+  EXPECT_EQ(t3.NumRows(), 1u);  // Olympic only
+}
+
+TEST_F(SqlTest, BetweenAndInList) {
+  auto t = Query("SELECT name FROM stadium WHERE capacity BETWEEN 40000 AND 70000");
+  EXPECT_EQ(t.NumRows(), 2u);
+  auto t2 = Query("SELECT name FROM stadium WHERE city IN ('Beijing', 'Boston')");
+  EXPECT_EQ(t2.NumRows(), 2u);
+  auto t3 = Query("SELECT name FROM stadium WHERE capacity NOT BETWEEN 40000 AND 70000");
+  EXPECT_EQ(t3.NumRows(), 2u);
+}
+
+TEST_F(SqlTest, NullThreeValuedLogic) {
+  Exec("CREATE TABLE t (a INT, b INT)");
+  Exec("INSERT INTO t VALUES (1, NULL), (2, 5), (NULL, NULL)");
+  // NULL comparisons exclude rows.
+  EXPECT_EQ(Query("SELECT a FROM t WHERE b > 1").NumRows(), 1u);
+  EXPECT_EQ(Query("SELECT a FROM t WHERE b IS NULL").NumRows(), 2u);
+  EXPECT_EQ(Query("SELECT a FROM t WHERE b IS NOT NULL").NumRows(), 1u);
+  // NULL-safe aggregates: COUNT(b) skips NULLs.
+  auto t = Query("SELECT COUNT(*), COUNT(b), SUM(b) FROM t");
+  EXPECT_EQ(t.at(0, 0), Value::Int(3));
+  EXPECT_EQ(t.at(0, 1), Value::Int(1));
+  EXPECT_EQ(t.at(0, 2), Value::Int(5));
+  // x = NULL is never true, and NOT(NULL) stays NULL.
+  EXPECT_EQ(Query("SELECT a FROM t WHERE b = NULL").NumRows(), 0u);
+  EXPECT_EQ(Query("SELECT a FROM t WHERE NOT (b = NULL)").NumRows(), 0u);
+}
+
+TEST_F(SqlTest, CaseExpression) {
+  auto t = Query(
+      "SELECT name, CASE WHEN capacity >= 60000 THEN 'big' "
+      "WHEN capacity >= 40000 THEN 'mid' ELSE 'small' END AS size "
+      "FROM stadium ORDER BY capacity DESC");
+  EXPECT_EQ(t.at(0, 1).AsText(), "big");
+  EXPECT_EQ(t.at(2, 1).AsText(), "mid");
+  EXPECT_EQ(t.at(3, 1).AsText(), "small");
+}
+
+TEST_F(SqlTest, ScalarFunctions) {
+  auto t = Query(
+      "SELECT UPPER('ab'), LOWER('AB'), LENGTH('abc'), ABS(-3), "
+      "ROUND(3.14159, 2), SUBSTR('hello', 2, 3), COALESCE(NULL, 7), "
+      "CONCAT('a', 'b', 'c')");
+  EXPECT_EQ(t.at(0, 0).AsText(), "AB");
+  EXPECT_EQ(t.at(0, 1).AsText(), "ab");
+  EXPECT_EQ(t.at(0, 2), Value::Int(3));
+  EXPECT_EQ(t.at(0, 3), Value::Int(3));
+  EXPECT_DOUBLE_EQ(t.at(0, 4).AsDouble(), 3.14);
+  EXPECT_EQ(t.at(0, 5).AsText(), "ell");
+  EXPECT_EQ(t.at(0, 6), Value::Int(7));
+  EXPECT_EQ(t.at(0, 7).AsText(), "abc");
+}
+
+TEST_F(SqlTest, DateLiteralsAndFunctions) {
+  Exec("CREATE TABLE d (happened DATE)");
+  Exec("INSERT INTO d VALUES (DATE '2023-08-14'), (DATE '2024-01-02')");
+  auto t = Query("SELECT YEAR(happened), MONTH(happened), DAY(happened) "
+                 "FROM d WHERE happened > DATE '2023-12-31'");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value::Int(2024));
+  EXPECT_EQ(t.at(0, 1), Value::Int(1));
+  EXPECT_EQ(t.at(0, 2), Value::Int(2));
+}
+
+TEST_F(SqlTest, InsertUpdateDelete) {
+  auto ins = db_.Execute("INSERT INTO stadium (id, name) VALUES (9, 'Tiny')");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->affected_rows, 1);
+  EXPECT_TRUE(Query("SELECT capacity FROM stadium WHERE id = 9").at(0, 0).is_null());
+
+  auto upd = db_.Execute("UPDATE stadium SET capacity = 1000 WHERE id = 9");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd->affected_rows, 1);
+  EXPECT_EQ(Query("SELECT capacity FROM stadium WHERE id = 9").at(0, 0),
+            Value::Int(1000));
+
+  auto del = db_.Execute("DELETE FROM stadium WHERE id = 9");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->affected_rows, 1);
+  EXPECT_EQ(Query("SELECT * FROM stadium WHERE id = 9").NumRows(), 0u);
+}
+
+TEST_F(SqlTest, UpdateUsesOldValues) {
+  Exec("CREATE TABLE acct (id INT, balance INT)");
+  Exec("INSERT INTO acct VALUES (1, 100), (2, 50)");
+  Exec("UPDATE acct SET balance = balance - 30 WHERE id = 1");
+  EXPECT_EQ(Query("SELECT balance FROM acct WHERE id = 1").at(0, 0),
+            Value::Int(70));
+}
+
+TEST_F(SqlTest, InsertSelect) {
+  Exec("CREATE TABLE big_stadium (name TEXT, capacity INT)");
+  Exec("INSERT INTO big_stadium SELECT name, capacity FROM stadium WHERE capacity > 50000");
+  EXPECT_EQ(Query("SELECT * FROM big_stadium").NumRows(), 2u);
+}
+
+TEST_F(SqlTest, TransactionCommitAndRollback) {
+  Exec("BEGIN");
+  Exec("UPDATE stadium SET capacity = 0 WHERE id = 1");
+  Exec("ROLLBACK");
+  EXPECT_EQ(Query("SELECT capacity FROM stadium WHERE id = 1").at(0, 0),
+            Value::Int(80000));
+
+  Exec("BEGIN");
+  Exec("UPDATE stadium SET capacity = 12345 WHERE id = 1");
+  Exec("COMMIT");
+  EXPECT_EQ(Query("SELECT capacity FROM stadium WHERE id = 1").at(0, 0),
+            Value::Int(12345));
+}
+
+TEST_F(SqlTest, FailedStatementAbortsTransaction) {
+  Exec("BEGIN");
+  Exec("UPDATE stadium SET capacity = 0 WHERE id = 1");
+  EXPECT_FALSE(db_.Execute("UPDATE nonexistent SET x = 1").ok());
+  EXPECT_FALSE(db_.in_transaction());
+  EXPECT_EQ(Query("SELECT capacity FROM stadium WHERE id = 1").at(0, 0),
+            Value::Int(80000));
+}
+
+TEST_F(SqlTest, ExecuteAtomically) {
+  auto ok = db_.ExecuteAtomically({
+      "UPDATE stadium SET capacity = capacity + 1 WHERE id = 1",
+      "UPDATE stadium SET capacity = capacity + 1 WHERE id = 2",
+  });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = db_.ExecuteAtomically({
+      "UPDATE stadium SET capacity = 0 WHERE id = 1",
+      "UPDATE missing_table SET x = 0",
+  });
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(Query("SELECT capacity FROM stadium WHERE id = 1").at(0, 0),
+            Value::Int(80001));
+}
+
+TEST_F(SqlTest, ErrorsSurfaceAsStatuses) {
+  EXPECT_FALSE(db_.Execute("SELECT FROM WHERE").ok());
+  EXPECT_FALSE(db_.Execute("SELECT missing_col FROM stadium").ok());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(db_.Execute("SELECT name + 1 FROM stadium").ok());
+  EXPECT_FALSE(db_.Execute("CREATE TABLE stadium (x INT)").ok());
+}
+
+TEST_F(SqlTest, AmbiguousColumnRejected) {
+  EXPECT_FALSE(
+      db_.Query("SELECT id FROM stadium, concert").ok());
+}
+
+TEST_F(SqlTest, DivisionByZeroYieldsNull) {
+  auto t = Query("SELECT 1 / 0");
+  EXPECT_TRUE(t.at(0, 0).is_null());
+}
+
+TEST_F(SqlTest, AstRoundTripsThroughToString) {
+  const std::string queries[] = {
+      "SELECT name FROM stadium WHERE capacity > 50000",
+      "SELECT DISTINCT s.name FROM stadium s JOIN concert c ON s.id = c.stadium_id",
+      "SELECT stadium_id, COUNT(*) FROM concert GROUP BY stadium_id HAVING COUNT(*) > 1",
+      "SELECT name FROM stadium WHERE id IN (SELECT stadium_id FROM concert) ORDER BY name DESC LIMIT 3",
+      "SELECT stadium_id FROM concert UNION SELECT stadium_id FROM sports_meeting",
+  };
+  for (const auto& q : queries) {
+    auto parsed = ParseSelect(q);
+    ASSERT_TRUE(parsed.ok()) << q;
+    std::string printed = (*parsed)->ToString();
+    auto reparsed = ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    auto a = db_.Query(q);
+    auto b = db_.Query(printed);
+    ASSERT_TRUE(a.ok() && b.ok()) << printed;
+    EXPECT_TRUE(a->BagEquals(*b)) << q << " vs " << printed;
+  }
+}
+
+TEST_F(SqlTest, PaperQ1UnionSemantics) {
+  // Q1: stadiums with concerts in 2014 OR sports meetings in 2015.
+  auto t = Query(
+      "SELECT name FROM stadium WHERE id IN (SELECT stadium_id FROM concert "
+      "WHERE year = 2014) OR id IN (SELECT stadium_id FROM sports_meeting "
+      "WHERE year = 2015)");
+  EXPECT_EQ(t.NumRows(), 3u);  // Olympic, National, City Arena
+}
+
+TEST_F(SqlTest, PaperQ5ExceptSemantics) {
+  // Q5: concerts 2014 but no sports meetings 2015.
+  auto t = Query(
+      "SELECT name FROM stadium WHERE id IN (SELECT stadium_id FROM concert "
+      "WHERE year = 2014) AND id NOT IN (SELECT stadium_id FROM "
+      "sports_meeting WHERE year = 2015)");
+  ASSERT_EQ(t.NumRows(), 1u);
+  EXPECT_EQ(t.at(0, 0).AsText(), "Olympic");
+}
+
+}  // namespace
+}  // namespace llmdm::sql

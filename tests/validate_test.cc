@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/validate/validators.h"
+#include "data/nl2sql_workload.h"
+#include "data/qa_workload.h"
+#include "llm/simulated.h"
+
+namespace llmdm::validate {
+namespace {
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  ValidateTest() {
+    common::Rng rng(91);
+    EXPECT_TRUE(
+        db_.ExecuteScript(data::BuildStadiumDatabaseScript(8, {2014, 2015}, rng))
+            .ok());
+    kb_ = data::KnowledgeBase::Generate(40, rng);
+    models_ = llm::CreatePaperModelLadder(&kb_, 919);
+  }
+
+  sql::Database db_;
+  data::KnowledgeBase kb_;
+  std::vector<std::shared_ptr<llm::LlmModel>> models_;
+};
+
+TEST_F(ValidateTest, SqlSyntaxValidator) {
+  EXPECT_TRUE(SqlValidator::ValidateSyntax("SELECT name FROM stadium").accepted);
+  auto bad = SqlValidator::ValidateSyntax("SELEC name FROM stadium");
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_FALSE(bad.reason.empty());
+}
+
+TEST_F(ValidateTest, SqlExecutionValidator) {
+  EXPECT_TRUE(
+      SqlValidator::ValidateExecutes("SELECT name FROM stadium", db_).accepted);
+  // Parses but references a missing table: execution catches it.
+  EXPECT_TRUE(SqlValidator::ValidateSyntax("SELECT x FROM missing").accepted);
+  EXPECT_FALSE(
+      SqlValidator::ValidateExecutes("SELECT x FROM missing", db_).accepted);
+}
+
+TEST_F(ValidateTest, NonEmptyResultValidator) {
+  EXPECT_TRUE(SqlValidator::ValidateNonEmptyResult("SELECT name FROM stadium",
+                                                   db_)
+                  .accepted);
+  auto empty = SqlValidator::ValidateNonEmptyResult(
+      "SELECT name FROM stadium WHERE capacity < 0", db_);
+  EXPECT_FALSE(empty.accepted);
+  EXPECT_GT(empty.score, 0.0);  // soft failure: executed fine
+}
+
+TEST_F(ValidateTest, RowSchemaConformance) {
+  data::Schema schema({{"age", data::ColumnType::kInt64, true},
+                       {"name", data::ColumnType::kText, true},
+                       {"smoker", data::ColumnType::kBool, true}});
+  EXPECT_TRUE(
+      ValidateRowAgainstSchema("age is 30; name is alice; smoker is true",
+                               schema)
+          .accepted);
+  EXPECT_FALSE(
+      ValidateRowAgainstSchema("age is thirty; name is alice", schema)
+          .accepted);
+  EXPECT_FALSE(ValidateRowAgainstSchema("height is 180", schema).accepted);
+  EXPECT_FALSE(ValidateRowAgainstSchema("gibberish", schema).accepted);
+  // Partial coverage is accepted with a lower score.
+  auto partial = ValidateRowAgainstSchema("age is 30", schema);
+  EXPECT_TRUE(partial.accepted);
+  EXPECT_LT(partial.score, 1.0);
+}
+
+TEST_F(ValidateTest, SelfConsistencySeparatesEasyFromHard) {
+  SelfConsistencyValidator validator(5, 0.8);
+  // Easy 1-hop questions: the big model agrees with itself.
+  llm::Prompt easy = llm::MakePrompt(
+      "qa", data::RenderChainQuestion({"advisor"}, kb_.entities()[0]));
+  auto easy_verdict = validator.Validate(*models_[2], easy);
+  ASSERT_TRUE(easy_verdict.ok());
+  EXPECT_TRUE(easy_verdict->accepted);
+  // Hard 3-hop question on the small model: samples disagree.
+  size_t rejected = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    llm::Prompt hard = llm::MakePrompt(
+        "qa", data::RenderChainQuestion({"mentor", "manager", "advisor"},
+                                        kb_.entities()[i]));
+    auto verdict = validator.Validate(*models_[0], hard);
+    ASSERT_TRUE(verdict.ok());
+    if (!verdict->accepted) ++rejected;
+  }
+  EXPECT_GT(rejected, 5u);
+}
+
+TEST_F(ValidateTest, CrowdMajorityTracksTruth) {
+  CrowdValidator crowd(7, 0.8, 17);
+  int right = 0;
+  for (int i = 0; i < 100; ++i) {
+    bool truth = i % 2 == 0;
+    Verdict v = crowd.Judge(truth);
+    if (v.accepted == truth) ++right;
+  }
+  EXPECT_GT(right, 85);  // 7 workers at 80% -> majority ~96% right
+}
+
+TEST_F(ValidateTest, CrowdQuorumBeatsSingleWorker) {
+  CrowdValidator single(1, 0.7, 18);
+  CrowdValidator quorum(9, 0.7, 18);
+  int single_right = 0, quorum_right = 0;
+  for (int i = 0; i < 300; ++i) {
+    bool truth = i % 2 == 0;
+    if (single.Judge(truth).accepted == truth) ++single_right;
+    if (quorum.Judge(truth).accepted == truth) ++quorum_right;
+  }
+  EXPECT_GT(quorum_right, single_right);
+}
+
+TEST_F(ValidateTest, AttributionFlagsLoadBearingExample) {
+  // tabular_predict is 3-NN over the examples: with two flu neighbours the
+  // majority is "flu"; dropping one flu example flips the 3-NN majority to
+  // "healthy", while dropping a far-away healthy example changes nothing.
+  llm::Prompt p = llm::MakePrompt("tabular_predict", "temp is 39.6");
+  p.examples.push_back({"temp is 39.5", "flu"});      // decisive
+  p.examples.push_back({"temp is 39.4", "flu"});      // decisive
+  p.examples.push_back({"temp is 36.5", "healthy"});
+  p.examples.push_back({"temp is 36.6", "healthy"});
+  auto attributions = AttributeExamples(*models_[2], p);
+  ASSERT_TRUE(attributions.ok());
+  ASSERT_EQ(attributions->size(), 4u);
+  EXPECT_TRUE((*attributions)[0].answer_changed);
+  EXPECT_FALSE((*attributions)[2].answer_changed);
+  EXPECT_GT((*attributions)[0].importance, (*attributions)[2].importance);
+}
+
+TEST_F(ValidateTest, ValidationCatchesBadGeneratedSql) {
+  // End-to-end: run the mid model over a workload; count how many wrong
+  // answers the execute-validator screens out vs lets through.
+  common::Rng rng(92);
+  data::Nl2SqlWorkloadOptions options;
+  options.num_queries = 40;
+  auto workload = data::GenerateNl2SqlWorkload(options, rng);
+  size_t caught = 0, produced_invalid = 0;
+  for (const auto& q : workload) {
+    auto c = models_[0]->Complete(
+        llm::MakePrompt("nl2sql", q.ToNaturalLanguage()));
+    ASSERT_TRUE(c.ok());
+    Verdict v = SqlValidator::ValidateExecutes(c->text, db_);
+    if (!v.accepted) {
+      ++caught;
+    }
+    if (!SqlValidator::ValidateSyntax(c->text).accepted) ++produced_invalid;
+  }
+  // The small model must have produced some syntactically broken SQL, and
+  // the validator must catch every one of those.
+  EXPECT_GT(produced_invalid, 0u);
+  EXPECT_GE(caught, produced_invalid);
+}
+
+}  // namespace
+}  // namespace llmdm::validate
