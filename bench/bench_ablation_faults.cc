@@ -1,0 +1,174 @@
+// Robustness ablation: fault rate × resilience policy on the Table-I
+// cascade workload.
+//
+// The paper's cascades/caches assume the endpoint always answers; production
+// LLM traffic sees rate limits, timeouts, outages and damaged completions as
+// the common case. This bench injects those faults deterministically
+// (FaultInjectingLlm) and sweeps what the resilience layer (ResilientLlm:
+// retry with backoff, circuit breaker, fallback chain) buys back, reporting
+// availability / accuracy / cost / retry-spend per cell. Fully seeded: two
+// runs print byte-identical tables, fault schedules included.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/optimize/cascade.h"
+#include "data/qa_workload.h"
+#include "llm/fault_injection.h"
+#include "llm/resilient.h"
+#include "llm/simulated.h"
+
+namespace {
+
+using namespace llmdm;
+
+enum class Policy { kNone, kRetry, kFull };
+
+const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kNone:
+      return "unprotected";
+    case Policy::kRetry:
+      return "retry-only";
+    case Policy::kFull:
+      return "retry+breaker+fallback";
+  }
+  return "?";
+}
+
+// Builds the paper ladder with every rung behind a fault injector and,
+// policy permitting, a ResilientLlm whose fallback chain points at the
+// cheaper (equally flaky) rungs.
+std::vector<std::shared_ptr<llm::LlmModel>> BuildLadder(
+    const data::KnowledgeBase* kb, double fault_rate, Policy policy,
+    size_t max_attempts, bool top_rung_down = false) {
+  auto base = llm::CreatePaperModelLadder(kb, 1);
+  std::vector<std::shared_ptr<llm::LlmModel>> faulty;
+  for (size_t i = 0; i < base.size(); ++i) {
+    llm::FaultProfile profile = llm::FaultProfile::Uniform(fault_rate);
+    if (top_rung_down && i + 1 == base.size()) {
+      profile = llm::FaultProfile();
+      profile.unavailable = 1.0;  // hard outage, not background noise
+    }
+    faulty.push_back(std::make_shared<llm::FaultInjectingLlm>(
+        base[i], profile, 9000 + i));
+  }
+  if (policy == Policy::kNone) return faulty;
+  std::vector<std::shared_ptr<llm::LlmModel>> ladder;
+  for (size_t i = 0; i < faulty.size(); ++i) {
+    llm::ResilientLlm::Options options;
+    options.retry.max_attempts = max_attempts;
+    options.retry.initial_backoff_ms = 50.0;
+    options.seed = 77 + i;
+    if (policy == Policy::kRetry) {
+      // Disable the breaker so the cell isolates pure retry value.
+      options.breaker.min_samples = 1u << 20;
+    }
+    auto resilient = std::make_shared<llm::ResilientLlm>(faulty[i], options);
+    if (policy == Policy::kFull) {
+      for (size_t j = i; j-- > 0;) resilient->AddFallbackModel(faulty[j]);
+    }
+    ladder.push_back(std::move(resilient));
+  }
+  return ladder;
+}
+
+struct Cell {
+  double availability = 0.0;
+  double accuracy = 0.0;
+  common::Money cost;
+  llm::UsageMeter::RetryStats retry;
+};
+
+Cell RunCell(const std::vector<data::QaItem>& workload,
+             const std::vector<std::shared_ptr<llm::LlmModel>>& ladder) {
+  optimize::LlmCascade::Options options;
+  options.accept_threshold = 0.65;
+  optimize::LlmCascade cascade(ladder, options);
+  llm::UsageMeter meter;
+  size_t answered = 0, correct = 0;
+  for (const auto& item : workload) {
+    auto r = cascade.Run(llm::MakePrompt("qa", item.question), &meter);
+    if (!r.ok()) continue;
+    ++answered;
+    if (r->answer == item.answer) ++correct;
+  }
+  Cell cell;
+  cell.availability = 100.0 * double(answered) / double(workload.size());
+  cell.accuracy = 100.0 * double(correct) / double(workload.size());
+  cell.cost = meter.cost();
+  cell.retry = meter.retry_stats();
+  return cell;
+}
+
+int main_impl() {
+  common::Rng rng(20240704);
+  data::KnowledgeBase kb = data::KnowledgeBase::Generate(80, rng);
+  auto workload = data::GenerateQaWorkload(kb, 40, {0.25, 0.45, 0.30}, rng);
+
+  std::printf(
+      "Ablation: endpoint fault rate x resilience policy "
+      "(%zu QA queries, cascade accept=0.65)\n\n",
+      workload.size());
+  std::printf("%-24s %6s %7s %7s %10s %9s %8s %10s %6s\n", "policy", "fault",
+              "avail", "acc", "cost", "attempts", "retries", "fallbacks",
+              "opens");
+  for (Policy policy : {Policy::kNone, Policy::kRetry, Policy::kFull}) {
+    for (double rate : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+      auto ladder = BuildLadder(&kb, rate, policy, /*max_attempts=*/5);
+      Cell cell = RunCell(workload, ladder);
+      std::printf("%-24s %5.0f%% %6.1f%% %6.1f%% %10s %9zu %8zu %10zu %6zu\n",
+                  PolicyName(policy), 100.0 * rate, cell.availability,
+                  cell.accuracy, cell.cost.ToString(4).c_str(),
+                  cell.retry.attempts, cell.retry.retries,
+                  cell.retry.fallbacks, cell.retry.circuit_opens);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Retry-budget sweep at 20%% fault rate (full policy): how many "
+      "attempts buy how much availability\n\n");
+  std::printf("%12s %7s %7s %10s %9s %8s %10s\n", "max_attempts", "avail",
+              "acc", "cost", "attempts", "retries", "fallbacks");
+  for (size_t attempts : {1u, 2u, 3u, 5u, 8u}) {
+    auto ladder = BuildLadder(&kb, 0.2, Policy::kFull, attempts);
+    Cell cell = RunCell(workload, ladder);
+    std::printf("%12zu %6.1f%% %6.1f%% %10s %9zu %8zu %10zu\n", attempts,
+                cell.availability, cell.accuracy,
+                cell.cost.ToString(4).c_str(), cell.retry.attempts,
+                cell.retry.retries, cell.retry.fallbacks);
+  }
+  std::printf(
+      "\nSustained outage: sim-gpt-4 hard-down, 10%% background faults on "
+      "the lower rungs\n\n");
+  std::printf("%-24s %7s %7s %10s %9s %8s %10s %6s\n", "policy", "avail",
+              "acc", "cost", "attempts", "retries", "fallbacks", "opens");
+  for (Policy policy : {Policy::kNone, Policy::kRetry, Policy::kFull}) {
+    auto ladder = BuildLadder(&kb, 0.1, policy, /*max_attempts=*/5,
+                              /*top_rung_down=*/true);
+    Cell cell = RunCell(workload, ladder);
+    std::printf("%-24s %6.1f%% %6.1f%% %10s %9zu %8zu %10zu %6zu\n",
+                PolicyName(policy), cell.availability, cell.accuracy,
+                cell.cost.ToString(4).c_str(), cell.retry.attempts,
+                cell.retry.retries, cell.retry.fallbacks,
+                cell.retry.circuit_opens);
+  }
+
+  std::printf(
+      "\nreading: under memoryless faults the cascade's sample redundancy "
+      "keeps availability up but leaks\naccuracy; plain retries buy it back "
+      "through 40%% faults for an itemized premium (the breaker can\nmisfire "
+      "there — it is outage machinery, and past ~30%% noise it trades "
+      "accuracy for shed load).\nUnder a sustained top-rung outage the "
+      "breaker earns its keep: it stops paying for doomed retries\nafter one "
+      "window (about half the retries of retry-only) at the same "
+      "availability, giving back a few\npoints of accuracy to cheap-rung "
+      "fallback answers. All retry/fallback spend is metered into the\nsame "
+      "UsageMeter as the base spend.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

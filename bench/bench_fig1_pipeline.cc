@@ -3,12 +3,39 @@
 // exploration — run end-to-end on a healthcare-flavoured synthetic corpus
 // with per-stage LLM usage metering.
 #include <cstdio>
+#include <memory>
 
 #include "core/pipeline.h"
+#include "llm/fault_injection.h"
+#include "llm/resilient.h"
 #include "llm/simulated.h"
 
+namespace {
+
+using namespace llmdm;
+
+// Prints one pipeline report, with per-stage retry accounting when the
+// resilience layer was in play.
+void PrintReport(const core::DataManagementPipeline::Report& report) {
+  std::printf("%-16s %8s %10s %26s  %s\n", "stage", "calls", "cost",
+              "attempts/retries/fallbacks", "summary");
+  for (const auto& stage : report.stages) {
+    std::printf("%-16s %8zu %10s %15zu/%3zu/%3zu       %s%s\n",
+                stage.stage.c_str(), stage.llm_calls,
+                stage.llm_cost.ToString(4).c_str(), stage.retry.attempts,
+                stage.retry.retries,
+                stage.retry.fallbacks + stage.retry.stale_serves,
+                stage.degraded ? "[DEGRADED] " : "", stage.summary.c_str());
+  }
+  std::printf("%-16s %8zu %10s  (%zu degraded stage%s)\n", "TOTAL",
+              report.total_llm_calls, report.total_cost.ToString(4).c_str(),
+              report.degraded_stages,
+              report.degraded_stages == 1 ? "" : "s");
+}
+
+}  // namespace
+
 int main() {
-  using namespace llmdm;
   auto models = llm::CreatePaperModelLadder(nullptr, 42);
   core::DataManagementPipeline::Options options;
   options.model = models[2];
@@ -21,13 +48,7 @@ int main() {
     return 1;
   }
   std::printf("Fig 1: end-to-end data management pipeline\n");
-  std::printf("%-16s %8s %10s  %s\n", "stage", "calls", "cost", "summary");
-  for (const auto& stage : report->stages) {
-    std::printf("%-16s %8zu %10s  %s\n", stage.stage.c_str(), stage.llm_calls,
-                stage.llm_cost.ToString(4).c_str(), stage.summary.c_str());
-  }
-  std::printf("%-16s %8zu %10s\n", "TOTAL", report->total_llm_calls,
-              report->total_cost.ToString(4).c_str());
+  PrintReport(*report);
 
   // Prove the artifacts are live: SQL over the integrated store and a
   // semantic query over the lake.
@@ -42,5 +63,38 @@ int main() {
   std::printf("post-pipeline lake query 'cardiology chest imaging' -> ");
   for (const auto& hit : hits) std::printf("[%s] ", hit.title.c_str());
   std::printf("\n");
+
+  // ---- the same pipeline on a flaky endpoint ------------------------------
+  // 20% of calls are rejected/damaged (deterministically); the resilience
+  // layer retries and falls back to the mid-tier model, so every stage still
+  // lands. The unprotected run shows what those stages look like without it.
+  auto run_faulted = [&](bool resilient) {
+    auto faulty = std::make_shared<llm::FaultInjectingLlm>(
+        models[2], llm::FaultProfile::Uniform(0.20), 4242);
+    core::DataManagementPipeline::Options faulted_options;
+    faulted_options.num_patients = 60;
+    if (resilient) {
+      llm::ResilientLlm::Options resilience;
+      resilience.retry.max_attempts = 5;
+      resilience.seed = 11;
+      auto wrapped = std::make_shared<llm::ResilientLlm>(faulty, resilience);
+      wrapped->AddFallbackModel(models[1]);
+      faulted_options.model = wrapped;
+    } else {
+      faulted_options.model = faulty;
+    }
+    core::DataManagementPipeline faulted(faulted_options);
+    auto faulted_report = faulted.Run();
+    if (!faulted_report.ok()) {
+      std::fprintf(stderr, "faulted pipeline failed: %s\n",
+                   faulted_report.status().ToString().c_str());
+      return;
+    }
+    std::printf("\nwith 20%% endpoint faults, %s:\n",
+                resilient ? "resilience layer ON" : "unprotected");
+    PrintReport(*faulted_report);
+  };
+  run_faulted(/*resilient=*/false);
+  run_faulted(/*resilient=*/true);
   return 0;
 }

@@ -175,6 +175,13 @@ int main() {
     for (const auto& q : workload) {
       auto c = models[0]->Complete(
           llm::MakePrompt("nl2sql", q.ToNaturalLanguage()));
+      // A failed call produced no SQL at all: broken by definition, and
+      // trivially caught (the error status is the flag).
+      if (!c.ok()) {
+        ++invalid;
+        ++caught;
+        continue;
+      }
       bool broken = !validate::SqlValidator::ValidateSyntax(c->text).accepted;
       bool flagged =
           !validate::SqlValidator::ValidateExecutes(c->text, db).accepted;

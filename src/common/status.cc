@@ -24,8 +24,25 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kRateLimited:
+      return "RateLimited";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool IsTransientError(StatusCode code) {
+  switch (code) {
+    case StatusCode::kRateLimited:
+    case StatusCode::kTimeout:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {

@@ -20,7 +20,18 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kAborted,
+  // Transient endpoint failures (remote LLM services under load). Kept
+  // distinct from kResourceExhausted/kInternal so retry policies can tell
+  // "try again" apart from "this request can never succeed".
+  kRateLimited,
+  kTimeout,
+  kUnavailable,
 };
+
+/// True for codes a retry can plausibly cure (rate limits, timeouts,
+/// outages). Permanent errors (bad arguments, missing skills) return false
+/// so retry layers fail fast instead of burning their attempt budget.
+bool IsTransientError(StatusCode code);
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
 std::string_view StatusCodeName(StatusCode code);
@@ -60,6 +71,15 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status RateLimited(std::string msg) {
+    return Status(StatusCode::kRateLimited, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

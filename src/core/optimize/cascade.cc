@@ -11,6 +11,12 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
     return common::Status::FailedPrecondition("cascade has no models");
   }
   CascadeResult result;
+  // Best sub-threshold answer seen so far, kept for graceful degradation
+  // when the rungs that would normally accept are down.
+  double best_fallback_score = -1.0;
+  std::string best_fallback_answer, best_fallback_model;
+  common::Status last_error =
+      common::Status::Unavailable("cascade made no calls");
   for (size_t rung = 0; rung < ladder_.size(); ++rung) {
     llm::LlmModel& model = *ladder_[rung];
     // Self-consistency: independent draws via distinct sample salts. The
@@ -21,19 +27,39 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
     std::map<std::string, size_t> votes;
     double confidence_sum = 0.0;
     std::string first_completion;
+    size_t samples_ok = 0;
+    CascadeStep step;
+    step.model = model.name();
     for (size_t s = 0; s < samples; ++s) {
       llm::Prompt sampled = prompt;
       sampled.sample_salt = prompt.sample_salt * 101 + s;
-      LLMDM_ASSIGN_OR_RETURN(llm::Completion c,
-                             model.CompleteMetered(sampled, meter));
-      result.cost += c.cost;
+      auto c = model.CompleteMetered(sampled, meter);
+      if (!c.ok()) {
+        // The spend of the samples that did succeed is already counted;
+        // the surviving votes still participate below.
+        ++step.samples_failed;
+        last_error = c.status();
+        step.error = c.status().ToString();
+        continue;
+      }
+      result.cost += c->cost;
       ++result.total_calls;
-      ++votes[c.text];
-      confidence_sum += c.confidence;
-      if (s == 0) first_completion = c.text;
+      ++votes[c->text];
+      confidence_sum += c->confidence;
+      if (samples_ok == 0) first_completion = c->text;
+      ++samples_ok;
+    }
+    if (samples_ok == 0) {
+      // Every sample failed: skip the rung and escalate past it.
+      step.failed = true;
+      ++result.rungs_failed;
+      result.trace.push_back(std::move(step));
+      continue;
     }
     // Majority answer (ties break toward the first sample: temperature-0
-    // behaviour).
+    // behaviour). Agreement is judged over the *requested* sample count, so
+    // a rung that lost votes to failures needs the survivors to be
+    // unanimous-and-then-some to clear the same bar.
     std::string majority = first_completion;
     size_t best = votes[first_completion];
     for (const auto& [answer, n] : votes) {
@@ -45,12 +71,10 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
     double agreement = static_cast<double>(best) /
                        static_cast<double>(samples);
     double mean_confidence =
-        confidence_sum / static_cast<double>(samples);
+        confidence_sum / static_cast<double>(samples_ok);
     double score = options_.agreement_weight * agreement +
                    (1.0 - options_.agreement_weight) * mean_confidence;
 
-    CascadeStep step;
-    step.model = model.name();
     step.answer = majority;
     step.agreement = agreement;
     step.confidence = score;
@@ -62,8 +86,21 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
       result.model = model.name();
       return result;
     }
+    if (score > best_fallback_score) {
+      best_fallback_score = score;
+      best_fallback_answer = majority;
+      best_fallback_model = model.name();
+    }
   }
-  return common::Status::Internal("cascade fell through without accepting");
+  if (best_fallback_score >= 0.0) {
+    // No rung accepted (the unconditional-accept top rung must have
+    // failed): answer anyway with the best rejected candidate.
+    result.answer = best_fallback_answer;
+    result.model = best_fallback_model;
+    result.degraded = true;
+    return result;
+  }
+  return last_error;
 }
 
 double CalibrateAcceptThreshold(const std::vector<CalibrationSample>& samples,

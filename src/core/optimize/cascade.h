@@ -17,6 +17,12 @@ struct CascadeStep {
   double agreement = 0.0;    // self-consistency agreement in [0,1]
   double confidence = 0.0;   // blended decision score
   bool accepted = false;
+  /// The rung's endpoint failed on every sample; the cascade skipped it and
+  /// moved on (`error` holds the last status). A partially-failed rung is
+  /// not marked failed: the surviving samples still vote.
+  bool failed = false;
+  std::string error;
+  size_t samples_failed = 0;
 };
 
 /// Final outcome of a cascaded query.
@@ -26,6 +32,10 @@ struct CascadeResult {
   common::Money cost; // across all rungs and samples
   size_t total_calls = 0;
   std::vector<CascadeStep> trace;
+  size_t rungs_failed = 0;
+  /// No rung cleared the acceptance bar (the top rung was down), so the
+  /// best-scoring surviving answer was returned instead of an error.
+  bool degraded = false;
 };
 
 /// The LLM cascade of Fig. 6 / Table I: a query visits models from cheap to
@@ -53,6 +63,8 @@ class LlmCascade {
 
   /// Runs the cascade on one prompt. Usage (including the rejected rungs'
   /// spend — escalation is not free) is recorded into `meter` if non-null.
+  /// A rung whose endpoint fails is skipped (recorded in the trace), not
+  /// fatal; Run only errors when every rung fails to produce any answer.
   common::Result<CascadeResult> Run(const llm::Prompt& prompt,
                                     llm::UsageMeter* meter = nullptr) const;
 

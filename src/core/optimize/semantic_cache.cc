@@ -65,6 +65,20 @@ std::optional<SemanticCache::Hit> SemanticCache::Lookup(
   return Hit{entry.query, entry.response, results[0].score, avoided_cost};
 }
 
+std::optional<SemanticCache::Hit> SemanticCache::LookupStale(
+    const std::string& query, double relaxed_threshold) const {
+  if (live_count_ == 0) return std::nullopt;
+  embed::Vector q = embedder_.Embed(query);
+  auto results = index_.Search(q, 1);
+  if (results.empty()) return std::nullopt;
+  const Entry& entry = entries_[results[0].id];
+  if (results[0].score < relaxed_threshold || !entry.live) {
+    return std::nullopt;
+  }
+  return Hit{entry.query, entry.response, results[0].score,
+             common::Money::Zero()};
+}
+
 std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
     const std::string& query, size_t k) {
   ++tick_;
@@ -141,6 +155,23 @@ common::Result<llm::Completion> CachedLlm::Complete(const llm::Prompt& prompt) {
   LLMDM_ASSIGN_OR_RETURN(llm::Completion c, inner_->Complete(prompt));
   cache_->Insert(prompt.input, c.text, c.cost);
   return c;
+}
+
+llm::ResilientLlm::CacheFallback MakeStaleCacheFallback(
+    const SemanticCache* cache, std::string model_name,
+    double relaxed_threshold) {
+  return [cache, model_name = std::move(model_name),
+          relaxed_threshold](const llm::Prompt& prompt)
+             -> std::optional<llm::Completion> {
+    auto hit = cache->LookupStale(prompt.input, relaxed_threshold);
+    if (!hit.has_value()) return std::nullopt;
+    llm::Completion c;
+    c.text = hit->response;
+    c.confidence = 0.5;  // stale answers carry no freshness guarantee
+    c.model = model_name + "+stale-cache";
+    c.latency_ms = 1.0;
+    return c;
+  };
 }
 
 }  // namespace llmdm::optimize

@@ -9,6 +9,7 @@
 
 #include "embed/embedder.h"
 #include "llm/model.h"
+#include "llm/resilient.h"
 #include "vectordb/flat_index.h"
 
 namespace llmdm::optimize {
@@ -73,6 +74,12 @@ class SemanticCache {
   /// or above threshold, for use as extra few-shot examples (hit case (2)).
   std::vector<Hit> TopKForAugmentation(const std::string& query, size_t k);
 
+  /// Degraded-mode lookup at a caller-chosen (typically relaxed) threshold.
+  /// Does not touch stats or eviction state: a stale serve is an emergency
+  /// exit, not evidence the entry is hot.
+  std::optional<Hit> LookupStale(const std::string& query,
+                                 double relaxed_threshold) const;
+
   /// Inserts (or refreshes) a query/response pair, evicting if over capacity.
   void Insert(const std::string& query, const std::string& response,
               common::Money cost_to_produce = common::Money::Zero());
@@ -126,6 +133,16 @@ class CachedLlm : public llm::LlmModel {
   SemanticCache* cache_;
   size_t cache_hits_ = 0;
 };
+
+/// Builds a ResilientLlm cache fallback that serves the nearest cached
+/// response at `relaxed_threshold` when the live endpoint is exhausted —
+/// the paper's semantic cache doubling as the last rung of graceful
+/// degradation. Served completions are free, near-instant, and labelled
+/// "<model>+stale-cache" so traces show which answers were stale.
+/// `cache` must outlive the returned function.
+llm::ResilientLlm::CacheFallback MakeStaleCacheFallback(
+    const SemanticCache* cache, std::string model_name,
+    double relaxed_threshold = 0.75);
 
 }  // namespace llmdm::optimize
 

@@ -40,19 +40,28 @@ class DataManagementPipeline {
     std::string summary;
     size_t llm_calls = 0;
     common::Money llm_cost;
+    /// The stage hit an unrecoverable error and delivered partial (or no)
+    /// artifacts; `summary` carries the status. Later stages still ran.
+    bool degraded = false;
+    /// Resilience accounting for the stage's LLM traffic.
+    llm::UsageMeter::RetryStats retry;
   };
 
   struct Report {
     std::vector<StageReport> stages;
     size_t total_llm_calls = 0;
     common::Money total_cost;
+    size_t degraded_stages = 0;
   };
 
   explicit DataManagementPipeline(const Options& options)
       : options_(options) {}
 
-  /// Runs all four stages. After a successful run, `database()` holds the
-  /// relational artifacts and `lake()` the explorable corpus.
+  /// Runs all four stages. A stage that fails mid-flight is reported as
+  /// degraded instead of aborting the pipeline — the remaining stages run
+  /// on whatever artifacts exist. Run() itself only errors on configuration
+  /// problems (no model). After a run, `database()` holds the relational
+  /// artifacts and `lake()` the explorable corpus.
   common::Result<Report> Run();
 
   sql::Database& database() { return db_; }

@@ -1,0 +1,85 @@
+#include "llm/fault_injection.h"
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace llmdm::llm {
+
+FaultProfile FaultProfile::Uniform(double per_call_rate) {
+  FaultProfile p;
+  p.rate_limit = 0.35 * per_call_rate;
+  p.timeout = 0.25 * per_call_rate;
+  p.unavailable = 0.20 * per_call_rate;
+  p.truncate = 0.10 * per_call_rate;
+  p.garble = 0.10 * per_call_rate;
+  return p;
+}
+
+void FaultInjectingLlm::ResetSchedule() {
+  attempts_.clear();
+  stats_ = FaultStats{};
+}
+
+common::Result<Completion> FaultInjectingLlm::Complete(const Prompt& prompt) {
+  uint64_t key = common::HashCombine(
+      common::Fnv1a(prompt.input, seed_),
+      common::HashCombine(common::Fnv1a(prompt.instructions),
+                          prompt.sample_salt));
+  uint64_t attempt = attempts_[key]++;
+  uint64_t h = common::HashCombine(common::Fnv1a(spec().name, seed_),
+                                   common::HashCombine(key, attempt + 1));
+  double u = common::HashToUnit(h);
+  ++stats_.calls;
+
+  double edge = profile_.rate_limit;
+  if (u < edge) {
+    ++stats_.rate_limited;
+    return common::Status::RateLimited(common::StrFormat(
+        "injected 429 for %s (attempt %llu)", spec().name.c_str(),
+        (unsigned long long)attempt));
+  }
+  edge += profile_.timeout;
+  if (u < edge) {
+    ++stats_.timeouts;
+    return common::Status::Timeout(common::StrFormat(
+        "injected timeout for %s (attempt %llu)", spec().name.c_str(),
+        (unsigned long long)attempt));
+  }
+  edge += profile_.unavailable;
+  if (u < edge) {
+    ++stats_.unavailable;
+    return common::Status::Unavailable(common::StrFormat(
+        "injected 503 for %s (attempt %llu)", spec().name.c_str(),
+        (unsigned long long)attempt));
+  }
+
+  LLMDM_ASSIGN_OR_RETURN(Completion c, inner_->Complete(prompt));
+
+  edge += profile_.truncate;
+  if (u < edge) {
+    // Cut the completion mid-stream. The tokens were generated and billed;
+    // the truncated flag is the client-visible finish_reason analogue.
+    ++stats_.truncated;
+    c.text = c.text.substr(0, c.text.size() / 2);
+    c.truncated = true;
+    return c;
+  }
+  edge += profile_.garble;
+  if (u < edge) {
+    // Corrupt a few characters deterministically. Unlike truncation this is
+    // invisible to the client: only semantic checks (voting, validators)
+    // can catch it.
+    ++stats_.garbled;
+    common::Rng rng(h);
+    for (size_t i = 0; i < c.text.size(); ++i) {
+      if (rng.Bernoulli(0.25)) {
+        c.text[i] = static_cast<char>('a' + rng.NextBelow(26));
+      }
+    }
+    return c;
+  }
+  return c;
+}
+
+}  // namespace llmdm::llm

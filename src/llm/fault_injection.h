@@ -1,0 +1,79 @@
+#ifndef LLMDM_LLM_FAULT_INJECTION_H_
+#define LLMDM_LLM_FAULT_INJECTION_H_
+
+#include <map>
+#include <memory>
+
+#include "llm/model.h"
+
+namespace llmdm::llm {
+
+/// Per-fault-kind injection rates, each in [0,1] and summing to <= 1.
+/// Transport faults reject the call with a transient Status before any
+/// tokens are billed; semantic faults (truncate/garble) complete the call —
+/// and bill it — but damage the text, which is how real endpoints fail under
+/// load ("you paid for a useless answer").
+struct FaultProfile {
+  double rate_limit = 0.0;   // -> StatusCode::kRateLimited
+  double timeout = 0.0;      // -> StatusCode::kTimeout
+  double unavailable = 0.0;  // -> StatusCode::kUnavailable
+  double truncate = 0.0;     // completion cut short, Completion::truncated set
+  double garble = 0.0;       // characters corrupted, invisible to the client
+
+  double total() const {
+    return rate_limit + timeout + unavailable + truncate + garble;
+  }
+
+  /// Splits one per-call fault rate across the kinds with the mix observed
+  /// in production LLM traffic: mostly rate limits and timeouts, a smaller
+  /// tail of outages and damaged completions.
+  static FaultProfile Uniform(double per_call_rate);
+};
+
+/// Counts of injected faults, for bench output and rate assertions.
+struct FaultStats {
+  size_t calls = 0;
+  size_t rate_limited = 0;
+  size_t timeouts = 0;
+  size_t unavailable = 0;
+  size_t truncated = 0;
+  size_t garbled = 0;
+  size_t injected() const {
+    return rate_limited + timeouts + unavailable + truncated + garbled;
+  }
+};
+
+/// LlmModel decorator that deterministically injects faults. The draw for a
+/// call is hashed from (seed, model, prompt input+instructions, sample salt,
+/// attempt#), where attempt# counts how often this exact prompt has been
+/// seen — so a retry of a failed call is an independent draw (it can
+/// succeed), yet two runs with the same seed produce byte-identical fault
+/// schedules. Deterministic in the same sense as SimulatedLlm.
+class FaultInjectingLlm : public LlmModel {
+ public:
+  FaultInjectingLlm(std::shared_ptr<LlmModel> inner, FaultProfile profile,
+                    uint64_t seed)
+      : inner_(std::move(inner)), profile_(profile), seed_(seed) {}
+
+  const ModelSpec& spec() const override { return inner_->spec(); }
+
+  common::Result<Completion> Complete(const Prompt& prompt) override;
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultProfile& profile() const { return profile_; }
+
+  /// Forgets the per-prompt attempt counters (and stats), so a fresh
+  /// benchmark pass replays the identical fault schedule.
+  void ResetSchedule();
+
+ private:
+  std::shared_ptr<LlmModel> inner_;
+  FaultProfile profile_;
+  uint64_t seed_;
+  FaultStats stats_;
+  std::map<uint64_t, uint64_t> attempts_;  // prompt key -> times seen
+};
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_FAULT_INJECTION_H_

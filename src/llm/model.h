@@ -36,6 +36,10 @@ struct Completion {
   common::Money cost;
   double latency_ms = 0.0;
   std::string model;
+  /// True when the completion was cut off before finishing (the simulator's
+  /// analogue of finish_reason == "length"/"content_filter"). Unlike garbled
+  /// text, truncation is visible to the client, so retry layers act on it.
+  bool truncated = false;
 };
 
 /// Abstract LLM endpoint. The library is written against this interface so a
@@ -49,9 +53,11 @@ class LlmModel {
 
   virtual common::Result<Completion> Complete(const Prompt& prompt) = 0;
 
-  /// Complete() plus usage metering (meter may be null).
-  common::Result<Completion> CompleteMetered(const Prompt& prompt,
-                                             UsageMeter* meter);
+  /// Complete() plus usage metering (meter may be null). Virtual so
+  /// decorators that make several inner calls per logical completion
+  /// (retries, fallbacks) can meter every attempt into the same ledger.
+  virtual common::Result<Completion> CompleteMetered(const Prompt& prompt,
+                                                     UsageMeter* meter);
 };
 
 /// The three model tiers the paper benchmarks (Table I): sim-babbage-002,

@@ -1,0 +1,165 @@
+#include "llm/resilient.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace llmdm::llm {
+
+double CircuitBreaker::FailureRate() const {
+  if (outcomes_.empty()) return 0.0;
+  size_t failures = 0;
+  for (bool failed : outcomes_) failures += failed ? 1 : 0;
+  return static_cast<double>(failures) /
+         static_cast<double>(outcomes_.size());
+}
+
+void CircuitBreaker::Open(double now_ms) {
+  state_ = State::kOpen;
+  opened_at_ms_ = now_ms;
+  half_open_successes_ = 0;
+  ++times_opened_;
+}
+
+bool CircuitBreaker::Allow(double now_ms) {
+  if (state_ == State::kOpen) {
+    if (now_ms - opened_at_ms_ >= options_.open_cooldown_ms) {
+      state_ = State::kHalfOpen;
+      half_open_successes_ = 0;
+      return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(double) {
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= options_.half_open_successes) {
+      state_ = State::kClosed;
+      outcomes_.clear();
+    }
+    return;
+  }
+  outcomes_.push_back(false);
+  if (outcomes_.size() > options_.window) outcomes_.pop_front();
+}
+
+void CircuitBreaker::RecordFailure(double now_ms) {
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: the endpoint is still down.
+    Open(now_ms);
+    return;
+  }
+  outcomes_.push_back(true);
+  if (outcomes_.size() > options_.window) outcomes_.pop_front();
+  if (state_ == State::kClosed && outcomes_.size() >= options_.min_samples &&
+      FailureRate() >= options_.failure_threshold) {
+    Open(now_ms);
+  }
+}
+
+common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
+                                                         UsageMeter* meter) {
+  UsageMeter::RetryStats call;
+  const size_t opens_before = breaker_.times_opened();
+  const double call_start_ms = clock_ms_;
+  common::Status last_error =
+      common::Status::Unavailable("no attempt made for " + name());
+  std::optional<Completion> degraded;  // truncated answer kept as last resort
+
+  auto finalize = [&]() {
+    call.circuit_opens = breaker_.times_opened() - opens_before;
+    stats_.Merge(call);
+    if (meter != nullptr) meter->RecordRetry(name(), call);
+  };
+
+  const RetryPolicy& retry = options_.retry;
+  for (size_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      double backoff = retry.initial_backoff_ms;
+      for (size_t i = 1; i < attempt; ++i) backoff *= retry.backoff_multiplier;
+      backoff = std::min(backoff, retry.max_backoff_ms);
+      backoff *= 1.0 + retry.jitter * jitter_rng_.UniformDouble();
+      clock_ms_ += backoff;
+      if (clock_ms_ - call_start_ms > options_.call_deadline_ms) {
+        ++call.deadline_exceeded;
+        last_error = common::Status::Timeout(common::StrFormat(
+            "deadline %.0fms exhausted backing off for %s",
+            options_.call_deadline_ms, name().c_str()));
+        break;
+      }
+      ++call.retries;
+    }
+    if (!breaker_.Allow(clock_ms_)) {
+      ++call.circuit_rejections;
+      last_error = common::Status::Unavailable(
+          "circuit open for " + name());
+      break;
+    }
+    ++call.attempts;
+    auto result = inner_->CompleteMetered(prompt, meter);
+    if (result.ok()) {
+      clock_ms_ += result->latency_ms;
+      if (clock_ms_ - call_start_ms > options_.call_deadline_ms) {
+        // The model answered, but slower than the caller's budget — the
+        // ModelSpec latency bound is enforced here. Retrying the same model
+        // cannot get faster, so go straight to the fallback chain.
+        breaker_.RecordFailure(clock_ms_);
+        ++call.transient_errors;
+        ++call.deadline_exceeded;
+        last_error = common::Status::Timeout(common::StrFormat(
+            "%s took %.0fms against a %.0fms deadline", name().c_str(),
+            clock_ms_ - call_start_ms, options_.call_deadline_ms));
+        break;
+      }
+      if (result->truncated && retry.retry_on_truncation) {
+        breaker_.RecordFailure(clock_ms_);
+        ++call.transient_errors;
+        degraded = *result;  // better a clipped answer than none
+        last_error = common::Status::Unavailable(
+            "completion truncated by " + name());
+        continue;
+      }
+      breaker_.RecordSuccess(clock_ms_);
+      finalize();
+      return result;
+    }
+    last_error = result.status();
+    breaker_.RecordFailure(clock_ms_);
+    ++call.transient_errors;
+    if (last_error.code() == common::StatusCode::kTimeout) {
+      // A timed-out request burned real wall time before failing.
+      clock_ms_ += options_.timeout_wait_ms;
+    }
+    if (!common::IsTransientError(last_error.code())) break;  // permanent
+  }
+
+  // Retries exhausted (or circuit open / deadline blown): degrade through
+  // the fallback chain rather than failing the whole query.
+  for (const auto& fallback : fallbacks_) {
+    auto result = fallback->CompleteMetered(prompt, meter);
+    if (result.ok()) {
+      clock_ms_ += result->latency_ms;
+      ++call.fallbacks;
+      finalize();
+      return result;
+    }
+    last_error = result.status();
+  }
+  if (cache_fallback_) {
+    if (std::optional<Completion> hit = cache_fallback_(prompt)) {
+      ++call.stale_serves;
+      finalize();
+      return *hit;
+    }
+  }
+  if (degraded.has_value()) {
+    finalize();
+    return *degraded;
+  }
+  finalize();
+  return last_error;
+}
+
+}  // namespace llmdm::llm

@@ -1,0 +1,135 @@
+#ifndef LLMDM_LLM_RESILIENT_H_
+#define LLMDM_LLM_RESILIENT_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "llm/model.h"
+
+namespace llmdm::llm {
+
+/// Closed -> open -> half-open breaker over a rolling outcome window.
+/// Time is the caller's *simulated* clock (accumulated completion latency and
+/// backoff waits), so breaker behaviour is exactly reproducible.
+class CircuitBreaker {
+ public:
+  struct Options {
+    size_t window = 16;              // rolling outcomes considered
+    size_t min_samples = 8;          // don't judge before this many outcomes
+    double failure_threshold = 0.5;  // open at >= this failure rate
+    double open_cooldown_ms = 2000.0;
+    size_t half_open_successes = 2;  // probes needed to close again
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const Options& options) : options_(options) {}
+
+  /// False while open (and still cooling down). Transitions open->half-open
+  /// once the cooldown has elapsed on the simulated clock.
+  bool Allow(double now_ms);
+  void RecordSuccess(double now_ms);
+  void RecordFailure(double now_ms);
+
+  State state() const { return state_; }
+  size_t times_opened() const { return times_opened_; }
+
+ private:
+  void Open(double now_ms);
+  double FailureRate() const;
+
+  Options options_;
+  State state_ = State::kClosed;
+  std::deque<bool> outcomes_;  // true = failure
+  double opened_at_ms_ = 0.0;
+  size_t half_open_successes_ = 0;
+  size_t times_opened_ = 0;
+};
+
+/// LlmModel decorator that makes a flaky endpoint dependable:
+///  - retries transient errors (and detectable truncation) with exponential
+///    backoff and deterministic jitter drawn from common::Rng;
+///  - enforces a per-call deadline budget against the *simulated* latency
+///    (ModelSpec::latency_ms_per_1k_tokens accumulated into
+///    Completion::latency_ms plus backoff waits), surfacing kTimeout;
+///  - trips a per-model CircuitBreaker so a hard-down endpoint stops eating
+///    retry budget;
+///  - degrades gracefully through a FallbackChain: cheaper model rungs
+///    first, then an optional stale-cache lookup, before giving up.
+/// Every attempt's token spend — including discarded retries and fallback
+/// calls — is metered into the caller's UsageMeter, with RetryStats
+/// itemizing what the resilience machinery cost.
+class ResilientLlm : public LlmModel {
+ public:
+  struct RetryPolicy {
+    size_t max_attempts = 4;
+    double initial_backoff_ms = 100.0;
+    double backoff_multiplier = 2.0;
+    double max_backoff_ms = 4000.0;
+    /// Backoff is stretched by up to this fraction, uniform from the seed.
+    double jitter = 0.25;
+    bool retry_on_truncation = true;
+  };
+
+  struct Options {
+    RetryPolicy retry;
+    CircuitBreaker::Options breaker;
+    /// Per-logical-call budget over simulated latency + backoff.
+    double call_deadline_ms = 20000.0;
+    /// Simulated wall time burned when the endpoint times out (a real
+    /// client waits out its socket timeout before retrying).
+    double timeout_wait_ms = 1000.0;
+    uint64_t seed = 0;
+  };
+
+  /// Last-resort lookup (e.g. a stale SemanticCache hit); returns a
+  /// completion served without touching any endpoint.
+  using CacheFallback = std::function<std::optional<Completion>(const Prompt&)>;
+
+  ResilientLlm(std::shared_ptr<LlmModel> inner, const Options& options)
+      : inner_(std::move(inner)),
+        options_(options),
+        breaker_(options.breaker),
+        jitter_rng_(options.seed ^ 0x5E11EBCull) {}
+
+  const ModelSpec& spec() const override { return inner_->spec(); }
+
+  /// Appends a cheaper rung to the fallback chain (tried in insertion
+  /// order once the primary's retries are exhausted or its circuit is open).
+  void AddFallbackModel(std::shared_ptr<LlmModel> model) {
+    fallbacks_.push_back(std::move(model));
+  }
+  void set_cache_fallback(CacheFallback fallback) {
+    cache_fallback_ = std::move(fallback);
+  }
+
+  common::Result<Completion> Complete(const Prompt& prompt) override {
+    return CompleteMetered(prompt, nullptr);
+  }
+  common::Result<Completion> CompleteMetered(const Prompt& prompt,
+                                             UsageMeter* meter) override;
+
+  /// Lifetime retry accounting across all calls through this decorator.
+  const UsageMeter::RetryStats& stats() const { return stats_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  /// Simulated milliseconds elapsed across all calls (latency + waits).
+  double clock_ms() const { return clock_ms_; }
+
+ private:
+  std::shared_ptr<LlmModel> inner_;
+  Options options_;
+  CircuitBreaker breaker_;
+  common::Rng jitter_rng_;
+  std::vector<std::shared_ptr<LlmModel>> fallbacks_;
+  CacheFallback cache_fallback_;
+  UsageMeter::RetryStats stats_;
+  double clock_ms_ = 0.0;
+};
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_RESILIENT_H_

@@ -18,9 +18,36 @@ void UsageMeter::Record(const std::string& model, size_t input_tokens,
   bump(by_model_[model]);
 }
 
+void UsageMeter::RetryStats::Merge(const RetryStats& other) {
+  attempts += other.attempts;
+  retries += other.retries;
+  transient_errors += other.transient_errors;
+  fallbacks += other.fallbacks;
+  stale_serves += other.stale_serves;
+  circuit_opens += other.circuit_opens;
+  circuit_rejections += other.circuit_rejections;
+  deadline_exceeded += other.deadline_exceeded;
+}
+
+std::string UsageMeter::RetryStats::ToString() const {
+  return common::StrFormat(
+      "attempts=%zu retries=%zu faults=%zu fallbacks=%zu stale=%zu "
+      "opens=%zu rejected=%zu deadline=%zu",
+      attempts, retries, transient_errors, fallbacks, stale_serves,
+      circuit_opens, circuit_rejections, deadline_exceeded);
+}
+
+void UsageMeter::RecordRetry(const std::string& model,
+                             const RetryStats& delta) {
+  retry_stats_.Merge(delta);
+  retry_by_model_[model].Merge(delta);
+}
+
 void UsageMeter::Reset() {
   totals_ = Totals{};
   by_model_.clear();
+  retry_stats_ = RetryStats{};
+  retry_by_model_.clear();
 }
 
 std::string UsageMeter::ToString() const {

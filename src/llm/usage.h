@@ -20,8 +20,34 @@ class UsageMeter {
     double latency_ms = 0.0;
   };
 
+  /// Resilience-layer accounting: how many attempts a logical completion
+  /// took and which degradation paths fired. Kept separate from Totals so
+  /// the cost columns of Tables I–III stay directly comparable while the
+  /// retry/fallback spend is itemized alongside them.
+  struct RetryStats {
+    size_t attempts = 0;            // endpoint calls made (first try + retries)
+    size_t retries = 0;             // attempts beyond the first
+    size_t transient_errors = 0;    // rate-limit/timeout/unavailable observed
+    size_t fallbacks = 0;           // completions served by a fallback rung
+    size_t stale_serves = 0;        // completions served from a stale cache
+    size_t circuit_opens = 0;       // closed->open transitions
+    size_t circuit_rejections = 0;  // calls short-circuited by an open breaker
+    size_t deadline_exceeded = 0;   // per-call latency budget blown
+    void Merge(const RetryStats& other);
+    /// "attempts=9 retries=3 faults=3 fallbacks=1 stale=0 opens=1 ...".
+    std::string ToString() const;
+  };
+
   void Record(const std::string& model, size_t input_tokens,
               size_t output_tokens, common::Money cost, double latency_ms);
+
+  /// Folds one logical call's retry accounting into the ledger.
+  void RecordRetry(const std::string& model, const RetryStats& delta);
+
+  const RetryStats& retry_stats() const { return retry_stats_; }
+  const std::map<std::string, RetryStats>& retry_by_model() const {
+    return retry_by_model_;
+  }
 
   const Totals& totals() const { return totals_; }
   common::Money cost() const { return totals_.cost; }
@@ -38,6 +64,8 @@ class UsageMeter {
  private:
   Totals totals_;
   std::map<std::string, Totals> by_model_;
+  RetryStats retry_stats_;
+  std::map<std::string, RetryStats> retry_by_model_;
 };
 
 }  // namespace llmdm::llm

@@ -56,12 +56,26 @@ class FailurePropagationTest : public ::testing::Test {
   std::shared_ptr<llm::LlmModel> inner_;
 };
 
-TEST_F(FailurePropagationTest, CascadeSurfacesModelErrors) {
+TEST_F(FailurePropagationTest, CascadeToleratesPartialSampleFailures) {
   auto flaky = std::make_shared<FlakyModel>(inner_, 2);
-  // Two-rung ladder so the flaky first rung draws several consistency
-  // samples; the second sample fails -> clean error Status.
+  // Two-rung ladder; the flaky first rung loses every 2nd consistency
+  // sample. The cascade keeps the surviving votes and still answers,
+  // recording the per-sample losses in the trace.
   optimize::LlmCascade cascade({flaky, inner_},
                                optimize::LlmCascade::Options{});
+  auto r = cascade.Run(llm::MakePrompt("freeform", "anything"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->answer.empty());
+  size_t samples_failed = 0;
+  for (const auto& step : r->trace) samples_failed += step.samples_failed;
+  EXPECT_GT(samples_failed, 0u);
+}
+
+TEST_F(FailurePropagationTest, CascadeSurfacesModelErrors) {
+  // When every rung is fully dead there is nothing to degrade to: the last
+  // model error comes back as a clean Status.
+  auto dead = std::make_shared<FlakyModel>(inner_, 1);
+  optimize::LlmCascade cascade({dead, dead}, optimize::LlmCascade::Options{});
   auto r = cascade.Run(llm::MakePrompt("freeform", "anything"));
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), common::StatusCode::kResourceExhausted);

@@ -1,17 +1,25 @@
 // Failure-injection and fuzz-flavoured robustness tests: every parser and
 // engine entry point must return a Status on malformed input — never crash,
 // never loop — and transactional surfaces must keep their invariants when
-// statements fail mid-flight.
+// statements fail mid-flight. The second half exercises the LLM endpoint
+// resilience layer (FaultInjectingLlm / ResilientLlm / CircuitBreaker) and
+// the graceful degradation it buys the cascade and the pipeline.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "core/optimize/cascade.h"
+#include "core/optimize/semantic_cache.h"
+#include "core/pipeline.h"
 #include "data/csv.h"
 #include "data/json.h"
 #include "data/nl2sql_workload.h"
 #include "data/qa_workload.h"
 #include "data/txn_workload.h"
 #include "data/xml.h"
+#include "llm/fault_injection.h"
+#include "llm/resilient.h"
+#include "llm/simulated.h"
 #include "sql/database.h"
 #include "sql/parser.h"
 
@@ -219,6 +227,420 @@ TEST(FailureInjection, DropInsideTransactionRestoredOnRollback) {
   ASSERT_TRUE(db.Execute("ROLLBACK").ok());
   ASSERT_TRUE(db.catalog().HasTable("keeper"));
   EXPECT_EQ(db.Query("SELECT x FROM keeper")->at(0, 0), data::Value::Int(7));
+}
+
+// ---- LLM endpoint resilience ------------------------------------------------
+
+// A fast single-skill model for resilience tests; two instances built with
+// the same arguments complete identically, which is what makes the
+// "converges to the fault-free answer" assertions exact.
+std::shared_ptr<llm::SimulatedLlm> MakeTestModel(uint64_t seed = 1) {
+  llm::ModelSpec spec;
+  spec.name = "sim-test";
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.002);
+  spec.latency_ms_per_1k_tokens = 100.0;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, seed);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+  return model;
+}
+
+llm::FaultProfile TransportOnlyProfile(double rate) {
+  llm::FaultProfile p;
+  p.rate_limit = 0.4 * rate;
+  p.timeout = 0.3 * rate;
+  p.unavailable = 0.2 * rate;
+  p.truncate = 0.1 * rate;  // detectable, hence retryable
+  return p;
+}
+
+llm::FaultProfile AlwaysDownProfile() {
+  llm::FaultProfile p;
+  p.unavailable = 1.0;
+  return p;
+}
+
+TEST(FaultInjection, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    llm::FaultInjectingLlm faulty(MakeTestModel(), llm::FaultProfile::Uniform(0.4),
+                                  seed);
+    std::string log;
+    for (int i = 0; i < 150; ++i) {
+      auto c = faulty.Complete(
+          llm::MakePrompt("freeform", common::StrFormat("query %d", i % 40)));
+      if (c.ok()) {
+        log += c->text + (c->truncated ? "|T\n" : "|ok\n");
+      } else {
+        log += c.status().ToString() + "\n";
+      }
+    }
+    return log;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // the schedule really is seed-driven
+}
+
+TEST(FaultInjection, RespectsConfiguredRateRoughly) {
+  llm::FaultInjectingLlm faulty(MakeTestModel(),
+                                llm::FaultProfile::Uniform(0.2), 11);
+  for (int i = 0; i < 400; ++i) {
+    (void)faulty.Complete(
+        llm::MakePrompt("freeform", common::StrFormat("query %d", i)));
+  }
+  const llm::FaultStats& stats = faulty.stats();
+  EXPECT_EQ(stats.calls, 400u);
+  // 20% of 400 = 80 expected faults; allow a wide deterministic band.
+  EXPECT_GE(stats.injected(), 45u);
+  EXPECT_LE(stats.injected(), 125u);
+  EXPECT_GT(stats.rate_limited, 0u);
+  EXPECT_GT(stats.timeouts, 0u);
+}
+
+TEST(FaultInjection, RetryOfSamePromptIsAFreshDraw) {
+  llm::FaultInjectingLlm faulty(MakeTestModel(), AlwaysDownProfile(), 3);
+  llm::Prompt p = llm::MakePrompt("freeform", "same prompt");
+  EXPECT_FALSE(faulty.Complete(p).ok());
+  faulty.ResetSchedule();
+  llm::FaultProfile half;
+  half.unavailable = 0.5;
+  llm::FaultInjectingLlm flaky(MakeTestModel(), half, 3);
+  // With a 50% fault rate, repeated attempts at the same prompt must not
+  // all share one fate: some draw in each direction within a few tries.
+  bool saw_ok = false, saw_fail = false;
+  for (int i = 0; i < 16; ++i) {
+    if (flaky.Complete(p).ok()) {
+      saw_ok = true;
+    } else {
+      saw_fail = true;
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_fail);
+}
+
+class FaultRateSweep : public ::testing::TestWithParam<int> {};
+
+// Satellite (a): ResilientLlm converges to the fault-free answer for fault
+// rates <= 30%.
+TEST_P(FaultRateSweep, ResilientConvergesToFaultFreeAnswer) {
+  const double rate = GetParam() / 100.0;
+  auto reference = MakeTestModel();
+  auto faulty = std::make_shared<llm::FaultInjectingLlm>(
+      MakeTestModel(), TransportOnlyProfile(rate), 21);
+  llm::ResilientLlm::Options options;
+  options.retry.max_attempts = 8;
+  options.retry.initial_backoff_ms = 10.0;
+  options.seed = 5;
+  // No fallback is configured, so shed load cannot be served elsewhere:
+  // disable the breaker to measure pure retry convergence (the ablation
+  // bench covers the breaker+fallback interaction).
+  options.breaker.min_samples = 1u << 20;
+  llm::ResilientLlm resilient(faulty, options);
+  llm::UsageMeter meter;
+  for (int i = 0; i < 50; ++i) {
+    llm::Prompt p =
+        llm::MakePrompt("freeform", common::StrFormat("query %d", i));
+    auto expected = reference->Complete(p);
+    ASSERT_TRUE(expected.ok());
+    auto got = resilient.CompleteMetered(p, &meter);
+    ASSERT_TRUE(got.ok()) << "rate=" << rate << " i=" << i << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(got->text, expected->text) << "rate=" << rate << " i=" << i;
+    EXPECT_FALSE(got->truncated);
+  }
+  // Retry spend scales with the fault rate and is visible in the meter.
+  if (rate > 0.0) {
+    EXPECT_GT(meter.retry_stats().retries, 0u);
+  }
+  EXPECT_GE(meter.retry_stats().attempts, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FaultRateSweep,
+                         ::testing::Values(0, 5, 10, 20, 30));
+
+// Satellite (b): the breaker opens and half-opens at the configured
+// thresholds (driven directly with a manual simulated clock).
+TEST(CircuitBreakerTest, OpensHalfOpensAndRecloses) {
+  llm::CircuitBreaker::Options options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  options.open_cooldown_ms = 1000.0;
+  options.half_open_successes = 2;
+  llm::CircuitBreaker breaker(options);
+
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(10.0);
+  breaker.RecordFailure(20.0);
+  breaker.RecordFailure(30.0);
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kClosed)
+      << "must not judge before min_samples";
+  breaker.RecordFailure(40.0);
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.Allow(500.0));
+  EXPECT_TRUE(breaker.Allow(1040.0 + 1.0));  // cooldown elapsed
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(1100.0);
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(1200.0);
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kClosed);
+
+  // A failed half-open probe re-opens immediately.
+  breaker.RecordFailure(1300.0);
+  breaker.RecordFailure(1310.0);
+  breaker.RecordFailure(1320.0);
+  breaker.RecordFailure(1330.0);
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  ASSERT_TRUE(breaker.Allow(2400.0));
+  breaker.RecordFailure(2400.0);
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 3u);
+}
+
+TEST(ResilientLlmTest, BreakerShedsLoadAndFallbackServes) {
+  auto dead = std::make_shared<llm::FaultInjectingLlm>(
+      MakeTestModel(), AlwaysDownProfile(), 13);
+  llm::ResilientLlm::Options options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 10.0;
+  options.breaker.min_samples = 4;
+  options.breaker.window = 8;
+  options.seed = 2;
+  llm::ResilientLlm resilient(dead, options);
+  resilient.AddFallbackModel(MakeTestModel(99));
+  llm::UsageMeter meter;
+  for (int i = 0; i < 10; ++i) {
+    auto c = resilient.CompleteMetered(
+        llm::MakePrompt("freeform", common::StrFormat("query %d", i)), &meter);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_EQ(c->model, "sim-test");
+  }
+  const auto& stats = meter.retry_stats();
+  EXPECT_EQ(stats.fallbacks, 10u);
+  EXPECT_GE(stats.circuit_opens, 1u);
+  EXPECT_GT(stats.circuit_rejections, 0u);
+  // The breaker must have saved most of the doomed retry attempts.
+  EXPECT_LT(stats.attempts, 30u);
+}
+
+TEST(ResilientLlmTest, DeadlineBoundsModelLatency) {
+  // Satellite fix: ModelSpec::latency_ms_per_1k_tokens is enforced. This
+  // model "answers" but at ~1000ms per token — far beyond the deadline.
+  llm::ModelSpec slow;
+  slow.name = "sim-sloth";
+  slow.capability = 0.9;
+  slow.latency_ms_per_1k_tokens = 1e6;
+  auto sloth = std::make_shared<llm::SimulatedLlm>(slow, 1);
+  sloth->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+
+  llm::ResilientLlm::Options options;
+  options.call_deadline_ms = 200.0;
+  llm::ResilientLlm resilient(sloth, options);
+  auto c = resilient.Complete(llm::MakePrompt("freeform", "any question"));
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), common::StatusCode::kTimeout);
+  EXPECT_GE(resilient.stats().deadline_exceeded, 1u);
+
+  // With a fast fallback rung the same call degrades instead of failing.
+  llm::ResilientLlm with_fallback(sloth, options);
+  with_fallback.AddFallbackModel(MakeTestModel());
+  auto c2 = with_fallback.Complete(llm::MakePrompt("freeform", "any question"));
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c2->model, "sim-test");
+  EXPECT_EQ(with_fallback.stats().fallbacks, 1u);
+}
+
+TEST(ResilientLlmTest, TruncationRetriedThenServedAsLastResort) {
+  llm::FaultProfile always_truncate;
+  always_truncate.truncate = 1.0;
+  auto clipped = std::make_shared<llm::FaultInjectingLlm>(
+      MakeTestModel(), always_truncate, 17);
+  llm::ResilientLlm::Options options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 10.0;
+  llm::ResilientLlm resilient(clipped, options);
+  auto c = resilient.Complete(llm::MakePrompt("freeform", "clip me"));
+  // Every attempt is truncated, so the clipped answer is still served —
+  // degraded beats unavailable — and flagged as such.
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->truncated);
+  EXPECT_EQ(resilient.stats().attempts, 3u);
+}
+
+TEST(ResilientLlmTest, StaleCacheServesWhenEverythingIsDown) {
+  optimize::SemanticCache cache(optimize::SemanticCache::Options{});
+  cache.Insert("what is the close rate", "42 per day");
+  auto dead = std::make_shared<llm::FaultInjectingLlm>(
+      MakeTestModel(), AlwaysDownProfile(), 19);
+  llm::ResilientLlm::Options options;
+  options.retry.max_attempts = 2;
+  llm::ResilientLlm resilient(dead, options);
+  resilient.set_cache_fallback(
+      optimize::MakeStaleCacheFallback(&cache, "sim-test", 0.75));
+  auto c = resilient.Complete(llm::MakePrompt("freeform",
+                                              "what is the close rate"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->text, "42 per day");
+  EXPECT_EQ(c->model, "sim-test+stale-cache");
+  EXPECT_EQ(resilient.stats().stale_serves, 1u);
+  EXPECT_EQ(c->cost, common::Money::Zero());
+}
+
+TEST(ResilientLlmTest, PermanentErrorsAreNotRetried) {
+  // No skill registered for the tag and no freeform fallback: the model
+  // returns kUnimplemented, which retrying cannot cure.
+  llm::ModelSpec spec;
+  spec.name = "sim-empty";
+  auto empty = std::make_shared<llm::SimulatedLlm>(spec, 1);
+  llm::ResilientLlm::Options options;
+  options.retry.max_attempts = 5;
+  llm::ResilientLlm resilient(empty, options);
+  auto c = resilient.Complete(llm::MakePrompt("qa", "anything"));
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), common::StatusCode::kUnimplemented);
+  EXPECT_EQ(resilient.stats().attempts, 1u);
+  EXPECT_EQ(resilient.stats().retries, 0u);
+}
+
+// Satellite (c): same seed => identical fault schedule, retries, answers.
+TEST(ResilientLlmTest, DeterministicEndToEnd) {
+  auto run = []() {
+    auto faulty = std::make_shared<llm::FaultInjectingLlm>(
+        MakeTestModel(), TransportOnlyProfile(0.3), 23);
+    llm::ResilientLlm::Options options;
+    options.retry.max_attempts = 6;
+    options.retry.initial_backoff_ms = 10.0;
+    options.seed = 9;
+    llm::ResilientLlm resilient(faulty, options);
+    resilient.AddFallbackModel(MakeTestModel(55));
+    llm::UsageMeter meter;
+    std::string log;
+    for (int i = 0; i < 30; ++i) {
+      auto c = resilient.CompleteMetered(
+          llm::MakePrompt("freeform", common::StrFormat("query %d", i)),
+          &meter);
+      log += c.ok() ? c->text : c.status().ToString();
+      log += "\n";
+    }
+    log += meter.retry_stats().ToString();
+    log += " cost=" + meter.cost().ToString(6);
+    log += common::StrFormat(" clock=%.3f", resilient.clock_ms());
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CascadeResilience, SurvivesMidLadderRungFailure) {
+  common::Rng rng(404);
+  data::KnowledgeBase kb = data::KnowledgeBase::Generate(40, rng);
+  auto ladder = llm::CreatePaperModelLadder(&kb, 1);
+  // Kill the middle rung outright.
+  ladder[1] = std::make_shared<llm::FaultInjectingLlm>(
+      ladder[1], AlwaysDownProfile(), 31);
+  auto workload = data::GenerateQaWorkload(kb, 10, {0.2, 0.4, 0.4}, rng);
+  optimize::LlmCascade::Options options;
+  options.accept_threshold = 0.95;  // force escalation through the dead rung
+  optimize::LlmCascade cascade(ladder, options);
+  size_t failed_steps = 0;
+  for (const auto& item : workload) {
+    auto r = cascade.Run(llm::MakePrompt("qa", item.question));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r->answer.empty());
+    for (const auto& step : r->trace) {
+      if (step.failed) {
+        ++failed_steps;
+        EXPECT_EQ(step.model, ladder[1]->name());
+        EXPECT_FALSE(step.error.empty());
+      }
+    }
+  }
+  EXPECT_GT(failed_steps, 0u);
+}
+
+TEST(CascadeResilience, DegradedAnswerWhenTopRungDown) {
+  common::Rng rng(405);
+  data::KnowledgeBase kb = data::KnowledgeBase::Generate(40, rng);
+  auto ladder = llm::CreatePaperModelLadder(&kb, 1);
+  ladder.back() = std::make_shared<llm::FaultInjectingLlm>(
+      ladder.back(), AlwaysDownProfile(), 37);
+  optimize::LlmCascade::Options options;
+  options.accept_threshold = 1.5;  // nothing can accept on merit
+  optimize::LlmCascade cascade(ladder, options);
+  auto workload = data::GenerateQaWorkload(kb, 5, {0.4, 0.4, 0.2}, rng);
+  for (const auto& item : workload) {
+    auto r = cascade.Run(llm::MakePrompt("qa", item.question));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->degraded);
+    EXPECT_FALSE(r->answer.empty());
+    EXPECT_NE(r->model, ladder.back()->name());
+    EXPECT_EQ(r->rungs_failed, 1u);
+  }
+}
+
+TEST(CascadeResilience, AllRungsDownIsAnError) {
+  common::Rng rng(406);
+  data::KnowledgeBase kb = data::KnowledgeBase::Generate(20, rng);
+  auto ladder = llm::CreatePaperModelLadder(&kb, 1);
+  for (auto& rung : ladder) {
+    rung = std::make_shared<llm::FaultInjectingLlm>(rung, AlwaysDownProfile(),
+                                                    41);
+  }
+  optimize::LlmCascade cascade(ladder, optimize::LlmCascade::Options{});
+  auto r = cascade.Run(llm::MakePrompt("qa", "who is anyone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(common::IsTransientError(r.status().code()));
+}
+
+TEST(PipelineResilience, DegradesPerStageInsteadOfAborting) {
+  auto models = llm::CreatePaperModelLadder(nullptr, 42);
+  core::DataManagementPipeline::Options options;
+  options.model = std::make_shared<llm::FaultInjectingLlm>(
+      models[2], AlwaysDownProfile(), 43);
+  options.num_patients = 24;
+  core::DataManagementPipeline pipeline(options);
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->stages.size(), 4u);
+  // Generation and integration lean on the LLM and degrade; transformation
+  // (XML parsing) and exploration (lake) complete on partial artifacts.
+  EXPECT_EQ(report->degraded_stages, 2u);
+  EXPECT_TRUE(report->stages[0].degraded);
+  EXPECT_FALSE(report->stages[1].degraded);
+  EXPECT_TRUE(report->stages[2].degraded);
+  EXPECT_FALSE(report->stages[3].degraded);
+  // The raw patients table was committed before the annotation calls died.
+  EXPECT_TRUE(pipeline.database().catalog().HasTable("patients"));
+  EXPECT_TRUE(pipeline.database().catalog().HasTable("reports"));
+  EXPECT_GT(pipeline.lake().Size(), 0u);
+}
+
+TEST(PipelineResilience, ResilientModelKeepsAllStagesHealthyUnderFaults) {
+  auto models = llm::CreatePaperModelLadder(nullptr, 42);
+  auto faulty = std::make_shared<llm::FaultInjectingLlm>(
+      models[2], TransportOnlyProfile(0.2), 47);
+  llm::ResilientLlm::Options resilience;
+  resilience.retry.max_attempts = 6;
+  resilience.retry.initial_backoff_ms = 10.0;
+  resilience.seed = 3;
+  auto resilient = std::make_shared<llm::ResilientLlm>(faulty, resilience);
+  resilient->AddFallbackModel(models[1]);
+  core::DataManagementPipeline::Options options;
+  options.model = resilient;
+  options.num_patients = 24;
+  core::DataManagementPipeline pipeline(options);
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->degraded_stages, 0u);
+  // The stage reports carry the resilience accounting.
+  size_t attempts = 0, retries = 0;
+  for (const auto& stage : report->stages) {
+    attempts += stage.retry.attempts;
+    retries += stage.retry.retries;
+  }
+  EXPECT_GT(attempts, 0u);
+  EXPECT_GT(retries, 0u);
 }
 
 }  // namespace
