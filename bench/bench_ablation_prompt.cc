@@ -84,8 +84,8 @@ int main() {
         // poisoned examples each strategy kept selecting).
         for (uint64_t id : store.last_selected_ids()) {
           store.RecordOutcome(id, ok);
-          const auto* sp = store.Get(id);
-          if (sp != nullptr && sp->output.rfind("SELEC ", 0) == 0) {
+          const auto sp = store.Get(id);
+          if (sp.has_value() && sp->output.rfind("SELEC ", 0) == 0) {
             ++poisoned_uses;
           }
         }

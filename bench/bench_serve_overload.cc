@@ -1,0 +1,218 @@
+// Serving-layer overload bench: offered load × queue depth × shedding
+// policy × hedging, in virtual time.
+//
+// The paper's cost/latency tables assume every query is served in
+// isolation; a deployed endpoint sees *traffic*, and its tail latency is
+// made in the queue, not in the model. This bench drives the serve::Server
+// scheduler past saturation and reports what each admission policy does to
+// throughput, p50/p99 virtual latency, shed rate and cost — with a faulted
+// section (FaultInjectingLlm at 30%) layered on top. All latency is
+// simulated ms, all schedules are seeded, responses are id-sorted: two runs
+// print byte-identical tables even though real worker threads race over
+// the requests.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "llm/fault_injection.h"
+#include "llm/resilient.h"
+#include "llm/simulated.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace llmdm;
+
+std::shared_ptr<llm::SimulatedLlm> MakeEndpoint(const std::string& name,
+                                                double latency_ms_per_1k,
+                                                uint64_t seed) {
+  llm::ModelSpec spec;
+  spec.name = name;
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.002);
+  spec.latency_ms_per_1k_tokens = latency_ms_per_1k;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, seed);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+  return model;
+}
+
+struct CellResult {
+  serve::ServerStats stats;
+  common::Money cost;
+};
+
+// Drives `n` requests at a fixed virtual inter-arrival gap through a fresh
+// server and returns the aggregate outcome.
+CellResult RunCell(const serve::Server::Options& options,
+                   std::shared_ptr<llm::LlmModel> model,
+                   std::shared_ptr<llm::LlmModel> hedge_model, size_t n,
+                   double gap_vms, double deadline_ms) {
+  serve::Server server(std::move(model), options, std::move(hedge_model));
+  for (size_t i = 0; i < n; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.arrival_vms = static_cast<double>(i) * gap_vms;
+    req.input = common::StrFormat("workload query %zu about data systems",
+                                  i % 50);
+    // Mixed SLOs: half the traffic is latency-sensitive, half can wait 4x
+    // as long — the population deadline-aware shedding discriminates on.
+    req.deadline_ms =
+        deadline_ms > 0.0 ? ((i % 2 == 0) ? deadline_ms : 4.0 * deadline_ms)
+                          : 0.0;
+    server.Submit(req);
+  }
+  server.Drain();
+  return CellResult{server.stats(), server.meter().cost()};
+}
+
+constexpr size_t kRequests = 400;
+constexpr double kServiceVms = 130.0;  // nominal per-request service time
+constexpr double kSlots = 4.0;         // virtual_concurrency below
+
+double GapForLoad(double load) { return kServiceVms / (load * kSlots); }
+
+const char* PolicyName(serve::ShedPolicy p) {
+  switch (p) {
+    case serve::ShedPolicy::kNone:
+      return "unbounded";
+    case serve::ShedPolicy::kQueueFull:
+      return "queue-full";
+    case serve::ShedPolicy::kDeadlineAware:
+      return "deadline-aware";
+  }
+  return "?";
+}
+
+void PrintHeader() {
+  std::printf("%-16s %5s %6s %6s %9s %9s %9s %8s\n", "policy", "load",
+              "adm", "shed%", "p50(vms)", "p99(vms)", "good/vs", "cost");
+}
+
+void PrintCell(const char* policy, double load, const CellResult& cell) {
+  const serve::ServerStats& s = cell.stats;
+  double shed_pct = s.submitted == 0
+                        ? 0.0
+                        : 100.0 * double(s.shed) / double(s.submitted);
+  std::printf("%-16s %4.1fx %6zu %5.1f%% %9.0f %9.0f %9.2f %8s\n", policy,
+              load, s.admitted, shed_pct, s.p50_latency_vms,
+              s.p99_latency_vms, s.goodput_per_vs,
+              cell.cost.ToString(2).c_str());
+}
+
+int main_impl() {
+  std::printf("== serving under overload: admission policy x offered load ==\n");
+  std::printf("(%zu requests, %d virtual slots, queue depth 32, deadlines "
+              "%.0f/%.0f vms mixed)\n\n", kRequests, int(kSlots),
+              4.0 * kServiceVms, 16.0 * kServiceVms);
+  PrintHeader();
+  for (serve::ShedPolicy policy :
+       {serve::ShedPolicy::kNone, serve::ShedPolicy::kQueueFull,
+        serve::ShedPolicy::kDeadlineAware}) {
+    for (double load : {0.5, 1.0, 2.0, 4.0}) {
+      serve::Server::Options options;
+      options.worker_threads = 8;
+      options.virtual_concurrency = static_cast<size_t>(kSlots);
+      options.queue_depth = 32;
+      options.shed_policy = policy;
+      auto cell = RunCell(options, MakeEndpoint("sim-endpoint", 2000.0, 3),
+                          nullptr, kRequests, GapForLoad(load),
+                          4.0 * kServiceVms);
+      PrintCell(PolicyName(policy), load, cell);
+    }
+  }
+
+  std::printf("\n== queue depth at 2x offered load (queue-full policy) ==\n\n");
+  std::printf("%-8s %6s %6s %9s %9s %9s\n", "depth", "adm", "shed%",
+              "p50(vms)", "p99(vms)", "good/vs");
+  for (size_t depth : {4u, 16u, 64u, 256u}) {
+    serve::Server::Options options;
+    options.worker_threads = 8;
+    options.virtual_concurrency = static_cast<size_t>(kSlots);
+    options.queue_depth = depth;
+    options.shed_policy = serve::ShedPolicy::kQueueFull;
+    auto cell = RunCell(options, MakeEndpoint("sim-endpoint", 2000.0, 3),
+                        nullptr, kRequests, GapForLoad(2.0),
+                        8.0 * kServiceVms);
+    const serve::ServerStats& s = cell.stats;
+    std::printf("%-8zu %6zu %5.1f%% %9.0f %9.0f %9.2f\n", depth, s.admitted,
+                100.0 * double(s.shed) / double(s.submitted),
+                s.p50_latency_vms, s.p99_latency_vms, s.goodput_per_vs);
+  }
+
+  std::printf("\n== hedged requests against a timeout-tail primary ==\n");
+  std::printf("(primary injects 20%% timeouts; hedge races the fast "
+              "fallback endpoint)\n\n");
+  std::printf("%-10s %6s %6s %7s %5s %9s %9s %10s\n", "hedging", "done",
+              "fail", "hedges", "wins", "p50(vms)", "p99(vms)", "cost",
+              "cancelled");
+  for (bool hedging : {false, true}) {
+    llm::FaultProfile tail;
+    tail.timeout = 0.2;
+    auto primary = std::make_shared<llm::FaultInjectingLlm>(
+        MakeEndpoint("sim-endpoint", 2000.0, 3), tail, 21);
+    serve::Server::Options options;
+    options.worker_threads = 8;
+    options.virtual_concurrency = static_cast<size_t>(kSlots);
+    options.shed_policy = serve::ShedPolicy::kNone;
+    options.hedging = hedging;
+    options.hedge_percentile = 0.5;
+    options.est_output_tokens = 8;  // tight estimate: hedge past the median
+    auto cell = RunCell(options, primary,
+                        MakeEndpoint("sim-fallback", 400.0, 4), kRequests,
+                        GapForLoad(0.5), 0.0);
+    const serve::ServerStats& s = cell.stats;
+    std::printf("%-10s %6zu %6zu %7zu %5zu %9.0f %9.0f %9s %10s\n",
+                hedging ? "on" : "off", s.completed, s.failed,
+                s.hedges_launched, s.hedge_wins, s.p50_latency_vms,
+                s.p99_latency_vms, cell.cost.ToString(3).c_str(),
+                s.hedge_cancelled_cost.ToString(3).c_str());
+  }
+
+  std::printf("\n== graceful degradation at 30%% endpoint faults ==\n");
+  std::printf("(resilient stack behind the server: retry+backoff, breaker, "
+              "fallback rung)\n\n");
+  PrintHeader();
+  for (double fault_rate : {0.0, 0.3}) {
+    auto faulty = std::make_shared<llm::FaultInjectingLlm>(
+        MakeEndpoint("sim-endpoint", 2000.0, 3),
+        llm::FaultProfile::Uniform(fault_rate), 31);
+    llm::ResilientLlm::Options resilience;
+    resilience.retry.max_attempts = 3;
+    resilience.retry.initial_backoff_ms = 25.0;
+    resilience.seed = 9;
+    auto resilient = std::make_shared<llm::ResilientLlm>(faulty, resilience);
+    resilient->AddFallbackModel(MakeEndpoint("sim-fallback", 400.0, 4));
+    serve::Server::Options options;
+    options.worker_threads = 8;
+    options.virtual_concurrency = static_cast<size_t>(kSlots);
+    options.queue_depth = 32;
+    options.shed_policy = serve::ShedPolicy::kQueueFull;
+    auto cell = RunCell(options, resilient, nullptr, kRequests,
+                        GapForLoad(1.0), 4.0 * kServiceVms);
+    std::string label =
+        common::StrFormat("faults=%.0f%%", 100.0 * fault_rate);
+    PrintCell(label.c_str(), 1.0, cell);
+  }
+
+  std::printf(
+      "\nreading: past saturation the unbounded queue's p99 grows with the "
+      "backlog and its goodput\ncollapses to zero — every admitted request "
+      "eventually misses its deadline in line. Bounding the\nqueue holds "
+      "p99 near the depth x service product and keeps goodput at the "
+      "capacity ceiling;\ndeadline-aware shedding additionally refuses the "
+      "requests that could not have made it anyway.\nDeeper queues only "
+      "stretch the tail: past ~2 service times of buffering, depth buys "
+      "latency, not\nthroughput. Hedging trades a bounded premium "
+      "(cancelled-attempt spend, booked separately from\nthe committed "
+      "meter) for the timeout tail; at 30%% faults the resilient stack "
+      "under the same\nadmission policy degrades by paying retry/fallback "
+      "cost, not by losing requests.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -13,7 +13,7 @@ namespace llmdm::common {
 /// either OK and holds a T, or holds a non-OK Status. Accessing the value of
 /// an error Result is a programming error (asserts in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from an error status and from a value keeps call
   // sites readable: `return Status::NotFound(...)` / `return value;`.

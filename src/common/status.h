@@ -37,8 +37,10 @@ bool IsTransientError(StatusCode code);
 std::string_view StatusCodeName(StatusCode code);
 
 /// Lightweight success-or-error value. Cheap to copy when OK (no message
-/// allocation); carries a message only on error.
-class Status {
+/// allocation); carries a message only on error. [[nodiscard]]: silently
+/// dropping a Status is how partial failures go unnoticed — call sites that
+/// genuinely do not care must say so with `.ok()` or a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

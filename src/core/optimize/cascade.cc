@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "llm/deadline.h"
+
 namespace llmdm::optimize {
 
 common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
@@ -18,6 +20,15 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
   common::Status last_error =
       common::Status::Unavailable("cascade made no calls");
   for (size_t rung = 0; rung < ladder_.size(); ++rung) {
+    if (rung > 0 && prompt.deadline != nullptr && prompt.deadline->Exhausted()) {
+      // The request-wide budget ran out mid-ladder. Escalating further would
+      // only make the answer later; settle for the best candidate so far.
+      result.deadline_stopped = true;
+      last_error = common::Status::Timeout(
+          "request deadline exhausted before cascade rung " +
+          std::to_string(rung));
+      break;
+    }
     llm::LlmModel& model = *ladder_[rung];
     // Self-consistency: independent draws via distinct sample salts. The
     // final rung accepts unconditionally, so it takes a single sample —

@@ -36,6 +36,9 @@ struct CascadeResult {
   /// No rung cleared the acceptance bar (the top rung was down), so the
   /// best-scoring surviving answer was returned instead of an error.
   bool degraded = false;
+  /// The prompt's request-wide deadline ran out mid-cascade, so escalation
+  /// stopped early (the best answer so far was returned, degraded).
+  bool deadline_stopped = false;
 };
 
 /// The LLM cascade of Fig. 6 / Table I: a query visits models from cheap to
@@ -65,6 +68,9 @@ class LlmCascade {
   /// spend — escalation is not free) is recorded into `meter` if non-null.
   /// A rung whose endpoint fails is skipped (recorded in the trace), not
   /// fatal; Run only errors when every rung fails to produce any answer.
+  /// If the prompt carries an llm::Deadline, the cascade stops escalating
+  /// once the budget is exhausted: the best sub-threshold answer seen so far
+  /// is returned (degraded, deadline_stopped), or Timeout if there is none.
   common::Result<CascadeResult> Run(const llm::Prompt& prompt,
                                     llm::UsageMeter* meter = nullptr) const;
 

@@ -5,6 +5,7 @@
 namespace llmdm::optimize {
 
 uint64_t PromptStore::Add(const std::string& input, const std::string& output) {
+  std::lock_guard<std::mutex> lock(mu_);
   StoredPrompt p;
   p.id = prompts_.size();
   p.input = input;
@@ -42,6 +43,7 @@ void PromptStore::EvictIfNeeded() {
 std::vector<llm::FewShotExample> PromptStore::Select(const std::string& query,
                                                      size_t k,
                                                      Selection strategy) {
+  std::lock_guard<std::mutex> lock(mu_);
   last_selected_ids_.clear();
   std::vector<llm::FewShotExample> out;
   if (live_count_ == 0 || k == 0) return out;
@@ -87,14 +89,16 @@ std::vector<llm::FewShotExample> PromptStore::Select(const std::string& query,
 }
 
 void PromptStore::RecordOutcome(uint64_t id, bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= prompts_.size()) return;
   ++prompts_[id].uses;
   if (success) ++prompts_[id].successes;
 }
 
-const StoredPrompt* PromptStore::Get(uint64_t id) const {
-  if (id >= prompts_.size() || !live_[id]) return nullptr;
-  return &prompts_[id];
+std::optional<StoredPrompt> PromptStore::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= prompts_.size() || !live_[id]) return std::nullopt;
+  return prompts_[id];
 }
 
 }  // namespace llmdm::optimize

@@ -1,6 +1,8 @@
 #ifndef LLMDM_CORE_OPTIMIZE_PROMPT_STORE_H_
 #define LLMDM_CORE_OPTIMIZE_PROMPT_STORE_H_
 
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,13 @@ struct StoredPrompt {
 
 /// Vector-database-backed store of historical prompts with three selection
 /// strategies and a budgeted retention policy.
+///
+/// Thread-safe: one internal mutex guards all state, and accessors return
+/// copies (a pointer into `prompts_` would dangle across a concurrent Add's
+/// reallocation). Note that under concurrency "the most recent Select()" in
+/// last_selected_ids() means the most recent across *all* threads — callers
+/// that need per-request feedback routing should capture the ids right after
+/// their own Select() call.
 class PromptStore {
  public:
   enum class Selection {
@@ -61,17 +70,23 @@ class PromptStore {
   void RecordOutcome(uint64_t id, bool success);
 
   /// Ids of the most recent Select() result (aligned with its examples),
-  /// so callers can route outcome feedback.
-  const std::vector<uint64_t>& last_selected_ids() const {
+  /// so callers can route outcome feedback. Snapshot copy.
+  std::vector<uint64_t> last_selected_ids() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return last_selected_ids_;
   }
 
-  size_t Size() const { return live_count_; }
-  const StoredPrompt* Get(uint64_t id) const;
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_count_;
+  }
+  /// Snapshot copy of the stored prompt, or nullopt if absent/evicted.
+  std::optional<StoredPrompt> Get(uint64_t id) const;
 
  private:
-  void EvictIfNeeded();
+  void EvictIfNeeded();  // requires mu_
 
+  mutable std::mutex mu_;
   Options options_;
   common::Rng rng_;
   embed::HashingEmbedder embedder_;

@@ -48,6 +48,7 @@ void SemanticCache::EvictIfNeeded() {
 
 std::optional<SemanticCache::Hit> SemanticCache::Lookup(
     const std::string& query, common::Money avoided_cost) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.lookups;
   ++tick_;
   if (live_count_ == 0) return std::nullopt;
@@ -67,6 +68,7 @@ std::optional<SemanticCache::Hit> SemanticCache::Lookup(
 
 std::optional<SemanticCache::Hit> SemanticCache::LookupStale(
     const std::string& query, double relaxed_threshold) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (live_count_ == 0) return std::nullopt;
   embed::Vector q = embedder_.Embed(query);
   auto results = index_.Search(q, 1);
@@ -81,6 +83,7 @@ std::optional<SemanticCache::Hit> SemanticCache::LookupStale(
 
 std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
     const std::string& query, size_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   std::vector<Hit> out;
   if (live_count_ == 0) return out;
@@ -99,6 +102,7 @@ std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
 void SemanticCache::Insert(const std::string& query,
                            const std::string& response,
                            common::Money cost_to_produce) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   if (options_.predictive_admission) {
     uint64_t h = common::Fnv1a(query);
@@ -141,7 +145,7 @@ common::Result<llm::Completion> CachedLlm::Complete(const llm::Prompt& prompt) {
       spec().input_price_per_1k.micros() *
       static_cast<int64_t>(input_tokens) / 1000);
   if (auto hit = cache_->Lookup(prompt.input, avoided); hit.has_value()) {
-    ++cache_hits_;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
     llm::Completion c;
     c.text = hit->response;
     c.confidence = 0.9;  // cache hits are answers we previously committed to

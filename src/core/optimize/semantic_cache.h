@@ -1,7 +1,9 @@
 #ifndef LLMDM_CORE_OPTIMIZE_SEMANTIC_CACHE_H_
 #define LLMDM_CORE_OPTIMIZE_SEMANTIC_CACHE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -24,6 +26,13 @@ enum class EvictionPolicy { kLru, kLfu, kCostAware };
 /// Embedding-keyed response cache (Sec. III-C / Table III). Matching is by
 /// cosine similarity rather than exact equality, because LLM queries almost
 /// never repeat verbatim.
+///
+/// Thread-safe: the serving layer shares one cache across all worker
+/// threads, so every public method takes one internal mutex (lookups
+/// mutate hit counters and eviction state, so there is no read-only fast
+/// path to rwlock). A single mutex is deliberate as the first cut: the
+/// critical sections are an embed + flat-index scan; shard the cache by
+/// query-hash if/when the serve bench shows contention.
 class SemanticCache {
  public:
   struct Options {
@@ -84,9 +93,17 @@ class SemanticCache {
   void Insert(const std::string& query, const std::string& response,
               common::Money cost_to_produce = common::Money::Zero());
 
-  size_t Size() const { return live_count_; }
-  const Stats& stats() const { return stats_; }
-  const Options& options() const { return options_; }
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_count_;
+  }
+  /// Snapshot copy: a reference into state another thread mutates would be
+  /// a data race.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  const Options& options() const { return options_; }  // immutable
 
  private:
   struct Entry {
@@ -100,9 +117,10 @@ class SemanticCache {
     bool live = true;
   };
 
-  double EvictionScore(const Entry& entry) const;
-  void EvictIfNeeded();
+  double EvictionScore(const Entry& entry) const;  // requires mu_
+  void EvictIfNeeded();                            // requires mu_
 
+  mutable std::mutex mu_;
   Options options_;
   embed::HashingEmbedder embedder_;
   vectordb::FlatIndex index_;
@@ -126,12 +144,14 @@ class CachedLlm : public llm::LlmModel {
   const llm::ModelSpec& spec() const override { return inner_->spec(); }
   common::Result<llm::Completion> Complete(const llm::Prompt& prompt) override;
 
-  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::shared_ptr<llm::LlmModel> inner_;
   SemanticCache* cache_;
-  size_t cache_hits_ = 0;
+  std::atomic<size_t> cache_hits_{0};
 };
 
 /// Builds a ResilientLlm cache fallback that serves the nearest cached

@@ -9,6 +9,7 @@
 #include "core/transform/table_transform.h"
 #include "data/tabular_gen.h"
 #include "data/xml.h"
+#include "llm/deadline.h"
 
 namespace llmdm::core {
 namespace {
@@ -50,6 +51,15 @@ common::Result<DataManagementPipeline::Report> DataManagementPipeline::Run() {
   }
   Report report;
   common::Rng rng(options_.seed);
+  // One shared budget for the whole run: wrapping the model means every
+  // prompt built deep inside annotators/synthesizers/resolvers is scoped
+  // under it without those components knowing deadlines exist.
+  std::shared_ptr<llm::Deadline> deadline;
+  std::shared_ptr<llm::LlmModel> model = options_.model;
+  if (options_.deadline_ms > 0.0) {
+    deadline = std::make_shared<llm::Deadline>(options_.deadline_ms);
+    model = std::make_shared<llm::DeadlineScopedLlm>(model, deadline);
+  }
   // Runs one stage body and records its outcome. A failed stage is reported
   // as degraded — with whatever partial artifacts it already committed —
   // and the pipeline moves on, because downstream stages can usually do
@@ -70,6 +80,10 @@ common::Result<DataManagementPipeline::Report> DataManagementPipeline::Run() {
     stage.llm_calls = meter.calls();
     stage.llm_cost = meter.cost();
     stage.retry = meter.retry_stats();
+    if (deadline != nullptr) {
+      stage.deadline_remaining_ms = deadline->remaining_ms();
+      if (deadline->Exhausted()) report.deadline_exhausted = true;
+    }
     report.total_llm_calls += meter.calls();
     report.total_cost += meter.cost();
     report.stages.push_back(std::move(stage));
@@ -93,12 +107,12 @@ common::Result<DataManagementPipeline::Report> DataManagementPipeline::Run() {
     // downstream stages still get patients (with missingness).
     db_.catalog().PutTable(patients);
     generation::MissingFieldAnnotator annotator(
-        options_.model, generation::MissingFieldAnnotator::Options{8, 0});
+        model, generation::MissingFieldAnnotator::Options{8, 0});
     LLMDM_ASSIGN_OR_RETURN(auto annotation_report,
                            annotator.Annotate(&patients, "cholesterol",
                                               &gen_meter));
     db_.catalog().PutTable(patients);  // refresh with annotated values
-    generation::TabularSynthesizer synthesizer(options_.model);
+    generation::TabularSynthesizer synthesizer(model);
     LLMDM_ASSIGN_OR_RETURN(
         data::Table synthetic,
         synthesizer.Synthesize(patients, options_.num_patients / 4,
@@ -149,7 +163,7 @@ common::Result<DataManagementPipeline::Report> DataManagementPipeline::Run() {
   run_stage("integration", integ_meter,
             [&]() -> common::Result<std::string> {
     integration::ColumnTypeAnnotator cta(
-        options_.model, integration::ColumnTypeAnnotator::Options{4});
+        model, integration::ColumnTypeAnnotator::Options{4});
     auto cta_examples = data::GenerateCtaWorkload(8, rng);
     auto mystery = data::GenerateCtaWorkload(4, rng);
     size_t cta_correct = 0;
@@ -158,7 +172,7 @@ common::Result<DataManagementPipeline::Report> DataManagementPipeline::Run() {
       if (label.ok() && *label == item.label) ++cta_correct;
     }
     integration::EntityResolver resolver(
-        options_.model, integration::EntityResolver::Options{4, true});
+        model, integration::EntityResolver::Options{4, true});
     auto er_examples = data::GenerateErWorkload(8, 0.4, rng);
     auto er_pairs = data::GenerateErWorkload(12, 0.4, rng);
     LLMDM_ASSIGN_OR_RETURN(

@@ -33,6 +33,10 @@ class DataManagementPipeline {
     size_t num_patients = 60;
     double missing_fraction = 0.15;
     uint64_t seed = 4242;
+    /// Simulated-ms budget for the *whole* run (0 = unbounded). All four
+    /// stages draw LLM latency from one shared llm::Deadline; a stage that
+    /// starts after exhaustion degrades instead of calling the model.
+    double deadline_ms = 0.0;
   };
 
   struct StageReport {
@@ -45,6 +49,9 @@ class DataManagementPipeline {
     bool degraded = false;
     /// Resilience accounting for the stage's LLM traffic.
     llm::UsageMeter::RetryStats retry;
+    /// Simulated-ms budget left when the stage finished (0 when the run is
+    /// unbounded or the budget is spent).
+    double deadline_remaining_ms = 0.0;
   };
 
   struct Report {
@@ -52,6 +59,8 @@ class DataManagementPipeline {
     size_t total_llm_calls = 0;
     common::Money total_cost;
     size_t degraded_stages = 0;
+    /// The run's deadline (if any) ran out before the last stage finished.
+    bool deadline_exhausted = false;
   };
 
   explicit DataManagementPipeline(const Options& options)

@@ -1,0 +1,15 @@
+#include "llm/deadline.h"
+
+namespace llmdm::llm {
+
+common::Result<Completion> DeadlineScopedLlm::CompleteMetered(
+    const Prompt& prompt, UsageMeter* meter) {
+  if (prompt.deadline != nullptr || deadline_ == nullptr) {
+    return inner_->CompleteMetered(prompt, meter);
+  }
+  Prompt scoped = prompt;
+  scoped.deadline = deadline_;
+  return inner_->CompleteMetered(scoped, meter);
+}
+
+}  // namespace llmdm::llm

@@ -1,0 +1,83 @@
+#ifndef LLMDM_LLM_DEADLINE_H_
+#define LLMDM_LLM_DEADLINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "llm/model.h"
+
+namespace llmdm::llm {
+
+/// A shared per-request budget of *simulated* milliseconds. One Deadline is
+/// created where the request enters the system (the serve layer, or a
+/// pipeline run) and attached to every Prompt derived from that request, so
+/// the budget bounds the whole request: a cascade that escalates through
+/// three rungs, or a pipeline stage that makes forty annotation calls, draws
+/// every rung and every retry from the same pot instead of resetting the
+/// clock per model call.
+///
+/// Charging happens at the model-call boundary (LlmModel::CompleteMetered
+/// charges completion latency; ResilientLlm additionally charges backoff and
+/// timeout waits), so layers above — cascades, pipelines, annotators — only
+/// need to *check* the budget, never to book-keep it. Thread-safe: the serve
+/// layer charges one Deadline from a request's primary and hedge attempts
+/// concurrently.
+class Deadline {
+ public:
+  explicit Deadline(double budget_ms)
+      : remaining_micros_(ToMicros(budget_ms)) {}
+
+  /// Simulated milliseconds left; never negative.
+  double remaining_ms() const {
+    int64_t v = remaining_micros_.load(std::memory_order_relaxed);
+    return v <= 0 ? 0.0 : static_cast<double>(v) / 1000.0;
+  }
+
+  bool Exhausted() const {
+    return remaining_micros_.load(std::memory_order_relaxed) <= 0;
+  }
+
+  /// Consumes `ms` of budget (clamped at zero; negative charges ignored).
+  void Charge(double ms) {
+    if (ms <= 0.0) return;
+    remaining_micros_.fetch_sub(ToMicros(ms), std::memory_order_relaxed);
+  }
+
+ private:
+  static int64_t ToMicros(double ms) {
+    return static_cast<int64_t>(ms * 1000.0 + 0.5);
+  }
+
+  std::atomic<int64_t> remaining_micros_;
+};
+
+/// LlmModel decorator that attaches `deadline` to every prompt passing
+/// through it (unless the prompt already carries one). This is how a layer
+/// that does not build its own prompts — the Fig-1 pipeline hands its model
+/// to annotators and synthesizers that prompt internally — scopes all of its
+/// LLM traffic under one request budget.
+class DeadlineScopedLlm : public LlmModel {
+ public:
+  DeadlineScopedLlm(std::shared_ptr<LlmModel> inner,
+                    std::shared_ptr<Deadline> deadline)
+      : inner_(std::move(inner)), deadline_(std::move(deadline)) {}
+
+  const ModelSpec& spec() const override { return inner_->spec(); }
+
+  common::Result<Completion> Complete(const Prompt& prompt) override {
+    return CompleteMetered(prompt, nullptr);
+  }
+  common::Result<Completion> CompleteMetered(const Prompt& prompt,
+                                             UsageMeter* meter) override;
+
+  const std::shared_ptr<Deadline>& deadline() const { return deadline_; }
+
+ private:
+  std::shared_ptr<LlmModel> inner_;
+  std::shared_ptr<Deadline> deadline_;
+};
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_DEADLINE_H_

@@ -17,6 +17,7 @@ FaultProfile FaultProfile::Uniform(double per_call_rate) {
 }
 
 void FaultInjectingLlm::ResetSchedule() {
+  std::lock_guard<std::mutex> lock(mu_);
   attempts_.clear();
   stats_ = FaultStats{};
 }
@@ -26,29 +27,37 @@ common::Result<Completion> FaultInjectingLlm::Complete(const Prompt& prompt) {
       common::Fnv1a(prompt.input, seed_),
       common::HashCombine(common::Fnv1a(prompt.instructions),
                           prompt.sample_salt));
-  uint64_t attempt = attempts_[key]++;
+  uint64_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[key]++;
+    ++stats_.calls;
+  }
   uint64_t h = common::HashCombine(common::Fnv1a(spec().name, seed_),
                                    common::HashCombine(key, attempt + 1));
   double u = common::HashToUnit(h);
-  ++stats_.calls;
+  auto bump = [this](size_t FaultStats::* counter) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++(stats_.*counter);
+  };
 
   double edge = profile_.rate_limit;
   if (u < edge) {
-    ++stats_.rate_limited;
+    bump(&FaultStats::rate_limited);
     return common::Status::RateLimited(common::StrFormat(
         "injected 429 for %s (attempt %llu)", spec().name.c_str(),
         (unsigned long long)attempt));
   }
   edge += profile_.timeout;
   if (u < edge) {
-    ++stats_.timeouts;
+    bump(&FaultStats::timeouts);
     return common::Status::Timeout(common::StrFormat(
         "injected timeout for %s (attempt %llu)", spec().name.c_str(),
         (unsigned long long)attempt));
   }
   edge += profile_.unavailable;
   if (u < edge) {
-    ++stats_.unavailable;
+    bump(&FaultStats::unavailable);
     return common::Status::Unavailable(common::StrFormat(
         "injected 503 for %s (attempt %llu)", spec().name.c_str(),
         (unsigned long long)attempt));
@@ -60,7 +69,7 @@ common::Result<Completion> FaultInjectingLlm::Complete(const Prompt& prompt) {
   if (u < edge) {
     // Cut the completion mid-stream. The tokens were generated and billed;
     // the truncated flag is the client-visible finish_reason analogue.
-    ++stats_.truncated;
+    bump(&FaultStats::truncated);
     c.text = c.text.substr(0, c.text.size() / 2);
     c.truncated = true;
     return c;
@@ -70,7 +79,7 @@ common::Result<Completion> FaultInjectingLlm::Complete(const Prompt& prompt) {
     // Corrupt a few characters deterministically. Unlike truncation this is
     // invisible to the client: only semantic checks (voting, validators)
     // can catch it.
-    ++stats_.garbled;
+    bump(&FaultStats::garbled);
     common::Rng rng(h);
     for (size_t i = 0; i < c.text.size(); ++i) {
       if (rng.Bernoulli(0.25)) {

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "llm/model.h"
 
@@ -49,6 +50,12 @@ struct FaultStats {
 /// seen — so a retry of a failed call is an independent draw (it can
 /// succeed), yet two runs with the same seed produce byte-identical fault
 /// schedules. Deterministic in the same sense as SimulatedLlm.
+///
+/// Thread-safe: the attempt counters and stats are mutex-guarded. Note that
+/// when several threads retry the *same* prompt concurrently, which thread
+/// gets attempt #k is scheduling-dependent; workloads that need per-request
+/// reproducibility under threads keep prompts distinct per request (the
+/// serve bench salts every request's prompt with its id).
 class FaultInjectingLlm : public LlmModel {
  public:
   FaultInjectingLlm(std::shared_ptr<LlmModel> inner, FaultProfile profile,
@@ -59,7 +66,10 @@ class FaultInjectingLlm : public LlmModel {
 
   common::Result<Completion> Complete(const Prompt& prompt) override;
 
-  const FaultStats& stats() const { return stats_; }
+  FaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const FaultProfile& profile() const { return profile_; }
 
   /// Forgets the per-prompt attempt counters (and stats), so a fresh
@@ -70,6 +80,7 @@ class FaultInjectingLlm : public LlmModel {
   std::shared_ptr<LlmModel> inner_;
   FaultProfile profile_;
   uint64_t seed_;
+  mutable std::mutex mu_;  // guards stats_ and attempts_
   FaultStats stats_;
   std::map<uint64_t, uint64_t> attempts_;  // prompt key -> times seen
 };

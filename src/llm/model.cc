@@ -1,13 +1,25 @@
 #include "llm/model.h"
 
+#include "llm/deadline.h"
+
 namespace llmdm::llm {
 
 common::Result<Completion> LlmModel::CompleteMetered(const Prompt& prompt,
                                                      UsageMeter* meter) {
+  // The request's budget is enforced here, at the call boundary, so every
+  // layer stacked above (cascade rungs, pipeline stages, retries) fails fast
+  // once the request is out of time instead of starting doomed work.
+  if (prompt.deadline != nullptr && prompt.deadline->Exhausted()) {
+    return common::Status::Timeout("request deadline exhausted before call to " +
+                                   name());
+  }
   auto result = Complete(prompt);
-  if (result.ok() && meter != nullptr) {
-    meter->Record(result->model, result->input_tokens, result->output_tokens,
-                  result->cost, result->latency_ms);
+  if (result.ok()) {
+    if (meter != nullptr) {
+      meter->Record(result->model, result->input_tokens, result->output_tokens,
+                    result->cost, result->latency_ms);
+    }
+    if (prompt.deadline != nullptr) prompt.deadline->Charge(result->latency_ms);
   }
   return result;
 }

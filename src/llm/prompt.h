@@ -2,10 +2,13 @@
 #define LLMDM_LLM_PROMPT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace llmdm::llm {
+
+class Deadline;  // see llm/deadline.h
 
 /// One in-context example ("few-shot" demonstration).
 struct FewShotExample {
@@ -36,6 +39,15 @@ struct Prompt {
   /// (the simulator's analogue of temperature>0 sampling), which is what
   /// self-consistency confidence estimation needs.
   uint64_t sample_salt = 0;
+
+  /// Optional shared budget of simulated milliseconds for the *whole*
+  /// request this prompt belongs to. Charged at the model-call boundary
+  /// (LlmModel::CompleteMetered, plus ResilientLlm's backoff waits); layers
+  /// that fan one request into many calls — cascades, pipelines — check it
+  /// between calls so an up-front deadline bounds the end-to-end request
+  /// rather than resetting per call. Null means unbounded. Not part of the
+  /// rendered prompt: it never reaches the (simulated) wire.
+  std::shared_ptr<Deadline> deadline;
 
   /// Full prompt text as it would be sent over the wire.
   std::string Render() const;

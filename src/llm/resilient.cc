@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/string_util.h"
+#include "llm/deadline.h"
 
 namespace llmdm::llm {
 
@@ -22,6 +24,7 @@ void CircuitBreaker::Open(double now_ms) {
 }
 
 bool CircuitBreaker::Allow(double now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == State::kOpen) {
     if (now_ms - opened_at_ms_ >= options_.open_cooldown_ms) {
       state_ = State::kHalfOpen;
@@ -34,6 +37,7 @@ bool CircuitBreaker::Allow(double now_ms) {
 }
 
 void CircuitBreaker::RecordSuccess(double) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == State::kHalfOpen) {
     if (++half_open_successes_ >= options_.half_open_successes) {
       state_ = State::kClosed;
@@ -46,6 +50,7 @@ void CircuitBreaker::RecordSuccess(double) {
 }
 
 void CircuitBreaker::RecordFailure(double now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == State::kHalfOpen) {
     // The probe failed: the endpoint is still down.
     Open(now_ms);
@@ -59,18 +64,38 @@ void CircuitBreaker::RecordFailure(double now_ms) {
   }
 }
 
+double ResilientLlm::JitterUnit(const Prompt& prompt, size_t attempt) const {
+  uint64_t h = common::Fnv1a(prompt.input, options_.seed ^ 0x5E11EBCull);
+  h = common::HashCombine(h, prompt.sample_salt);
+  h = common::HashCombine(h, attempt);
+  return common::HashToUnit(h);
+}
+
 common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
                                                          UsageMeter* meter) {
   UsageMeter::RetryStats call;
   const size_t opens_before = breaker_.times_opened();
-  const double call_start_ms = clock_ms_;
+  // All time accounting for this call is local; the shared clock only sees
+  // one merged update at the end. Breaker timestamps are anchored at the
+  // shared clock's value when the call started — approximate under
+  // concurrency, but the breaker only needs "roughly now" for cooldowns.
+  const double clock_base = clock_ms();
+  double elapsed_ms = 0.0;
+  // The tighter of the per-call budget and the request-wide deadline (if the
+  // prompt carries one) governs this call.
+  double deadline_ms = options_.call_deadline_ms;
+  if (prompt.deadline != nullptr) {
+    deadline_ms = std::min(deadline_ms, prompt.deadline->remaining_ms());
+  }
   common::Status last_error =
       common::Status::Unavailable("no attempt made for " + name());
   std::optional<Completion> degraded;  // truncated answer kept as last resort
 
   auto finalize = [&]() {
     call.circuit_opens = breaker_.times_opened() - opens_before;
+    std::lock_guard<std::mutex> lock(mu_);
     stats_.Merge(call);
+    clock_ms_ += elapsed_ms;
     if (meter != nullptr) meter->RecordRetry(name(), call);
   };
 
@@ -80,18 +105,19 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
       double backoff = retry.initial_backoff_ms;
       for (size_t i = 1; i < attempt; ++i) backoff *= retry.backoff_multiplier;
       backoff = std::min(backoff, retry.max_backoff_ms);
-      backoff *= 1.0 + retry.jitter * jitter_rng_.UniformDouble();
-      clock_ms_ += backoff;
-      if (clock_ms_ - call_start_ms > options_.call_deadline_ms) {
+      backoff *= 1.0 + retry.jitter * JitterUnit(prompt, attempt);
+      elapsed_ms += backoff;
+      if (prompt.deadline != nullptr) prompt.deadline->Charge(backoff);
+      if (elapsed_ms > deadline_ms) {
         ++call.deadline_exceeded;
         last_error = common::Status::Timeout(common::StrFormat(
-            "deadline %.0fms exhausted backing off for %s",
-            options_.call_deadline_ms, name().c_str()));
+            "deadline %.0fms exhausted backing off for %s", deadline_ms,
+            name().c_str()));
         break;
       }
       ++call.retries;
     }
-    if (!breaker_.Allow(clock_ms_)) {
+    if (!breaker_.Allow(clock_base + elapsed_ms)) {
       ++call.circuit_rejections;
       last_error = common::Status::Unavailable(
           "circuit open for " + name());
@@ -100,37 +126,40 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
     ++call.attempts;
     auto result = inner_->CompleteMetered(prompt, meter);
     if (result.ok()) {
-      clock_ms_ += result->latency_ms;
-      if (clock_ms_ - call_start_ms > options_.call_deadline_ms) {
+      elapsed_ms += result->latency_ms;
+      if (elapsed_ms > deadline_ms) {
         // The model answered, but slower than the caller's budget — the
         // ModelSpec latency bound is enforced here. Retrying the same model
         // cannot get faster, so go straight to the fallback chain.
-        breaker_.RecordFailure(clock_ms_);
+        breaker_.RecordFailure(clock_base + elapsed_ms);
         ++call.transient_errors;
         ++call.deadline_exceeded;
         last_error = common::Status::Timeout(common::StrFormat(
             "%s took %.0fms against a %.0fms deadline", name().c_str(),
-            clock_ms_ - call_start_ms, options_.call_deadline_ms));
+            elapsed_ms, deadline_ms));
         break;
       }
       if (result->truncated && retry.retry_on_truncation) {
-        breaker_.RecordFailure(clock_ms_);
+        breaker_.RecordFailure(clock_base + elapsed_ms);
         ++call.transient_errors;
         degraded = *result;  // better a clipped answer than none
         last_error = common::Status::Unavailable(
             "completion truncated by " + name());
         continue;
       }
-      breaker_.RecordSuccess(clock_ms_);
+      breaker_.RecordSuccess(clock_base + elapsed_ms);
       finalize();
       return result;
     }
     last_error = result.status();
-    breaker_.RecordFailure(clock_ms_);
+    breaker_.RecordFailure(clock_base + elapsed_ms);
     ++call.transient_errors;
     if (last_error.code() == common::StatusCode::kTimeout) {
       // A timed-out request burned real wall time before failing.
-      clock_ms_ += options_.timeout_wait_ms;
+      elapsed_ms += options_.timeout_wait_ms;
+      if (prompt.deadline != nullptr) {
+        prompt.deadline->Charge(options_.timeout_wait_ms);
+      }
     }
     if (!common::IsTransientError(last_error.code())) break;  // permanent
   }
@@ -140,7 +169,7 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
   for (const auto& fallback : fallbacks_) {
     auto result = fallback->CompleteMetered(prompt, meter);
     if (result.ok()) {
-      clock_ms_ += result->latency_ms;
+      elapsed_ms += result->latency_ms;
       ++call.fallbacks;
       finalize();
       return result;

@@ -1,13 +1,14 @@
 #ifndef LLMDM_LLM_RESILIENT_H_
 #define LLMDM_LLM_RESILIENT_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
-#include "common/rng.h"
 #include "llm/model.h"
 
 namespace llmdm::llm {
@@ -15,6 +16,10 @@ namespace llmdm::llm {
 /// Closed -> open -> half-open breaker over a rolling outcome window.
 /// Time is the caller's *simulated* clock (accumulated completion latency and
 /// backoff waits), so breaker behaviour is exactly reproducible.
+///
+/// Thread-safe: one breaker instance guards one endpoint for every thread in
+/// the serving layer — a breaker that only some threads observed open would
+/// not shed anything. All methods take the internal mutex.
 class CircuitBreaker {
  public:
   struct Options {
@@ -35,14 +40,21 @@ class CircuitBreaker {
   void RecordSuccess(double now_ms);
   void RecordFailure(double now_ms);
 
-  State state() const { return state_; }
-  size_t times_opened() const { return times_opened_; }
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+  size_t times_opened() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_opened_;
+  }
 
  private:
-  void Open(double now_ms);
-  double FailureRate() const;
+  void Open(double now_ms);          // requires mu_
+  double FailureRate() const;        // requires mu_
 
   Options options_;
+  mutable std::mutex mu_;
   State state_ = State::kClosed;
   std::deque<bool> outcomes_;  // true = failure
   double opened_at_ms_ = 0.0;
@@ -52,10 +64,12 @@ class CircuitBreaker {
 
 /// LlmModel decorator that makes a flaky endpoint dependable:
 ///  - retries transient errors (and detectable truncation) with exponential
-///    backoff and deterministic jitter drawn from common::Rng;
+///    backoff and deterministic jitter hashed from (seed, prompt, attempt);
 ///  - enforces a per-call deadline budget against the *simulated* latency
 ///    (ModelSpec::latency_ms_per_1k_tokens accumulated into
-///    Completion::latency_ms plus backoff waits), surfacing kTimeout;
+///    Completion::latency_ms plus backoff waits), surfacing kTimeout; when
+///    the prompt carries a request-wide llm::Deadline, the tighter of the
+///    two budgets wins and the request budget is charged for waits;
 ///  - trips a per-model CircuitBreaker so a hard-down endpoint stops eating
 ///    retry budget;
 ///  - degrades gracefully through a FallbackChain: cheaper model rungs
@@ -63,6 +77,13 @@ class CircuitBreaker {
 /// Every attempt's token spend — including discarded retries and fallback
 /// calls — is metered into the caller's UsageMeter, with RetryStats
 /// itemizing what the resilience machinery cost.
+///
+/// Thread-safe: many serving threads share one ResilientLlm. Per-call state
+/// (elapsed time, attempt counts) lives on the stack; the shared breaker and
+/// lifetime stats are internally locked. Jitter is a pure hash of
+/// (seed, prompt, attempt) rather than a shared RNG stream, so the backoff
+/// schedule of a given call does not depend on which other calls are in
+/// flight — the property that keeps threaded runs reproducible.
 class ResilientLlm : public LlmModel {
  public:
   struct RetryPolicy {
@@ -91,15 +112,13 @@ class ResilientLlm : public LlmModel {
   using CacheFallback = std::function<std::optional<Completion>(const Prompt&)>;
 
   ResilientLlm(std::shared_ptr<LlmModel> inner, const Options& options)
-      : inner_(std::move(inner)),
-        options_(options),
-        breaker_(options.breaker),
-        jitter_rng_(options.seed ^ 0x5E11EBCull) {}
+      : inner_(std::move(inner)), options_(options), breaker_(options.breaker) {}
 
   const ModelSpec& spec() const override { return inner_->spec(); }
 
   /// Appends a cheaper rung to the fallback chain (tried in insertion
   /// order once the primary's retries are exhausted or its circuit is open).
+  /// Not thread-safe: configure the chain before serving traffic.
   void AddFallbackModel(std::shared_ptr<LlmModel> model) {
     fallbacks_.push_back(std::move(model));
   }
@@ -114,18 +133,29 @@ class ResilientLlm : public LlmModel {
                                              UsageMeter* meter) override;
 
   /// Lifetime retry accounting across all calls through this decorator.
-  const UsageMeter::RetryStats& stats() const { return stats_; }
+  UsageMeter::RetryStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const CircuitBreaker& breaker() const { return breaker_; }
   /// Simulated milliseconds elapsed across all calls (latency + waits).
-  double clock_ms() const { return clock_ms_; }
+  /// Under concurrency this is total busy time, not a wall clock: calls in
+  /// flight at once each contribute their full elapsed time.
+  double clock_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return clock_ms_;
+  }
 
  private:
+  /// Deterministic jitter draw in [0,1) for (this call's prompt, attempt#).
+  double JitterUnit(const Prompt& prompt, size_t attempt) const;
+
   std::shared_ptr<LlmModel> inner_;
   Options options_;
   CircuitBreaker breaker_;
-  common::Rng jitter_rng_;
   std::vector<std::shared_ptr<LlmModel>> fallbacks_;
   CacheFallback cache_fallback_;
+  mutable std::mutex mu_;  // guards stats_ and clock_ms_
   UsageMeter::RetryStats stats_;
   double clock_ms_ = 0.0;
 };

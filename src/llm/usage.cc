@@ -14,6 +14,7 @@ void UsageMeter::Record(const std::string& model, size_t input_tokens,
     t.cost += cost;
     t.latency_ms += latency_ms;
   };
+  std::lock_guard<std::mutex> lock(mu_);
   bump(totals_);
   bump(by_model_[model]);
 }
@@ -39,11 +40,79 @@ std::string UsageMeter::RetryStats::ToString() const {
 
 void UsageMeter::RecordRetry(const std::string& model,
                              const RetryStats& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   retry_stats_.Merge(delta);
   retry_by_model_[model].Merge(delta);
 }
 
+void UsageMeter::MergeFrom(const UsageMeter& other) {
+  // Snapshot `other` under its own lock, then merge under ours; taking both
+  // locks at once would invite deadlock for no benefit (the donor is a
+  // request-local scratch meter with no concurrent writers at commit time).
+  Totals other_totals;
+  std::map<std::string, Totals> other_by_model;
+  RetryStats other_retry;
+  std::map<std::string, RetryStats> other_retry_by_model;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_totals = other.totals_;
+    other_by_model = other.by_model_;
+    other_retry = other.retry_stats_;
+    other_retry_by_model = other.retry_by_model_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_.calls += other_totals.calls;
+  totals_.input_tokens += other_totals.input_tokens;
+  totals_.output_tokens += other_totals.output_tokens;
+  totals_.cost += other_totals.cost;
+  totals_.latency_ms += other_totals.latency_ms;
+  for (const auto& [model, t] : other_by_model) {
+    Totals& mine = by_model_[model];
+    mine.calls += t.calls;
+    mine.input_tokens += t.input_tokens;
+    mine.output_tokens += t.output_tokens;
+    mine.cost += t.cost;
+    mine.latency_ms += t.latency_ms;
+  }
+  retry_stats_.Merge(other_retry);
+  for (const auto& [model, r] : other_retry_by_model) {
+    retry_by_model_[model].Merge(r);
+  }
+}
+
+UsageMeter::RetryStats UsageMeter::retry_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_stats_;
+}
+
+std::map<std::string, UsageMeter::RetryStats> UsageMeter::retry_by_model()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retry_by_model_;
+}
+
+UsageMeter::Totals UsageMeter::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+common::Money UsageMeter::cost() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_.cost;
+}
+
+size_t UsageMeter::calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_.calls;
+}
+
+std::map<std::string, UsageMeter::Totals> UsageMeter::by_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_model_;
+}
+
 void UsageMeter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   totals_ = Totals{};
   by_model_.clear();
   retry_stats_ = RetryStats{};
@@ -51,10 +120,11 @@ void UsageMeter::Reset() {
 }
 
 std::string UsageMeter::ToString() const {
+  Totals t = totals();
   return common::StrFormat(
-      "calls=%zu in=%zu out=%zu cost=%s latency=%.1fms", totals_.calls,
-      totals_.input_tokens, totals_.output_tokens,
-      totals_.cost.ToString(4).c_str(), totals_.latency_ms);
+      "calls=%zu in=%zu out=%zu cost=%s latency=%.1fms", t.calls,
+      t.input_tokens, t.output_tokens, t.cost.ToString(4).c_str(),
+      t.latency_ms);
 }
 
 }  // namespace llmdm::llm

@@ -2,6 +2,7 @@
 #define LLMDM_LLM_USAGE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/money.h"
@@ -10,6 +11,12 @@ namespace llmdm::llm {
 
 /// Aggregated API usage: calls, tokens, dollars, simulated latency. Every
 /// experiment's "API Cost" row comes out of one of these.
+///
+/// Thread-safe: the serve layer meters concurrent requests — including a
+/// request's racing hedge attempts — into one shared ledger, so all
+/// mutations take an internal mutex and the accessors return snapshot
+/// copies (a reference into a map another thread may be rehashing is a
+/// data race, not an API).
 class UsageMeter {
  public:
   struct Totals {
@@ -38,23 +45,30 @@ class UsageMeter {
     std::string ToString() const;
   };
 
+  UsageMeter() = default;
+  UsageMeter(const UsageMeter&) = delete;
+  UsageMeter& operator=(const UsageMeter&) = delete;
+
   void Record(const std::string& model, size_t input_tokens,
               size_t output_tokens, common::Money cost, double latency_ms);
 
   /// Folds one logical call's retry accounting into the ledger.
   void RecordRetry(const std::string& model, const RetryStats& delta);
 
-  const RetryStats& retry_stats() const { return retry_stats_; }
-  const std::map<std::string, RetryStats>& retry_by_model() const {
-    return retry_by_model_;
-  }
+  /// Folds another meter's whole ledger into this one. The serve layer
+  /// meters each hedge attempt into its own scratch meter and commits only
+  /// the winning attempt's meter — this is the commit.
+  void MergeFrom(const UsageMeter& other);
 
-  const Totals& totals() const { return totals_; }
-  common::Money cost() const { return totals_.cost; }
-  size_t calls() const { return totals_.calls; }
+  RetryStats retry_stats() const;
+  std::map<std::string, RetryStats> retry_by_model() const;
+
+  Totals totals() const;
+  common::Money cost() const;
+  size_t calls() const;
 
   /// Per-model breakdown (model name -> totals).
-  const std::map<std::string, Totals>& by_model() const { return by_model_; }
+  std::map<std::string, Totals> by_model() const;
 
   void Reset();
 
@@ -62,6 +76,7 @@ class UsageMeter {
   std::string ToString() const;
 
  private:
+  mutable std::mutex mu_;
   Totals totals_;
   std::map<std::string, Totals> by_model_;
   RetryStats retry_stats_;

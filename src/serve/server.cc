@@ -1,0 +1,323 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "llm/deadline.h"
+#include "llm/prompt.h"
+
+namespace llmdm::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
+               std::shared_ptr<llm::LlmModel> hedge_model)
+    : model_(std::move(model)),
+      hedge_model_(hedge_model != nullptr ? std::move(hedge_model) : model_),
+      options_(options),
+      slot_free_vms_(std::max<size_t>(1, options.virtual_concurrency), 0.0) {
+  size_t n = std::max<size_t>(1, options_.worker_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+double Server::EstimateServiceVms(const Request& request) const {
+  // The same information a real admission controller has before the call:
+  // the endpoint's advertised latency and the request's size. Token counts
+  // are exact, output length is a configured guess.
+  llm::Prompt prompt = llm::MakePrompt(request.skill, request.input);
+  double tokens = static_cast<double>(prompt.CountInputTokens() +
+                                      options_.est_output_tokens);
+  return model_->spec().latency_ms_per_1k_tokens * tokens / 1000.0;
+}
+
+void Server::Submit(const Request& request) {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  if (draining_) return;  // late submissions after Drain() are dropped
+  ++submitted_;
+
+  // Retire virtual work that has started by this arrival; what remains is
+  // the waiting queue the new request would join.
+  while (!pending_starts_.empty() &&
+         pending_starts_.top() <= request.arrival_vms) {
+    pending_starts_.pop();
+  }
+  double queue_len = static_cast<double>(pending_starts_.size());
+  max_queue_len_ = std::max(max_queue_len_, queue_len);
+
+  double earliest_free = kInf;
+  size_t slot = 0;
+  for (size_t i = 0; i < slot_free_vms_.size(); ++i) {
+    if (slot_free_vms_[i] < earliest_free) {
+      earliest_free = slot_free_vms_[i];
+      slot = i;
+    }
+  }
+  double est_start = std::max(request.arrival_vms, earliest_free);
+  double est_service = EstimateServiceVms(request);
+  double queue_wait = est_start - request.arrival_vms;
+
+  bool shed = false;
+  std::string shed_reason;
+  if (options_.shed_policy != ShedPolicy::kNone) {
+    double depth = static_cast<double>(options_.queue_depth);
+    double limit = depth;
+    switch (request.priority) {
+      case Priority::kBatch:
+        limit = depth * options_.batch_queue_fraction;
+        break;
+      case Priority::kNormal:
+        break;
+      case Priority::kInteractive:
+        limit = depth * (1.0 + options_.interactive_reserve_fraction);
+        break;
+    }
+    if (queue_len >= limit) {
+      shed = true;
+      shed_reason = common::StrFormat(
+          "queue full (%zu waiting, limit %.0f)", pending_starts_.size(),
+          limit);
+    } else if (options_.shed_policy == ShedPolicy::kDeadlineAware &&
+               request.deadline_ms > 0.0 && queue_wait >= request.deadline_ms) {
+      shed = true;
+      shed_reason = common::StrFormat(
+          "estimated wait %.0fms exceeds %.0fms deadline", queue_wait,
+          request.deadline_ms);
+    }
+  }
+
+  if (shed) {
+    ++shed_;
+    Response r;
+    r.id = request.id;
+    r.shed = true;
+    r.status = common::Status::ResourceExhausted("shed: " + shed_reason);
+    r.retry_after_vms = std::max(0.0, earliest_free - request.arrival_vms);
+    PushResponse(std::move(r));
+    return;
+  }
+
+  ++admitted_;
+  slot_free_vms_[slot] = est_start + est_service;
+  pending_starts_.push(est_start);
+  est_services_.insert(
+      std::upper_bound(est_services_.begin(), est_services_.end(), est_service),
+      est_service);
+
+  Work work;
+  work.request = request;
+  work.est_start_vms = est_start;
+  work.est_service_vms = est_service;
+  work.queue_wait_vms = queue_wait;
+  work.hedge_trigger_vms = Percentile(est_services_, options_.hedge_percentile);
+  {
+    std::lock_guard<std::mutex> wl(work_mu_);
+    work_queue_.push_back(std::move(work));
+  }
+  work_cv_.notify_one();
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || !work_queue_.empty(); });
+      if (work_queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      work = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    Execute(work);
+  }
+}
+
+void Server::Execute(const Work& work) {
+  const Request& req = work.request;
+  Response r;
+  r.id = req.id;
+  r.queue_wait_vms = work.queue_wait_vms;
+
+  // Under kNone/kQueueFull a request can be admitted into a wait longer
+  // than its whole budget; it dies in the queue without costing a call.
+  if (req.deadline_ms > 0.0 && work.queue_wait_vms >= req.deadline_ms) {
+    r.status = common::Status::Timeout(common::StrFormat(
+        "deadline %.0fms expired after %.0fms in queue", req.deadline_ms,
+        work.queue_wait_vms));
+    r.deadline_missed = true;
+    r.latency_vms = work.queue_wait_vms;
+    clock_.AdvanceTo(work.est_start_vms);
+    PushResponse(std::move(r));
+    return;
+  }
+
+  llm::Prompt prompt = llm::MakePrompt(req.skill, req.input);
+  // Per-request salt: two requests with identical text are still
+  // independent draws, and reruns of the same id reproduce exactly.
+  prompt.sample_salt = req.id * 1000003ull + 7;
+  std::shared_ptr<llm::Deadline> deadline;
+  if (req.deadline_ms > 0.0) {
+    deadline =
+        std::make_shared<llm::Deadline>(req.deadline_ms - work.queue_wait_vms);
+    prompt.deadline = deadline;
+  }
+
+  llm::UsageMeter primary_meter;
+  auto primary = model_->CompleteMetered(prompt, &primary_meter);
+  double primary_finish =
+      primary.ok() ? primary->latency_ms : options_.failed_attempt_penalty_ms;
+
+  bool hedge = options_.hedging &&
+               (!primary.ok() || primary_finish > work.hedge_trigger_vms);
+  if (!hedge) {
+    meter_.MergeFrom(primary_meter);
+    r.service_vms = primary_finish;
+    r.latency_vms = work.queue_wait_vms + r.service_vms;
+    if (primary.ok()) {
+      r.status = common::Status::Ok();
+      r.text = primary->text;
+      r.model = primary->model;
+      r.cost = primary->cost;
+    } else {
+      r.status = primary.status();
+    }
+    r.deadline_missed =
+        req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
+    clock_.AdvanceTo(work.est_start_vms + r.service_vms);
+    PushResponse(std::move(r));
+    return;
+  }
+
+  // Hedge: in virtual time the second attempt launched when the primary
+  // crossed the trigger (or failed, whichever came first) and the two
+  // raced; the earliest virtual finish wins and the loser is cancelled —
+  // too late to recover its spend, which is the price of tail-cutting.
+  double hedge_start = std::min(work.hedge_trigger_vms, primary_finish);
+  llm::Prompt hedge_prompt = prompt;
+  hedge_prompt.sample_salt = prompt.sample_salt + 1;
+  llm::UsageMeter hedge_meter;
+  auto hedged = hedge_model_->CompleteMetered(hedge_prompt, &hedge_meter);
+  double hedge_finish = hedged.ok()
+                            ? hedge_start + hedged->latency_ms
+                            : hedge_start + options_.failed_attempt_penalty_ms;
+
+  double p_score = primary.ok() ? primary_finish : kInf;
+  double h_score = hedged.ok() ? hedge_finish : kInf;
+  r.hedged = true;
+  r.hedge_won = h_score < p_score;
+  bool any_ok = primary.ok() || hedged.ok();
+  const auto& winner = r.hedge_won ? hedged : primary;
+  const llm::UsageMeter& winner_meter = r.hedge_won ? hedge_meter : primary_meter;
+  const llm::UsageMeter& loser_meter = r.hedge_won ? primary_meter : hedge_meter;
+
+  meter_.MergeFrom(winner_meter);
+  if (any_ok) {
+    r.status = common::Status::Ok();
+    r.text = winner->text;
+    r.model = winner->model;
+    r.cost = winner->cost;
+    r.service_vms = std::min(p_score, h_score);
+  } else {
+    r.status = primary.status();
+    r.service_vms = std::max(primary_finish, hedge_finish);
+  }
+  r.latency_vms = work.queue_wait_vms + r.service_vms;
+  r.deadline_missed = req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    ++hedges_launched_;
+    if (r.hedge_won) ++hedge_wins_;
+    hedge_cancelled_cost_ += loser_meter.cost();
+  }
+  clock_.AdvanceTo(work.est_start_vms + r.service_vms);
+  PushResponse(std::move(r));
+}
+
+void Server::PushResponse(Response response) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  responses_.push_back(std::move(response));
+}
+
+std::vector<Response> Server::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    draining_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::sort(responses_.begin(), responses_.end(),
+            [](const Response& a, const Response& b) { return a.id < b.id; });
+  return responses_;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    s.submitted = submitted_;
+    s.admitted = admitted_;
+    s.shed = shed_;
+    s.max_queue_len = max_queue_len_;
+  }
+  std::lock_guard<std::mutex> lock(results_mu_);
+  s.hedges_launched = hedges_launched_;
+  s.hedge_wins = hedge_wins_;
+  s.hedge_cancelled_cost = hedge_cancelled_cost_;
+  std::vector<double> latencies;
+  size_t good = 0;
+  for (const Response& r : responses_) {
+    if (r.shed) continue;
+    latencies.push_back(r.latency_vms);
+    if (r.status.ok()) {
+      ++s.completed;
+      if (!r.deadline_missed) ++good;
+    } else {
+      ++s.failed;
+    }
+    if (r.deadline_missed) ++s.deadline_missed;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  s.p50_latency_vms = Percentile(latencies, 0.5);
+  s.p99_latency_vms = Percentile(latencies, 0.99);
+  double span_vs = clock_.NowMs() / 1000.0;
+  s.goodput_per_vs = span_vs > 0.0 ? static_cast<double>(good) / span_vs : 0.0;
+  return s;
+}
+
+}  // namespace llmdm::serve

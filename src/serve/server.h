@@ -1,0 +1,217 @@
+#ifndef LLMDM_SERVE_SERVER_H_
+#define LLMDM_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/money.h"
+#include "common/status.h"
+#include "llm/model.h"
+#include "llm/usage.h"
+#include "serve/clock.h"
+
+namespace llmdm::serve {
+
+/// What the admission controller does when the queue model says a new
+/// request cannot start soon.
+enum class ShedPolicy {
+  /// Admit everything (unbounded queue): the baseline whose p99 collapses
+  /// under overload — every admitted request waits behind the whole backlog.
+  kNone,
+  /// Reject (kResourceExhausted + retry-after hint) once the number of
+  /// waiting requests reaches Options::queue_depth.
+  kQueueFull,
+  /// kQueueFull, plus: reject a request whose estimated queue wait already
+  /// exceeds its own deadline — it would be dead on arrival, so shedding it
+  /// at the door costs nothing and frees its slot for a request that can
+  /// still make it.
+  kDeadlineAware,
+};
+
+/// Admission priority. Batch traffic is confined to a fraction of the queue
+/// so it can never crowd out interactive requests; interactive traffic gets
+/// reserved headroom above the nominal depth.
+enum class Priority { kBatch, kNormal, kInteractive };
+
+/// One unit of offered load. `arrival_vms` is the request's arrival in
+/// simulated time (assigned by the workload generator); Submit() must be
+/// called in non-decreasing arrival order.
+struct Request {
+  uint64_t id = 0;
+  std::string skill = "freeform";
+  std::string input;
+  Priority priority = Priority::kNormal;
+  /// Request-wide budget in simulated ms (0 = none). Queue wait spends it
+  /// first; the remainder rides the prompt as an llm::Deadline.
+  double deadline_ms = 0.0;
+  double arrival_vms = 0.0;
+};
+
+/// Outcome of one request, in virtual time. Shed requests get a response
+/// too (status kResourceExhausted), so offered load == |responses|.
+struct Response {
+  uint64_t id = 0;
+  common::Status status;
+  std::string text;
+  std::string model;
+  common::Money cost;
+  double queue_wait_vms = 0.0;
+  double service_vms = 0.0;  // execution (incl. hedge overlap), virtual ms
+  double latency_vms = 0.0;  // queue_wait + service
+  bool shed = false;
+  /// When shed: simulated ms after arrival at which retrying has a chance
+  /// (the earliest virtual slot becoming free).
+  double retry_after_vms = 0.0;
+  bool deadline_missed = false;
+  bool hedged = false;     // a hedge attempt was launched
+  bool hedge_won = false;  // ...and it beat the primary
+};
+
+/// Aggregate serving metrics, valid after Drain().
+struct ServerStats {
+  size_t submitted = 0;
+  size_t admitted = 0;
+  size_t shed = 0;
+  size_t completed = 0;  // admitted requests that produced an OK completion
+  size_t failed = 0;     // admitted requests whose every attempt failed
+  size_t deadline_missed = 0;
+  size_t hedges_launched = 0;
+  size_t hedge_wins = 0;
+  /// Spend of losing hedge attempts: paid to the endpoint, never committed
+  /// to the main meter (the virtual cancellation arrived too late).
+  common::Money hedge_cancelled_cost;
+  double p50_latency_vms = 0.0;  // over non-shed responses
+  double p99_latency_vms = 0.0;
+  double max_queue_len = 0.0;
+  /// Completions that were OK *and* inside their deadline, per virtual
+  /// second — the number that collapses when an unbounded queue melts down.
+  double goodput_per_vs = 0.0;
+};
+
+/// A multi-threaded request scheduler in front of one (typically resilient)
+/// LLM endpoint: bounded admission queue, deadline/priority-aware load
+/// shedding, and hedged requests.
+///
+/// Determinism: admission decisions are made synchronously in Submit(),
+/// in arrival order, against a virtual queue model fed by *estimated*
+/// service times (spec latency x estimated tokens) — exactly the
+/// information a real admission controller has. Execution then happens on
+/// real worker threads, but every per-request output (completion text,
+/// virtual latency, hedge outcome) is a pure function of the request and
+/// its admission-time state, so Drain()'s id-sorted responses and the
+/// aggregate stats are byte-stable across runs and thread counts.
+///
+/// Hedging: when a request's actual service latency exceeds the seeded
+/// percentile (Options::hedge_percentile) of estimated service times of
+/// requests admitted so far — or its primary attempt fails outright — a
+/// second attempt races on the hedge model. The attempt with the earliest
+/// virtual finish wins; only the winner's scratch meter is committed
+/// (UsageMeter::MergeFrom), the loser's spend is booked as
+/// hedge_cancelled_cost.
+class Server {
+ public:
+  struct Options {
+    /// Real worker threads executing admitted requests.
+    size_t worker_threads = 4;
+    /// Simulated parallel model slots in the virtual queue model.
+    size_t virtual_concurrency = 4;
+    /// Waiting-request bound for kQueueFull / kDeadlineAware.
+    size_t queue_depth = 32;
+    ShedPolicy shed_policy = ShedPolicy::kQueueFull;
+    /// Fraction of queue_depth usable by Priority::kBatch requests.
+    double batch_queue_fraction = 0.5;
+    /// Extra headroom (fraction of queue_depth) reserved for
+    /// Priority::kInteractive requests once the nominal queue is full.
+    double interactive_reserve_fraction = 0.25;
+    bool hedging = false;
+    /// Estimated-service-time percentile after which a hedge launches.
+    double hedge_percentile = 0.95;
+    /// Virtual ms a failed attempt is deemed to have occupied its slot
+    /// (timeouts and retry storms burn time even when nothing is returned).
+    double failed_attempt_penalty_ms = 1000.0;
+    /// Expected completion length used in service-time estimation.
+    size_t est_output_tokens = 48;
+  };
+
+  /// `model` serves primaries; `hedge_model` (defaults to `model`) serves
+  /// hedge attempts — typically the fallback-chain/cheaper endpoint.
+  /// Workers start immediately.
+  Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
+         std::shared_ptr<llm::LlmModel> hedge_model = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admission control + enqueue. Must be called in non-decreasing
+  /// `arrival_vms` order (one submitting thread, or external ordering).
+  /// Shed requests are answered immediately; admitted ones complete on a
+  /// worker thread. Not callable after Drain().
+  void Submit(const Request& request);
+
+  /// Waits for all admitted work, stops the workers, and returns every
+  /// response sorted by request id. Call once.
+  std::vector<Response> Drain();
+
+  /// Aggregate metrics; stable only after Drain().
+  ServerStats stats() const;
+
+  /// Committed usage across all winning attempts (thread-safe itself).
+  const llm::UsageMeter& meter() const { return meter_; }
+
+  const SimulatedClock& clock() const { return clock_; }
+
+ private:
+  struct Work {
+    Request request;
+    double est_start_vms = 0.0;
+    double est_service_vms = 0.0;
+    double queue_wait_vms = 0.0;
+    double hedge_trigger_vms = 0.0;  // service latency that launches a hedge
+  };
+
+  void WorkerLoop();
+  void Execute(const Work& work);
+  double EstimateServiceVms(const Request& request) const;
+  void PushResponse(Response response);
+
+  std::shared_ptr<llm::LlmModel> model_;
+  std::shared_ptr<llm::LlmModel> hedge_model_;
+  Options options_;
+
+  // Admission state: touched only under admission_mu_, only from Submit().
+  mutable std::mutex admission_mu_;
+  std::vector<double> slot_free_vms_;  // per virtual slot
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      pending_starts_;                  // est_start of not-yet-started work
+  std::vector<double> est_services_;    // admitted est service times, sorted
+  size_t submitted_ = 0, admitted_ = 0, shed_ = 0;
+  double max_queue_len_ = 0.0;
+  bool draining_ = false;
+
+  // Worker pool.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Work> work_queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Results + execution-side stats.
+  mutable std::mutex results_mu_;
+  std::vector<Response> responses_;
+  size_t hedges_launched_ = 0, hedge_wins_ = 0;
+  common::Money hedge_cancelled_cost_;
+
+  llm::UsageMeter meter_;
+  SimulatedClock clock_;
+};
+
+}  // namespace llmdm::serve
+
+#endif  // LLMDM_SERVE_SERVER_H_

@@ -1,0 +1,8 @@
+# Runs at ctest time, after gtest test discovery (appended to
+# TEST_INCLUDE_FILES behind the generated discovery include). Attaches both
+# labels to every discovered concurrency test; gtest_discover_tests itself
+# flattens list-valued PROPERTIES, so LABELS with two entries cannot be set
+# directly there.
+foreach(t IN LISTS llmdm_concurrency_test_names)
+  set_tests_properties(${t} PROPERTIES LABELS "robustness;concurrency")
+endforeach()

@@ -1,0 +1,410 @@
+// Multi-threaded soak tests for the serving layer and the shared hot state
+// under it (UsageMeter, SemanticCache, CircuitBreaker, Deadline). Run with
+// `ctest -L concurrency`; the binary is the one to exercise under
+// -DLLMDM_TSAN=ON. Two kinds of assertion live here:
+//   * exact determinism — the server's id-sorted responses and aggregate
+//     stats must be identical across runs and worker-thread counts;
+//   * self-consistency — under fault injection with a shared cache the
+//     interleaving is real, so we assert ledger invariants (no lost or
+//     double-counted spend, stats that sum) instead of exact values.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/optimize/semantic_cache.h"
+#include "llm/deadline.h"
+#include "llm/fault_injection.h"
+#include "llm/resilient.h"
+#include "llm/simulated.h"
+#include "serve/server.h"
+
+namespace llmdm {
+namespace {
+
+std::shared_ptr<llm::SimulatedLlm> MakeModel(const std::string& name,
+                                             double latency_ms_per_1k,
+                                             uint64_t seed) {
+  llm::ModelSpec spec;
+  spec.name = name;
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.002);
+  spec.latency_ms_per_1k_tokens = latency_ms_per_1k;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, seed);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+  return model;
+}
+
+serve::Request MakeRequest(uint64_t id, double arrival_vms,
+                           const std::string& input) {
+  serve::Request req;
+  req.id = id;
+  req.arrival_vms = arrival_vms;
+  req.input = input;
+  return req;
+}
+
+// ---- Shared-state primitives under raw threads ------------------------------
+
+TEST(ConcurrentUsageMeter, NoLostOrDoubleCountedSpend) {
+  llm::UsageMeter shared;
+  constexpr size_t kThreads = 8, kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        // Half direct records, half scratch-meter commits (the hedge path).
+        if (i % 2 == 0) {
+          shared.Record("model-a", 100, 50, common::Money::FromDollars(0.001),
+                        5.0);
+        } else {
+          llm::UsageMeter scratch;
+          scratch.Record(common::StrFormat("model-%zu", t % 3), 100, 50,
+                         common::Money::FromDollars(0.001), 5.0);
+          shared.MergeFrom(scratch);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(shared.calls(), kThreads * kPerThread);
+  EXPECT_EQ(shared.cost(),
+            common::Money::FromDollars(0.001) *
+                static_cast<int64_t>(kThreads * kPerThread));
+  // The per-model breakdown must sum exactly to the totals.
+  auto totals = shared.totals();
+  size_t calls = 0, in_tokens = 0;
+  common::Money cost;
+  for (const auto& [name, t] : shared.by_model()) {
+    calls += t.calls;
+    in_tokens += t.input_tokens;
+    cost += t.cost;
+  }
+  EXPECT_EQ(calls, totals.calls);
+  EXPECT_EQ(in_tokens, totals.input_tokens);
+  EXPECT_EQ(cost, totals.cost);
+}
+
+TEST(ConcurrentDeadline, ChargesAreAtomic) {
+  llm::Deadline deadline(1000.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&deadline] {
+      for (int i = 0; i < 100; ++i) deadline.Charge(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(deadline.remaining_ms(), 200.0, 1e-6);
+  EXPECT_FALSE(deadline.Exhausted());
+}
+
+TEST(ConcurrentCircuitBreaker, OpensExactlyUnderContention) {
+  llm::CircuitBreaker::Options options;
+  options.min_samples = 4;
+  options.window = 16;
+  options.failure_threshold = 0.5;
+  llm::CircuitBreaker breaker(options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&breaker] {
+      for (int i = 0; i < 100; ++i) {
+        if (breaker.Allow(static_cast<double>(i))) {
+          breaker.RecordFailure(static_cast<double>(i));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(breaker.state(), llm::CircuitBreaker::State::kOpen);
+  EXPECT_GE(breaker.times_opened(), 1u);
+}
+
+TEST(ConcurrentSoak, ResilientCachedModelInvariantsAt30PercentFaults) {
+  // T threads hammer one ResilientLlm (over a 30%-faulty endpoint) through
+  // one shared SemanticCache, all metering into one ledger. Interleaving is
+  // scheduling-dependent, so the assertions are conservation laws.
+  auto cache = std::make_unique<optimize::SemanticCache>(
+      optimize::SemanticCache::Options{0.95, 4096,
+                                       optimize::EvictionPolicy::kCostAware,
+                                       2.0, 1.0, false});
+  auto faulty = std::make_shared<llm::FaultInjectingLlm>(
+      MakeModel("sim-endpoint", 100.0, 1), llm::FaultProfile::Uniform(0.3), 7);
+  llm::ResilientLlm::Options resilience;
+  resilience.retry.max_attempts = 4;
+  resilience.retry.initial_backoff_ms = 10.0;
+  resilience.seed = 5;
+  auto resilient = std::make_shared<llm::ResilientLlm>(faulty, resilience);
+  resilient->AddFallbackModel(MakeModel("sim-fallback", 50.0, 2));
+  optimize::CachedLlm cached(resilient, cache.get());
+
+  constexpr size_t kThreads = 8, kPerThread = 150, kDistinctPrompts = 40;
+  llm::UsageMeter meter;
+  std::atomic<size_t> ok_count{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        size_t which = (t * kPerThread + i) % kDistinctPrompts;
+        llm::Prompt prompt = llm::MakePrompt(
+            "freeform",
+            common::StrFormat("soak question %zu about data lakes", which));
+        prompt.sample_salt = t * 1000003ull + i;
+        auto c = cached.CompleteMetered(prompt, &meter);
+        if (c.ok()) ok_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  constexpr size_t kTotal = kThreads * kPerThread;
+  // Every request consulted the cache exactly once...
+  auto stats = cache->stats();
+  EXPECT_EQ(stats.lookups, kTotal);
+  // ...and the cache's own ledger balances: only misses that completed
+  // inserted, a hit is never also an insertion.
+  EXPECT_LE(stats.hits + stats.insertions, stats.lookups);
+  EXPECT_LE(cache->Size(), stats.insertions);
+  EXPECT_EQ(stats.evictions, 0u);  // capacity was ample
+  // The usage ledger balances: per-model rows sum to the totals, the retry
+  // breakdown sums to the aggregate retry stats. A lost update anywhere
+  // breaks one of these sums.
+  auto totals = meter.totals();
+  EXPECT_EQ(totals.calls, meter.calls());
+  size_t calls = 0;
+  common::Money cost;
+  for (const auto& [name, t] : meter.by_model()) {
+    calls += t.calls;
+    cost += t.cost;
+  }
+  EXPECT_EQ(calls, totals.calls);
+  EXPECT_EQ(cost, totals.cost);
+  auto retry = meter.retry_stats();
+  llm::UsageMeter::RetryStats summed;
+  for (const auto& [name, r] : meter.retry_by_model()) summed.Merge(r);
+  EXPECT_EQ(summed.attempts, retry.attempts);
+  EXPECT_EQ(summed.retries, retry.retries);
+  EXPECT_EQ(summed.transient_errors, retry.transient_errors);
+  EXPECT_EQ(summed.fallbacks, retry.fallbacks);
+  // With retries and a fallback rung, nearly everything completes.
+  EXPECT_GT(ok_count.load(), kTotal * 95 / 100);
+}
+
+// ---- The serving layer ------------------------------------------------------
+
+TEST(Serve, FaultFreeSpendIsExactlyConserved) {
+  // No faults, no shedding: the committed meter must equal the sum of the
+  // per-response costs to the micro — dropped or double-counted spend under
+  // the worker pool shows up here.
+  serve::Server::Options options;
+  options.worker_threads = 8;
+  options.shed_policy = serve::ShedPolicy::kNone;
+  serve::Server server(MakeModel("sim-serve", 100.0, 3), options);
+  constexpr size_t kN = 300;
+  for (size_t i = 0; i < kN; ++i) {
+    server.Submit(MakeRequest(i, static_cast<double>(i) * 2.0,
+                              common::StrFormat("question %zu", i % 60)));
+  }
+  auto responses = server.Drain();
+  ASSERT_EQ(responses.size(), kN);
+  common::Money sum;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(responses[i].id, i);  // every id exactly once, in order
+    ASSERT_TRUE(responses[i].status.ok());
+    sum += responses[i].cost;
+  }
+  EXPECT_EQ(server.meter().calls(), kN);
+  EXPECT_EQ(server.meter().cost(), sum);
+  auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, kN);
+  EXPECT_EQ(stats.admitted, kN);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.completed, kN);
+}
+
+std::string RunServeWorkload(size_t worker_threads) {
+  serve::Server::Options options;
+  options.worker_threads = worker_threads;
+  options.virtual_concurrency = 2;
+  options.queue_depth = 8;
+  options.shed_policy = serve::ShedPolicy::kQueueFull;
+  options.hedging = true;
+  options.hedge_percentile = 0.9;
+  auto faulty = std::make_shared<llm::FaultInjectingLlm>(
+      MakeModel("sim-serve", 200.0, 3), llm::FaultProfile::Uniform(0.3), 11);
+  llm::ResilientLlm::Options resilience;
+  resilience.retry.max_attempts = 3;
+  resilience.retry.initial_backoff_ms = 20.0;
+  resilience.seed = 9;
+  auto resilient = std::make_shared<llm::ResilientLlm>(faulty, resilience);
+  serve::Server server(resilient, options, MakeModel("sim-hedge", 50.0, 4));
+  for (size_t i = 0; i < 200; ++i) {
+    serve::Request req = MakeRequest(i, static_cast<double>(i) * 3.0,
+                                     common::StrFormat("query %zu", i));
+    req.deadline_ms = 5000.0;
+    req.priority = (i % 5 == 0) ? serve::Priority::kBatch
+                                : serve::Priority::kNormal;
+    server.Submit(req);
+  }
+  std::string log;
+  for (const auto& r : server.Drain()) {
+    log += common::StrFormat(
+        "%llu ok=%d shed=%d hedged=%d won=%d miss=%d lat=%.3f cost=%lld %s\n",
+        (unsigned long long)r.id, r.status.ok() ? 1 : 0, r.shed ? 1 : 0,
+        r.hedged ? 1 : 0, r.hedge_won ? 1 : 0, r.deadline_missed ? 1 : 0,
+        r.latency_vms, (long long)r.cost.micros(), r.model.c_str());
+  }
+  auto s = server.stats();
+  log += common::StrFormat(
+      "stats sub=%zu adm=%zu shed=%zu done=%zu fail=%zu hedges=%zu wins=%zu "
+      "p50=%.3f p99=%.3f cancelled=%lld\n",
+      s.submitted, s.admitted, s.shed, s.completed, s.failed,
+      s.hedges_launched, s.hedge_wins, s.p50_latency_vms, s.p99_latency_vms,
+      (long long)s.hedge_cancelled_cost.micros());
+  return log;
+}
+
+TEST(Serve, DeterministicAcrossRunsAndThreadCounts) {
+  // The whole point of the virtual-time design: real threads execute the
+  // calls, yet the id-sorted outcome is byte-identical run to run — and
+  // independent of how many workers raced over it.
+  std::string two = RunServeWorkload(2);
+  EXPECT_EQ(two, RunServeWorkload(2));
+  EXPECT_EQ(two, RunServeWorkload(8));
+}
+
+TEST(Serve, ShedsWithRetryAfterWhenQueueFull) {
+  serve::Server::Options options;
+  options.worker_threads = 4;
+  options.virtual_concurrency = 1;
+  options.queue_depth = 4;
+  options.shed_policy = serve::ShedPolicy::kQueueFull;
+  serve::Server server(MakeModel("sim-serve", 2000.0, 3), options);
+  // A burst: everything arrives nearly at once against one slow slot.
+  for (size_t i = 0; i < 40; ++i) {
+    server.Submit(MakeRequest(i, static_cast<double>(i) * 0.1,
+                              common::StrFormat("burst %zu", i)));
+  }
+  auto responses = server.Drain();
+  auto stats = server.stats();
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_EQ(stats.shed + stats.admitted, stats.submitted);
+  for (const auto& r : responses) {
+    if (!r.shed) continue;
+    EXPECT_EQ(r.status.code(), common::StatusCode::kResourceExhausted);
+    EXPECT_GT(r.retry_after_vms, 0.0);  // the hint points past the backlog
+  }
+  // The same burst with an unbounded queue admits everything.
+  serve::Server::Options unbounded = options;
+  unbounded.shed_policy = serve::ShedPolicy::kNone;
+  serve::Server baseline(MakeModel("sim-serve", 2000.0, 3), unbounded);
+  for (size_t i = 0; i < 40; ++i) {
+    baseline.Submit(MakeRequest(i, static_cast<double>(i) * 0.1,
+                                common::StrFormat("burst %zu", i)));
+  }
+  baseline.Drain();
+  EXPECT_EQ(baseline.stats().shed, 0u);
+  EXPECT_EQ(baseline.stats().admitted, 40u);
+  // Bounding the queue is what bounds the tail.
+  EXPECT_LT(stats.p99_latency_vms, baseline.stats().p99_latency_vms);
+}
+
+TEST(Serve, DeadlineAwareShedsDoomedRequestsAtTheDoor) {
+  auto run = [](serve::ShedPolicy policy) {
+    serve::Server::Options options;
+    options.worker_threads = 4;
+    options.virtual_concurrency = 1;
+    options.queue_depth = 1000;  // queue bound out of the way
+    options.shed_policy = policy;
+    serve::Server server(MakeModel("sim-serve", 2000.0, 3), options);
+    for (size_t i = 0; i < 30; ++i) {
+      serve::Request req = MakeRequest(i, static_cast<double>(i) * 0.1,
+                                       common::StrFormat("burst %zu", i));
+      req.deadline_ms = 400.0;
+      server.Submit(req);
+    }
+    server.Drain();
+    return server.stats();
+  };
+  auto aware = run(serve::ShedPolicy::kDeadlineAware);
+  auto blind = run(serve::ShedPolicy::kQueueFull);
+  // Deadline-aware turns queue deaths into immediate rejections: the
+  // requests it sheds are exactly the ones that would have missed anyway.
+  EXPECT_GT(aware.shed, 0u);
+  EXPECT_EQ(blind.shed, 0u);
+  EXPECT_GT(blind.deadline_missed, aware.deadline_missed);
+  EXPECT_EQ(aware.shed + aware.deadline_missed + aware.completed,
+            aware.submitted);
+}
+
+TEST(Serve, BatchConfinedToItsQueueShareUnderOverload) {
+  serve::Server::Options options;
+  options.worker_threads = 4;
+  options.virtual_concurrency = 1;
+  options.queue_depth = 8;
+  options.batch_queue_fraction = 0.25;
+  options.shed_policy = serve::ShedPolicy::kQueueFull;
+  serve::Server server(MakeModel("sim-serve", 2000.0, 3), options);
+  size_t batch_total = 0, interactive_total = 0;
+  std::vector<serve::Priority> priorities;
+  for (size_t i = 0; i < 60; ++i) {
+    serve::Request req = MakeRequest(i, static_cast<double>(i) * 0.1,
+                                     common::StrFormat("mixed %zu", i));
+    req.priority = (i % 2 == 0) ? serve::Priority::kBatch
+                                : serve::Priority::kInteractive;
+    priorities.push_back(req.priority);
+    if (req.priority == serve::Priority::kBatch) ++batch_total;
+    else ++interactive_total;
+    server.Submit(req);
+  }
+  size_t batch_shed = 0, interactive_shed = 0;
+  for (const auto& r : server.Drain()) {
+    if (!r.shed) continue;
+    if (priorities[r.id] == serve::Priority::kBatch) ++batch_shed;
+    else ++interactive_shed;
+  }
+  ASSERT_GT(batch_shed, 0u);
+  // Batch saturates its fraction first; interactive rides the reserve.
+  double batch_rate = double(batch_shed) / double(batch_total);
+  double interactive_rate = double(interactive_shed) / double(interactive_total);
+  EXPECT_GT(batch_rate, interactive_rate);
+}
+
+TEST(Serve, HedgingCutsTheTailAndBooksCancelledSpend) {
+  auto run = [](bool hedging) {
+    serve::Server::Options options;
+    options.worker_threads = 4;
+    options.virtual_concurrency = 4;
+    options.shed_policy = serve::ShedPolicy::kNone;
+    options.hedging = hedging;
+    options.hedge_percentile = 0.5;
+    options.est_output_tokens = 1;  // estimate low => the trigger is tight
+    serve::Server server(MakeModel("sim-slow", 5000.0, 3), options,
+                         MakeModel("sim-fast", 50.0, 4));
+    for (size_t i = 0; i < 60; ++i) {
+      server.Submit(MakeRequest(i, static_cast<double>(i) * 50.0,
+                                common::StrFormat("tail %zu", i)));
+    }
+    auto responses = server.Drain();
+    common::Money response_sum;
+    for (const auto& r : responses) response_sum += r.cost;
+    return std::make_tuple(server.stats(), server.meter().cost(),
+                           response_sum);
+  };
+  auto [hedged, hedged_meter, hedged_sum] = run(true);
+  auto [plain, plain_meter, plain_sum] = run(false);
+  EXPECT_GT(hedged.hedges_launched, 0u);
+  EXPECT_GT(hedged.hedge_wins, 0u);
+  // The fast hedge beats the slow primary's tail...
+  EXPECT_LT(hedged.p99_latency_vms, plain.p99_latency_vms);
+  // ...the cancelled attempts' spend is booked, not committed...
+  EXPECT_GT(hedged.hedge_cancelled_cost, common::Money::Zero());
+  EXPECT_EQ(hedged_meter, hedged_sum);
+  // ...and without hedging the meter trivially equals the response sum too.
+  EXPECT_EQ(plain_meter, plain_sum);
+  EXPECT_EQ(plain.hedges_launched, 0u);
+}
+
+}  // namespace
+}  // namespace llmdm

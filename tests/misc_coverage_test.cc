@@ -148,8 +148,8 @@ TEST(PromptStoreMisc, EvictsTheWorstPerformer) {
     store.RecordOutcome(winner, true);
   }
   store.Add("third prompt about topic gamma", "N");  // forces one eviction
-  EXPECT_EQ(store.Get(loser), nullptr);
-  ASSERT_NE(store.Get(winner), nullptr);
+  EXPECT_FALSE(store.Get(loser).has_value());
+  ASSERT_TRUE(store.Get(winner).has_value());
   EXPECT_EQ(store.Get(winner)->output, "W");
 }
 

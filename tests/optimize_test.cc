@@ -407,8 +407,8 @@ TEST(PromptStore, LastSelectedIdsAlignWithExamples) {
                                PromptStore::Selection::kSimilarity);
   EXPECT_EQ(store.last_selected_ids().size(), examples.size());
   for (size_t i = 0; i < examples.size(); ++i) {
-    const StoredPrompt* p = store.Get(store.last_selected_ids()[i]);
-    ASSERT_NE(p, nullptr);
+    const auto p = store.Get(store.last_selected_ids()[i]);
+    ASSERT_TRUE(p.has_value());
     EXPECT_EQ(p->output, examples[i].output);
   }
 }

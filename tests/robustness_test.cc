@@ -17,6 +17,7 @@
 #include "data/qa_workload.h"
 #include "data/txn_workload.h"
 #include "data/xml.h"
+#include "llm/deadline.h"
 #include "llm/fault_injection.h"
 #include "llm/resilient.h"
 #include "llm/simulated.h"
@@ -641,6 +642,117 @@ TEST(PipelineResilience, ResilientModelKeepsAllStagesHealthyUnderFaults) {
   }
   EXPECT_GT(attempts, 0u);
   EXPECT_GT(retries, 0u);
+}
+
+// ---- Request-wide deadline propagation --------------------------------------
+
+TEST(DeadlinePropagation, ChargesAtTheModelCallBoundary) {
+  auto model = MakeTestModel();
+  auto deadline = std::make_shared<llm::Deadline>(500.0);
+  llm::Prompt prompt = llm::MakePrompt("freeform", "what is a data lake?");
+  prompt.deadline = deadline;
+  auto c = model->CompleteMetered(prompt, nullptr);
+  ASSERT_TRUE(c.ok());
+  // The completion's simulated latency came out of the shared budget.
+  EXPECT_NEAR(deadline->remaining_ms(), 500.0 - c->latency_ms, 1e-3);
+}
+
+TEST(DeadlinePropagation, ExhaustedBudgetRejectsBeforeTheCall) {
+  auto model = MakeTestModel();
+  llm::Prompt prompt = llm::MakePrompt("freeform", "anything");
+  prompt.deadline = std::make_shared<llm::Deadline>(0.0);
+  auto c = model->CompleteMetered(prompt, nullptr);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), common::StatusCode::kTimeout);
+}
+
+TEST(DeadlinePropagation, ScopedModelAttachesBudgetToInnerPrompts) {
+  auto deadline = std::make_shared<llm::Deadline>(1000.0);
+  llm::DeadlineScopedLlm scoped(MakeTestModel(), deadline);
+  auto c = scoped.Complete(llm::MakePrompt("freeform", "what is ETL?"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(deadline->remaining_ms(), 1000.0);  // latency was charged
+}
+
+TEST(DeadlinePropagation, CascadeStopsEscalatingWhenBudgetSpent) {
+  // Three rungs of an expensive, slow model; the accept bar is set above 1.0
+  // so only the final rung could normally accept. A budget that dies inside
+  // rung 0 must stop the ladder and serve rung 0's answer, degraded.
+  llm::ModelSpec slow;
+  slow.name = "sim-sloth";
+  slow.capability = 0.9;
+  slow.latency_ms_per_1k_tokens = 1e6;
+  std::vector<std::shared_ptr<llm::LlmModel>> ladder;
+  for (int i = 0; i < 3; ++i) {
+    auto m = std::make_shared<llm::SimulatedLlm>(slow, 1);
+    m->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+    ladder.push_back(m);
+  }
+  optimize::LlmCascade::Options copts;
+  copts.accept_threshold = 1.1;
+  optimize::LlmCascade cascade(ladder, copts);
+
+  llm::Prompt prompt = llm::MakePrompt("freeform", "what is a cascade?");
+  prompt.deadline = std::make_shared<llm::Deadline>(500.0);
+  auto r = cascade.Run(prompt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->deadline_stopped);
+  EXPECT_TRUE(r->degraded);
+  EXPECT_EQ(r->trace.size(), 1u);  // never reached rungs 1 and 2
+  EXPECT_FALSE(r->answer.empty());
+
+  // The identical ladder without a deadline climbs to the top rung.
+  auto unbounded = cascade.Run(llm::MakePrompt("freeform", "what is a cascade?"));
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_FALSE(unbounded->deadline_stopped);
+  EXPECT_EQ(unbounded->trace.size(), 3u);
+}
+
+TEST(DeadlinePropagation, PipelineStagesShareOneBudget) {
+  // A ~1ms budget: the first model call succeeds (the budget is checked
+  // before the call, charged after), everything later times out — so later
+  // LLM-dependent stages degrade instead of silently getting fresh budgets.
+  auto models = llm::CreatePaperModelLadder(nullptr, 42);
+  core::DataManagementPipeline::Options options;
+  options.model = models[2];
+  options.num_patients = 24;
+  options.deadline_ms = 1.0;
+  core::DataManagementPipeline pipeline(options);
+  auto report = pipeline.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->deadline_exhausted);
+  EXPECT_GT(report->degraded_stages, 0u);
+
+  // A generous budget changes nothing about the run's health and leaves
+  // headroom in every stage report.
+  core::DataManagementPipeline::Options generous = options;
+  generous.deadline_ms = 1e9;
+  core::DataManagementPipeline healthy(generous);
+  auto ok_report = healthy.Run();
+  ASSERT_TRUE(ok_report.ok());
+  EXPECT_FALSE(ok_report->deadline_exhausted);
+  EXPECT_EQ(ok_report->degraded_stages, 0u);
+  for (const auto& stage : ok_report->stages) {
+    EXPECT_GT(stage.deadline_remaining_ms, 0.0);
+  }
+}
+
+TEST(DeadlinePropagation, ResilientBackoffDrawsFromTheSameBudget) {
+  // A model that always 503s: the resilient wrapper retries with backoff,
+  // and those waits must be charged to the request's deadline too.
+  auto dead = std::make_shared<llm::FaultInjectingLlm>(
+      MakeTestModel(), AlwaysDownProfile(), 13);
+  llm::ResilientLlm::Options options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff_ms = 50.0;
+  options.seed = 3;
+  llm::ResilientLlm resilient(dead, options);
+  llm::Prompt prompt = llm::MakePrompt("freeform", "anything");
+  auto deadline = std::make_shared<llm::Deadline>(5000.0);
+  prompt.deadline = deadline;
+  auto c = resilient.CompleteMetered(prompt, nullptr);
+  EXPECT_FALSE(c.ok());
+  EXPECT_LT(deadline->remaining_ms(), 5000.0);  // backoff was charged
 }
 
 }  // namespace

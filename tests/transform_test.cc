@@ -56,8 +56,8 @@ TEST_F(Nl2SqlEngineTest, PromptStoreFeedbackLoop) {
   // The store must have accumulated outcome feedback.
   size_t uses = 0;
   for (uint64_t id = 0; id < 5; ++id) {
-    const auto* p = store.Get(id);
-    if (p != nullptr) uses += p->uses;
+    const auto p = store.Get(id);
+    if (p.has_value()) uses += p->uses;
   }
   EXPECT_GT(uses, 0u);
 }
