@@ -1,0 +1,322 @@
+// Wall-clock hot-path harness (not a paper table): measures the serving
+// fast path this repo actually executes per request — semantic-cache lookup
+// and insert across thread/shard counts, embedder throughput with and
+// without the allocation-free path, ANN vs flat lookup at cache sizes where
+// the scan is the bottleneck, and end-to-end serve QPS with and without
+// single-flight coalescing.
+//
+// Emits machine-readable JSON (default ./BENCH_perf.json, override with
+// --out=PATH): {"meta": {...}, "results": [{name, threads, shards, ops,
+// ops_per_sec, p50_us, p99_us, ...}]}. `--benchmark-smoke` shrinks every
+// workload so the whole binary finishes in a couple of seconds — that mode
+// is what the `perf`-labelled ctest entry runs; absolute numbers are only
+// meaningful from a full run of a -DCMAKE_BUILD_TYPE=Release build.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/money.h"
+#include "common/string_util.h"
+#include "core/optimize/semantic_cache.h"
+#include "embed/embedder.h"
+#include "llm/simulated.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace llmdm;
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  size_t threads = 1;
+  size_t shards = 1;
+  size_t ops = 0;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  // Scenario-specific extras rendered verbatim into the JSON object
+  // (e.g. ", \"coalesced\": 30"). May be empty.
+  std::string extra_json;
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  double rank = p * static_cast<double>(sorted_us.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_us[lo] + (sorted_us[hi] - sorted_us[lo]) * frac;
+}
+
+/// Runs `op(thread_id, i)` ops_per_thread times on each of `threads`
+/// threads (all released together), timing every call.
+template <typename Op>
+BenchResult RunThreaded(const std::string& name, size_t threads,
+                        size_t shards, size_t ops_per_thread, const Op& op) {
+  std::vector<std::vector<double>> durations_us(threads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    durations_us[t].reserve(ops_per_thread);
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (size_t i = 0; i < ops_per_thread; ++i) {
+        auto start = Clock::now();
+        op(t, i);
+        durations_us[t].push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count());
+      }
+    });
+  }
+  auto wall_start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  double wall_sec =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  std::vector<double> all_us;
+  for (auto& v : durations_us) {
+    all_us.insert(all_us.end(), v.begin(), v.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  BenchResult r;
+  r.name = name;
+  r.threads = threads;
+  r.shards = shards;
+  r.ops = all_us.size();
+  r.ops_per_sec = wall_sec > 0.0 ? static_cast<double>(r.ops) / wall_sec : 0.0;
+  r.p50_us = Percentile(all_us, 0.50);
+  r.p99_us = Percentile(all_us, 0.99);
+  return r;
+}
+
+std::string Query(size_t i) {
+  return common::StrFormat(
+      "perf query %zu select stadiums where capacity > %zu and year = %zu", i,
+      1000 + i % 17, 2000 + i % 31);
+}
+
+optimize::SemanticCache::Options CacheOptions(size_t shards,
+                                              size_t capacity) {
+  optimize::SemanticCache::Options options;
+  options.similarity_threshold = 0.9;
+  options.capacity = capacity;
+  options.num_shards = shards;
+  return options;
+}
+
+// ---- Scenarios --------------------------------------------------------------
+
+BenchResult CacheLookup(size_t threads, size_t shards, size_t entries,
+                        size_t ops_per_thread) {
+  optimize::SemanticCache cache(CacheOptions(shards, entries));
+  for (size_t i = 0; i < entries; ++i) {
+    cache.Insert(Query(i), "answer", common::Money::FromDollars(0.001));
+  }
+  return RunThreaded("cache_lookup", threads, shards, ops_per_thread,
+                     [&](size_t t, size_t i) {
+                       // Hit path: every query is cached; each thread walks
+                       // its own stride so the shards all stay busy.
+                       cache.Lookup(Query((t * ops_per_thread + i * 7) %
+                                          entries));
+                     });
+}
+
+BenchResult CacheInsert(size_t threads, size_t shards, size_t capacity,
+                        size_t ops_per_thread) {
+  optimize::SemanticCache cache(CacheOptions(shards, capacity));
+  // Pre-fill to capacity so every measured insert runs the eviction scan —
+  // the worst case a serving thread can hit.
+  for (size_t i = 0; i < capacity; ++i) {
+    cache.Insert(Query(1000000 + i), "warm", common::Money::FromDollars(0.001));
+  }
+  return RunThreaded(
+      "cache_insert", threads, shards, ops_per_thread,
+      [&](size_t t, size_t i) {
+        cache.Insert(Query(2000000 + t * ops_per_thread + i), "fresh",
+                     common::Money::FromDollars(0.001));
+      });
+}
+
+BenchResult EmbedThroughput(bool into, size_t ops) {
+  embed::HashingEmbedder embedder;
+  embed::Vector reuse;
+  std::vector<std::string> corpus;
+  for (size_t i = 0; i < 64; ++i) corpus.push_back(Query(i));
+  return RunThreaded(into ? "embed_into" : "embed_alloc", 1, 1, ops,
+                     [&](size_t, size_t i) {
+                       const std::string& text = corpus[i % corpus.size()];
+                       if (into) {
+                         embedder.EmbedInto(text, &reuse);
+                       } else {
+                         embed::Vector v = embedder.Embed(text);
+                         (void)v;
+                       }
+                     });
+}
+
+BenchResult AnnLookup(optimize::CacheIndexKind kind, size_t entries,
+                      size_t ops) {
+  auto options = CacheOptions(1, entries);
+  options.index = kind;
+  options.ann_min_size = 64;
+  optimize::SemanticCache cache(options);
+  for (size_t i = 0; i < entries; ++i) {
+    cache.Insert(Query(i), "answer", common::Money::FromDollars(0.001));
+  }
+  const char* name = kind == optimize::CacheIndexKind::kHnsw ? "ann_lookup_hnsw"
+                                                             : "ann_lookup_flat";
+  return RunThreaded(name, 1, 1, ops, [&](size_t, size_t i) {
+    cache.Lookup(Query((i * 13) % entries));
+  });
+}
+
+BenchResult ServeQps(bool single_flight, size_t requests) {
+  llm::ModelSpec spec;
+  spec.name = "sim-serve";
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.002);
+  spec.latency_ms_per_1k_tokens = 100.0;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, 17);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+
+  serve::Server::Options options;
+  options.worker_threads = 4;
+  options.shed_policy = serve::ShedPolicy::kNone;
+  options.single_flight = single_flight;
+  serve::Server server(model, options);
+
+  auto wall_start = Clock::now();
+  constexpr size_t kBurst = 4;  // every query arrives 4x back to back
+  for (size_t i = 0; i < requests; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.arrival_vms = static_cast<double>(i) * 1.0;
+    req.input = Query(i / kBurst);
+    server.Submit(req);
+  }
+  auto responses = server.Drain();
+  double wall_sec =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  auto stats = server.stats();
+  BenchResult r;
+  r.name = single_flight ? "serve_qps_single_flight" : "serve_qps_baseline";
+  r.threads = options.worker_threads;
+  r.ops = responses.size();
+  r.ops_per_sec = wall_sec > 0.0 ? static_cast<double>(r.ops) / wall_sec : 0.0;
+  r.extra_json = common::StrFormat(
+      ", \"coalesced\": %zu, \"meter_calls\": %zu, \"meter_cost_micros\": %lld",
+      stats.coalesced, server.meter().calls(),
+      (long long)server.meter().cost().micros());
+  return r;
+}
+
+// ---- Driver -----------------------------------------------------------------
+
+void AppendJson(std::string* out, const BenchResult& r) {
+  *out += common::StrFormat(
+      "    {\"name\": \"%s\", \"threads\": %zu, \"shards\": %zu, "
+      "\"ops\": %zu, \"ops_per_sec\": %.1f, \"p50_us\": %.2f, "
+      "\"p99_us\": %.2f%s}",
+      r.name.c_str(), r.threads, r.shards, r.ops, r.ops_per_sec, r.p50_us,
+      r.p99_us, r.extra_json.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark-smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--benchmark-smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Smoke mode trades statistical weight for a ctest-friendly runtime; the
+  // scenario set and the JSON shape are identical to the full run.
+  const size_t kEntries = smoke ? 256 : 2048;
+  const size_t kLookupOps = smoke ? 40 : 400;
+  const size_t kInsertCap = smoke ? 256 : 1024;
+  const size_t kInsertOps = smoke ? 40 : 300;
+  const size_t kEmbedOps = smoke ? 2000 : 20000;
+  const size_t kAnnEntries = smoke ? 512 : 4096;
+  const size_t kAnnOps = smoke ? 50 : 400;
+  const size_t kServeReqs = smoke ? 80 : 400;
+
+  std::vector<BenchResult> results;
+  struct { size_t threads, shards; } sweep[] = {{1, 1}, {8, 1}, {8, 8}};
+  for (const auto& cfg : sweep) {
+    results.push_back(
+        CacheLookup(cfg.threads, cfg.shards, kEntries, kLookupOps));
+  }
+  for (const auto& cfg : sweep) {
+    results.push_back(
+        CacheInsert(cfg.threads, cfg.shards, kInsertCap, kInsertOps));
+  }
+  results.push_back(EmbedThroughput(/*into=*/false, kEmbedOps));
+  results.push_back(EmbedThroughput(/*into=*/true, kEmbedOps));
+  results.push_back(
+      AnnLookup(optimize::CacheIndexKind::kFlat, kAnnEntries, kAnnOps));
+  results.push_back(
+      AnnLookup(optimize::CacheIndexKind::kHnsw, kAnnEntries, kAnnOps));
+  results.push_back(ServeQps(/*single_flight=*/false, kServeReqs));
+  results.push_back(ServeQps(/*single_flight=*/true, kServeReqs));
+
+  std::printf("%-26s %7s %6s %10s %12s %10s %10s\n", "scenario", "threads",
+              "shards", "ops", "ops/sec", "p50_us", "p99_us");
+  for (const auto& r : results) {
+    std::printf("%-26s %7zu %6zu %10zu %12.1f %10.2f %10.2f\n",
+                r.name.c_str(), r.threads, r.shards, r.ops, r.ops_per_sec,
+                r.p50_us, r.p99_us);
+  }
+
+  // The headline claim: sharding must pay off on the contended lookup path.
+  double lookup_8t_1s = 0.0, lookup_8t_8s = 0.0;
+  for (const auto& r : results) {
+    if (r.name == "cache_lookup" && r.threads == 8) {
+      (r.shards == 8 ? lookup_8t_8s : lookup_8t_1s) = r.ops_per_sec;
+    }
+  }
+  double speedup = lookup_8t_1s > 0.0 ? lookup_8t_8s / lookup_8t_1s : 0.0;
+  std::printf("cache_lookup speedup 8t/8s vs 8t/1s: %.2fx\n", speedup);
+
+  std::string json = "{\n  \"meta\": {";
+  json += common::StrFormat(
+      "\"bench\": \"perf_hotpath\", \"smoke\": %s, "
+      "\"hardware_threads\": %u, "
+      "\"lookup_speedup_8t_8s_vs_8t_1s\": %.2f},\n  \"results\": [\n",
+      smoke ? "true" : "false", std::thread::hardware_concurrency(), speedup);
+  for (size_t i = 0; i < results.size(); ++i) {
+    AppendJson(&json, results[i]);
+    json += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -11,6 +11,17 @@ namespace llmdm::common {
 /// injection), so std::hash (implementation-defined) is deliberately avoided.
 uint64_t Fnv1a(std::string_view data, uint64_t seed = 0xCBF29CE484222325ULL);
 
+/// One FNV-1a step. Because FNV-1a is byte-sequential,
+/// `Fnv1a(b, Fnv1a(a, seed)) == Fnv1a(a + b, seed)`: a hash of a
+/// concatenation can be built incrementally from pieces (or transformed
+/// bytes, e.g. lowercased on the fly) without materializing the joined
+/// string. The embedder's hot path depends on this identity.
+inline uint64_t Fnv1aByte(uint64_t state, unsigned char byte) {
+  state ^= byte;
+  state *= 0x100000001B3ULL;
+  return state;
+}
+
 /// Mixes two 64-bit hashes (boost::hash_combine style, 64-bit constants).
 uint64_t HashCombine(uint64_t a, uint64_t b);
 

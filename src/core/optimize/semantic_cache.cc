@@ -3,11 +3,67 @@
 #include <algorithm>
 
 #include "common/hash.h"
-#include "text/tokenizer.h"
+#include "vectordb/flat_index.h"
+#include "vectordb/hnsw_index.h"
 
 namespace llmdm::optimize {
 
-SemanticCache::SemanticCache(const Options& options) : options_(options) {}
+SemanticCache::SemanticCache(const Options& options) : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  const size_t n = options_.num_shards;
+  // Divide the global capacity across shards: base share everywhere, the
+  // remainder spread over the first shards, so the shares always sum to
+  // Options::capacity (and shard 0 of a 1-shard cache gets all of it).
+  const size_t base = options_.capacity / n;
+  const size_t extra = options_.capacity % n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        MakeIndex(), base + (i < extra ? 1 : 0), options_.doorkeeper_capacity));
+  }
+}
+
+size_t SemanticCache::ShardIndexFor(std::string_view query) const {
+  if (shards_.size() == 1) return 0;
+  return common::Fnv1a(query) % shards_.size();
+}
+
+std::unique_ptr<vectordb::VectorIndex> SemanticCache::MakeIndex() const {
+  switch (options_.index) {
+    case CacheIndexKind::kFlat:
+      return std::make_unique<vectordb::FlatIndex>();
+    case CacheIndexKind::kHnsw:
+      return std::make_unique<vectordb::HnswIndex>();
+  }
+  return std::make_unique<vectordb::FlatIndex>();
+}
+
+std::vector<vectordb::SearchResult> SemanticCache::SearchShard(
+    const Shard& shard, const embed::Vector& query, size_t k) const {
+  if (options_.index == CacheIndexKind::kHnsw &&
+      shard.live_count < options_.ann_min_size) {
+    // Brute-force below the ANN threshold: exact, and cheaper than a graph
+    // walk on a small collection. Same ordering contract as FlatIndex
+    // (score desc, id asc).
+    std::vector<vectordb::SearchResult> all;
+    all.reserve(shard.live_count);
+    for (size_t i = 0; i < shard.entries.size(); ++i) {
+      if (!shard.entries[i].live) continue;
+      all.push_back(vectordb::SearchResult{
+          i, embed::CosineSimilarity(query, shard.entries[i].embedding)});
+    }
+    size_t take = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                      [](const vectordb::SearchResult& a,
+                         const vectordb::SearchResult& b) {
+                        if (a.score != b.score) return a.score > b.score;
+                        return a.id < b.id;
+                      });
+    all.resize(take);
+    return all;
+  }
+  return shard.index->Search(query, k);
+}
 
 double SemanticCache::EvictionScore(const Entry& entry) const {
   switch (options_.policy) {
@@ -26,74 +82,113 @@ double SemanticCache::EvictionScore(const Entry& entry) const {
   return 0.0;
 }
 
-void SemanticCache::EvictIfNeeded() {
-  while (live_count_ > options_.capacity) {
+void SemanticCache::EvictIfNeeded(Shard& shard) {
+  while (shard.live_count > shard.capacity) {
     double worst = 1e300;
-    size_t victim = entries_.size();
-    for (size_t i = 0; i < entries_.size(); ++i) {
-      if (!entries_[i].live) continue;
-      double score = EvictionScore(entries_[i]);
+    size_t victim = shard.entries.size();
+    for (size_t i = 0; i < shard.entries.size(); ++i) {
+      if (!shard.entries[i].live) continue;
+      double score = EvictionScore(shard.entries[i]);
       if (score < worst) {
         worst = score;
         victim = i;
       }
     }
-    if (victim == entries_.size()) return;
-    entries_[victim].live = false;
-    index_.Remove(victim).ok();  // ignore status: id is known-present
-    --live_count_;
-    ++stats_.evictions;
+    if (victim == shard.entries.size()) return;
+    shard.entries[victim].live = false;
+    shard.index->Remove(victim).ok();  // ignore status: id is known-present
+    --shard.live_count;
+    ++shard.stats.evictions;
   }
 }
 
 std::optional<SemanticCache::Hit> SemanticCache::Lookup(
     const std::string& query, common::Money avoided_cost) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.lookups;
-  ++tick_;
-  if (live_count_ == 0) return std::nullopt;
-  embed::Vector q = embedder_.Embed(query);
-  auto results = index_.Search(q, 1);
+  // Embedding is the expensive half of a lookup; do it before taking any
+  // lock so concurrent lookups only serialize on the (cheap) shard scan.
+  embed::Vector q;
+  embedder_.EmbedInto(query, &q);
+  Shard& shard = *shards_[ShardIndexFor(query)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.lookups;
+  ++shard.tick;
+  if (shard.live_count == 0) return std::nullopt;
+  auto results = SearchShard(shard, q, 1);
   if (results.empty()) return std::nullopt;
-  Entry& entry = entries_[results[0].id];
+  Entry& entry = shard.entries[results[0].id];
   if (results[0].score < options_.similarity_threshold || !entry.live) {
     return std::nullopt;
   }
-  entry.last_used_tick = tick_;
+  entry.last_used_tick = shard.tick;
   ++entry.reuse_hits;
-  ++stats_.hits;
-  stats_.saved += avoided_cost;
+  ++shard.stats.hits;
+  shard.stats.saved += avoided_cost;
   return Hit{entry.query, entry.response, results[0].score, avoided_cost};
 }
 
 std::optional<SemanticCache::Hit> SemanticCache::LookupStale(
     const std::string& query, double relaxed_threshold) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (live_count_ == 0) return std::nullopt;
-  embed::Vector q = embedder_.Embed(query);
-  auto results = index_.Search(q, 1);
-  if (results.empty()) return std::nullopt;
-  const Entry& entry = entries_[results[0].id];
-  if (results[0].score < relaxed_threshold || !entry.live) {
-    return std::nullopt;
+  embed::Vector q;
+  embedder_.EmbedInto(query, &q);
+  // Stale candidates may live in any shard (similar text hashes anywhere),
+  // so take the best top-1 across all of them. Ties keep the earliest shard,
+  // which with one shard reproduces the pre-sharding result exactly.
+  std::optional<Hit> best;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.live_count == 0) continue;
+    auto results = SearchShard(shard, q, 1);
+    if (results.empty()) continue;
+    const Entry& entry = shard.entries[results[0].id];
+    if (results[0].score < relaxed_threshold || !entry.live) continue;
+    if (!best.has_value() || results[0].score > best->similarity) {
+      best = Hit{entry.query, entry.response, results[0].score,
+                 common::Money::Zero()};
+    }
   }
-  return Hit{entry.query, entry.response, results[0].score,
-             common::Money::Zero()};
+  return best;
 }
 
 std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
     const std::string& query, size_t k) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++tick_;
+  embed::Vector q;
+  embedder_.EmbedInto(query, &q);
+  // Phase 1: per-shard top-k candidates. Each shard's list arrives best
+  // first; the global merge below is a stable sort on score, so candidates
+  // keep their (shard, rank) order on ties — with one shard this is exactly
+  // the pre-sharding iteration order.
+  struct Candidate {
+    float score;
+    size_t shard;
+    uint64_t id;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.tick;
+    if (shard.live_count == 0) continue;
+    for (const auto& r : SearchShard(shard, q, k)) {
+      candidates.push_back(Candidate{r.score, s, r.id});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  // Phase 2: re-lock each winner's shard to bump its usage. An entry evicted
+  // between the phases is simply skipped.
   std::vector<Hit> out;
-  if (live_count_ == 0) return out;
-  embed::Vector q = embedder_.Embed(query);
-  for (const auto& r : index_.Search(q, k)) {
-    Entry& entry = entries_[r.id];
+  for (const Candidate& c : candidates) {
+    if (out.size() == k) break;
+    Shard& shard = *shards_[c.shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry& entry = shard.entries[c.id];
     if (!entry.live) continue;
-    entry.last_used_tick = tick_;
+    entry.last_used_tick = shard.tick;
     ++entry.augment_hits;
-    out.push_back(Hit{entry.query, entry.response, r.score,
+    out.push_back(Hit{entry.query, entry.response, c.score,
                       common::Money::Zero()});
   }
   return out;
@@ -102,40 +197,77 @@ std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
 void SemanticCache::Insert(const std::string& query,
                            const std::string& response,
                            common::Money cost_to_produce) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++tick_;
+  // Embed before locking (see Lookup). Predictive admission may then throw
+  // the embedding away on a first sighting — accepted: rejections are rare
+  // per recurring query, and keeping one critical section preserves the
+  // pre-sharding semantics under every interleaving.
+  embed::Vector q;
+  embedder_.EmbedInto(query, &q);
+  Shard& shard = *shards_[ShardIndexFor(query)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.tick;
   if (options_.predictive_admission) {
-    uint64_t h = common::Fnv1a(query);
-    if (seen_once_.insert(h).second) {
+    if (!shard.doorkeeper.SeenAndNote(common::Fnv1a(query))) {
       // First sighting: predicted unlikely to recur; do not admit.
-      ++stats_.admission_rejections;
+      ++shard.stats.admission_rejections;
       return;
     }
   }
-  ++stats_.insertions;
+  ++shard.stats.insertions;
   // Refresh an existing (near-)identical key instead of duplicating it.
-  embed::Vector q = embedder_.Embed(query);
-  auto nearest = index_.Search(q, 1);
+  auto nearest = SearchShard(shard, q, 1);
   if (!nearest.empty() && nearest[0].score > 0.999) {
-    Entry& entry = entries_[nearest[0].id];
+    Entry& entry = shard.entries[nearest[0].id];
     if (entry.live) {
       entry.response = response;
       entry.cost_to_produce = cost_to_produce;
-      entry.last_used_tick = tick_;
+      entry.last_used_tick = shard.tick;
       return;
     }
   }
   Entry entry;
   entry.query = query;
   entry.response = response;
-  entry.embedding = q;
+  entry.embedding = std::move(q);
   entry.cost_to_produce = cost_to_produce;
-  entry.last_used_tick = tick_;
-  size_t id = entries_.size();
-  entries_.push_back(std::move(entry));
-  index_.Add(id, entries_.back().embedding).ok();
-  ++live_count_;
-  EvictIfNeeded();
+  entry.last_used_tick = shard.tick;
+  size_t id = shard.entries.size();
+  shard.entries.push_back(std::move(entry));
+  shard.index->Add(id, shard.entries.back().embedding).ok();
+  ++shard.live_count;
+  EvictIfNeeded(shard);
+}
+
+size_t SemanticCache::Size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->live_count;
+  }
+  return total;
+}
+
+SemanticCache::Stats SemanticCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.lookups += shard->stats.lookups;
+    total.hits += shard->stats.hits;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.admission_rejections += shard->stats.admission_rejections;
+    total.saved += shard->stats.saved;
+  }
+  return total;
+}
+
+size_t SemanticCache::doorkeeper_entries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->doorkeeper.entries();
+  }
+  return total;
 }
 
 common::Result<llm::Completion> CachedLlm::Complete(const llm::Prompt& prompt) {

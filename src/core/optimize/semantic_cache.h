@@ -5,14 +5,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "embed/embedder.h"
 #include "llm/model.h"
 #include "llm/resilient.h"
-#include "vectordb/flat_index.h"
+#include "vectordb/index.h"
 
 namespace llmdm::optimize {
 
@@ -23,16 +23,63 @@ namespace llmdm::optimize {
 /// they have produced.
 enum class EvictionPolicy { kLru, kLfu, kCostAware };
 
+/// Index backing each cache shard's nearest-neighbour lookup.
+enum class CacheIndexKind {
+  /// Exact brute-force scan (the seed behaviour; right for small caches).
+  kFlat,
+  /// HNSW graph: O(log n) approximate lookup for large caches. Below
+  /// Options::ann_min_size live entries a shard brute-force scans instead
+  /// (graph search on a tiny collection costs more than the scan and is
+  /// only approximate). Evictions tombstone graph nodes (they remain as
+  /// routing points), so kHnsw fits lookup-heavy caches better than
+  /// eviction-churn-heavy ones.
+  kHnsw,
+};
+
+/// Bounded doorkeeper for predictive admission: a two-epoch rotating window
+/// of query hashes (TinyLFU style). Membership means "seen within the last
+/// one-to-two epochs"; when the current epoch fills, it becomes the previous
+/// epoch and the oldest epoch is dropped, so memory is bounded by
+/// 2 x epoch_capacity entries no matter how long the query stream runs —
+/// unlike the unbounded seen-once set it replaces.
+class Doorkeeper {
+ public:
+  explicit Doorkeeper(size_t epoch_capacity)
+      : epoch_capacity_(epoch_capacity == 0 ? 1 : epoch_capacity) {}
+
+  /// True if `h` was sighted within the window; always records the sighting.
+  bool SeenAndNote(uint64_t h) {
+    if (current_.count(h) > 0 || previous_.count(h) > 0) return true;
+    current_.insert(h);
+    if (current_.size() >= epoch_capacity_) {
+      previous_ = std::move(current_);
+      current_.clear();
+    }
+    return false;
+  }
+
+  size_t entries() const { return current_.size() + previous_.size(); }
+  size_t epoch_capacity() const { return epoch_capacity_; }
+
+ private:
+  size_t epoch_capacity_;
+  std::unordered_set<uint64_t> current_, previous_;
+};
+
 /// Embedding-keyed response cache (Sec. III-C / Table III). Matching is by
 /// cosine similarity rather than exact equality, because LLM queries almost
 /// never repeat verbatim.
 ///
-/// Thread-safe: the serving layer shares one cache across all worker
-/// threads, so every public method takes one internal mutex (lookups
-/// mutate hit counters and eviction state, so there is no read-only fast
-/// path to rwlock). A single mutex is deliberate as the first cut: the
-/// critical sections are an embed + flat-index scan; shard the cache by
-/// query-hash if/when the serve bench shows contention.
+/// Thread-safe and sharded: the serving layer shares one cache across all
+/// worker threads, so the cache is split into Options::num_shards
+/// independently locked shards by query hash — each shard owns its own
+/// index, entries, eviction state, statistics and doorkeeper, and the
+/// global capacity is divided across shards. Query embedding (the expensive
+/// half of a lookup) happens before any lock is taken. With num_shards == 1
+/// (the default) behaviour is byte-identical to the pre-sharding cache.
+/// Reuse lookups consult only the query's shard (the hot path touches one
+/// lock); augmentation and stale lookups search every shard, since their
+/// candidates may hash anywhere.
 class SemanticCache {
  public:
   struct Options {
@@ -48,6 +95,18 @@ class SemanticCache {
     /// displace recurring ones. Costs one extra model call per recurring
     /// query; pays off when the stream is dominated by singletons.
     bool predictive_admission = false;
+    /// Number of independently locked shards. Serving throughput scales
+    /// with shards until embedding dominates; keep it a small power of two.
+    size_t num_shards = 1;
+    /// Lookup index per shard. kFlat (exact scan) preserves seed behaviour;
+    /// kHnsw makes large caches sublinear.
+    CacheIndexKind index = CacheIndexKind::kFlat;
+    /// With kHnsw: a shard brute-force scans (exact) while it holds fewer
+    /// live entries than this.
+    size_t ann_min_size = 256;
+    /// Doorkeeper epoch capacity per shard; the rotating window retains at
+    /// most twice this many hashes (see Doorkeeper).
+    size_t doorkeeper_capacity = 4096;
   };
 
   struct Hit {
@@ -81,29 +140,34 @@ class SemanticCache {
 
   /// Augmentation lookup: top-k similar cached (query, response) pairs below
   /// or above threshold, for use as extra few-shot examples (hit case (2)).
+  /// Searches every shard and merges.
   std::vector<Hit> TopKForAugmentation(const std::string& query, size_t k);
 
   /// Degraded-mode lookup at a caller-chosen (typically relaxed) threshold.
   /// Does not touch stats or eviction state: a stale serve is an emergency
-  /// exit, not evidence the entry is hot.
+  /// exit, not evidence the entry is hot. Searches every shard.
   std::optional<Hit> LookupStale(const std::string& query,
                                  double relaxed_threshold) const;
 
-  /// Inserts (or refreshes) a query/response pair, evicting if over capacity.
+  /// Inserts (or refreshes) a query/response pair into the query's shard,
+  /// evicting within that shard if it is over its capacity share.
   void Insert(const std::string& query, const std::string& response,
               common::Money cost_to_produce = common::Money::Zero());
 
-  size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return live_count_;
-  }
-  /// Snapshot copy: a reference into state another thread mutates would be
-  /// a data race.
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  /// Live entries across all shards.
+  size_t Size() const;
+
+  /// Snapshot aggregated across shards (each shard locked in turn; the
+  /// result is a consistent per-shard sum, not a global atomic snapshot).
+  Stats stats() const;
+
   const Options& options() const { return options_; }  // immutable
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Total doorkeeper window entries across shards (bounded by
+  /// num_shards x 2 x doorkeeper_capacity); exposed for the bound tests.
+  size_t doorkeeper_entries() const;
 
  private:
   struct Entry {
@@ -117,19 +181,34 @@ class SemanticCache {
     bool live = true;
   };
 
-  double EvictionScore(const Entry& entry) const;  // requires mu_
-  void EvictIfNeeded();                            // requires mu_
+  struct Shard {
+    Shard(std::unique_ptr<vectordb::VectorIndex> idx, size_t cap,
+          size_t doorkeeper_capacity)
+        : index(std::move(idx)), capacity(cap), doorkeeper(doorkeeper_capacity) {}
 
-  mutable std::mutex mu_;
+    mutable std::mutex mu;
+    std::unique_ptr<vectordb::VectorIndex> index;  // ids are entries slots
+    std::vector<Entry> entries;
+    Stats stats;
+    uint64_t tick = 0;
+    size_t live_count = 0;
+    size_t capacity = 0;  // this shard's share of Options::capacity
+    Doorkeeper doorkeeper;
+  };
+
+  size_t ShardIndexFor(std::string_view query) const;
+  std::unique_ptr<vectordb::VectorIndex> MakeIndex() const;
+  double EvictionScore(const Entry& entry) const;
+  void EvictIfNeeded(Shard& shard);  // requires shard.mu
+  /// Top-k over one shard, honouring the index kind and the brute-force
+  /// fallback below ann_min_size. Requires shard.mu.
+  std::vector<vectordb::SearchResult> SearchShard(const Shard& shard,
+                                                  const embed::Vector& query,
+                                                  size_t k) const;
+
   Options options_;
   embed::HashingEmbedder embedder_;
-  vectordb::FlatIndex index_;
-  std::vector<Entry> entries_;  // slot id == vector id
-  Stats stats_;
-  uint64_t tick_ = 0;
-  size_t live_count_ = 0;
-  /// Doorkeeper for predictive admission: hashes of queries seen once.
-  std::set<uint64_t> seen_once_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// An LlmModel decorator that consults a SemanticCache before calling the

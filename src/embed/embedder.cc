@@ -49,29 +49,59 @@ void L2Normalize(Vector* v) {
 }
 
 Vector HashingEmbedder::Embed(std::string_view text) const {
-  Vector v(options_.dimension, 0.0f);
-  auto add_feature = [&](std::string_view feature, float weight) {
-    uint64_t h = common::Fnv1a(feature, options_.seed);
+  Vector v;
+  EmbedInto(text, &v);
+  return v;
+}
+
+void HashingEmbedder::EmbedInto(std::string_view text, Vector* out) const {
+  out->assign(options_.dimension, 0.0f);
+  Vector& v = *out;
+  auto bucket_add = [&](uint64_t h, float weight) {
     size_t bucket = h % options_.dimension;
     // One independent bit decides the sign so that colliding features cancel
     // rather than pile up (standard signed feature hashing).
     float sign = ((h >> 61) & 1) ? 1.0f : -1.0f;
     v[bucket] += sign * weight;
   };
+  auto fold = [](char c) {
+    return static_cast<unsigned char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  };
 
+  // Word features: hash-equivalent to Fnv1a("w:" + lowercased_piece, seed)
+  // by seeding with the "w:" prefix and extending with case-folded bytes —
+  // no per-feature string is ever built. Feature order (all word pieces,
+  // then 3-grams, then 4-grams) matches the accumulation order the seed
+  // implementation used, so the float sums are bit-identical.
+  const uint64_t word_seed = common::Fnv1a("w:", options_.seed);
   text::Tokenizer::Options tok_options;
-  tok_options.lowercase = true;
+  tok_options.lowercase = true;  // folded below, byte by byte
   text::Tokenizer tokenizer(tok_options);
-  for (const std::string& token : tokenizer.Tokenize(text)) {
-    add_feature("w:" + token, options_.word_weight);
-  }
+  tokenizer.VisitTokens(text, [&](std::string_view piece, bool /*is_word*/) {
+    uint64_t h = word_seed;
+    for (char c : piece) h = common::Fnv1aByte(h, fold(c));
+    bucket_add(h, options_.word_weight);
+  });
+
+  // Character n-grams over the virtual padded sequence '^' + lower(text) +
+  // '$' (what CharNgrams materializes), hashed window by window.
+  const uint64_t gram_seed = common::Fnv1a("g:", options_.seed);
+  const size_t padded_len = text.size() + 2;
+  auto padded_at = [&](size_t i) -> unsigned char {
+    if (i == 0) return '^';
+    if (i + 1 == padded_len) return '$';
+    return fold(text[i - 1]);
+  };
   for (size_t n : {3u, 4u}) {
-    for (const std::string& gram : text::CharNgrams(text, n)) {
-      add_feature("g:" + gram, 1.0f);
+    if (padded_len < n) continue;
+    for (size_t i = 0; i + n <= padded_len; ++i) {
+      uint64_t h = gram_seed;
+      for (size_t j = 0; j < n; ++j) h = common::Fnv1aByte(h, padded_at(i + j));
+      bucket_add(h, 1.0f);
     }
   }
   L2Normalize(&v);
-  return v;
 }
 
 float HashingEmbedder::Similarity(std::string_view a, std::string_view b) const {

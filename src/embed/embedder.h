@@ -49,6 +49,15 @@ class HashingEmbedder {
   /// Embeds text into a unit-length vector.
   Vector Embed(std::string_view text) const;
 
+  /// Embed() into a caller-owned buffer, reusing its capacity: the hot-path
+  /// variant for the sharded semantic cache and the perf bench, which embed
+  /// per lookup. Produces bit-identical vectors to Embed() while allocating
+  /// nothing beyond `out`'s (reused) storage: word pieces are hashed as
+  /// string_views over the input with bytes case-folded on the fly, and
+  /// character n-grams are hashed incrementally without materializing the
+  /// padded string (see common::Fnv1aByte).
+  void EmbedInto(std::string_view text, Vector* out) const;
+
   /// Convenience: cosine similarity of two texts under this embedder.
   float Similarity(std::string_view a, std::string_view b) const;
 

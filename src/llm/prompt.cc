@@ -1,26 +1,67 @@
 #include "llm/prompt.h"
 
+#include "common/hash.h"
 #include "text/tokenizer.h"
 
 namespace llmdm::llm {
 
-std::string Prompt::Render() const {
+namespace {
+
+// The prefix (everything before the "[input] " line) of Render(). Split out
+// so token metering can count it once per distinct prefix (see
+// CountInputTokens) instead of re-rendering it on every metered call.
+std::string RenderPrefix(const Prompt& p) {
   std::string out;
-  if (!system.empty()) {
-    out += "[system] " + system + "\n";
+  if (!p.system.empty()) {
+    out += "[system] " + p.system + "\n";
   }
-  if (!instructions.empty()) {
-    out += "[task] " + instructions + "\n";
+  if (!p.instructions.empty()) {
+    out += "[task] " + p.instructions + "\n";
   }
-  for (const FewShotExample& ex : examples) {
+  for (const FewShotExample& ex : p.examples) {
     out += "[example] input: " + ex.input + "\n[example] output: " + ex.output +
            "\n";
   }
+  return out;
+}
+
+}  // namespace
+
+std::string Prompt::Render() const {
+  std::string out = RenderPrefix(*this);
   out += "[input] " + input + "\n";
   return out;
 }
 
-size_t Prompt::CountInputTokens() const { return text::CountTokens(Render()); }
+size_t Prompt::CountInputTokens() const {
+  // The tokenizer splits at whitespace and every rendered section ends in
+  // '\n', so section counts are additive: count(prefix + input line) ==
+  // count(prefix) + count(input line). The prefix (system + instructions +
+  // few-shot examples) is identical across the calls a metered workload
+  // makes, so its count is memoized under a hash of the parts — each part
+  // hashed with a field separator so distinct part boundaries cannot alias.
+  uint64_t key = common::Fnv1a(system);
+  key = common::Fnv1aByte(key, 0x1F);
+  key = common::Fnv1a(instructions, key);
+  key = common::Fnv1aByte(key, 0x1F);
+  for (const FewShotExample& ex : examples) {
+    key = common::Fnv1a(ex.input, key);
+    key = common::Fnv1aByte(key, 0x1F);
+    key = common::Fnv1a(ex.output, key);
+    key = common::Fnv1aByte(key, 0x1F);
+  }
+  size_t prefix_tokens;
+  if (auto cached = text::LookupTokenCount(key); cached.has_value()) {
+    prefix_tokens = *cached;
+  } else {
+    prefix_tokens = text::CountTokens(RenderPrefix(*this));
+    text::StoreTokenCount(key, prefix_tokens);
+  }
+  // "[input] " contributes a fixed token count ('[', "input", ']'), and the
+  // surrounding space/newline contribute none.
+  static const size_t kInputMarkTokens = text::CountTokens("[input]");
+  return prefix_tokens + kInputMarkTokens + text::CountTokens(input);
+}
 
 Prompt MakePrompt(std::string task_tag, std::string input) {
   Prompt p;

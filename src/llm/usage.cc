@@ -45,6 +45,26 @@ void UsageMeter::RecordRetry(const std::string& model,
   retry_by_model_[model].Merge(delta);
 }
 
+void UsageMeter::CoalesceStats::Merge(const CoalesceStats& other) {
+  coalesced += other.coalesced;
+  saved += other.saved;
+}
+
+std::string UsageMeter::CoalesceStats::ToString() const {
+  return common::StrFormat("coalesced=%zu saved=%s", coalesced,
+                           saved.ToString(4).c_str());
+}
+
+void UsageMeter::RecordCoalesced(const std::string& model,
+                                 common::Money saved_estimate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++coalesce_stats_.coalesced;
+  coalesce_stats_.saved += saved_estimate;
+  CoalesceStats& m = coalesce_by_model_[model];
+  ++m.coalesced;
+  m.saved += saved_estimate;
+}
+
 void UsageMeter::MergeFrom(const UsageMeter& other) {
   // Snapshot `other` under its own lock, then merge under ours; taking both
   // locks at once would invite deadlock for no benefit (the donor is a
@@ -53,12 +73,16 @@ void UsageMeter::MergeFrom(const UsageMeter& other) {
   std::map<std::string, Totals> other_by_model;
   RetryStats other_retry;
   std::map<std::string, RetryStats> other_retry_by_model;
+  CoalesceStats other_coalesce;
+  std::map<std::string, CoalesceStats> other_coalesce_by_model;
   {
     std::lock_guard<std::mutex> lock(other.mu_);
     other_totals = other.totals_;
     other_by_model = other.by_model_;
     other_retry = other.retry_stats_;
     other_retry_by_model = other.retry_by_model_;
+    other_coalesce = other.coalesce_stats_;
+    other_coalesce_by_model = other.coalesce_by_model_;
   }
   std::lock_guard<std::mutex> lock(mu_);
   totals_.calls += other_totals.calls;
@@ -78,6 +102,10 @@ void UsageMeter::MergeFrom(const UsageMeter& other) {
   for (const auto& [model, r] : other_retry_by_model) {
     retry_by_model_[model].Merge(r);
   }
+  coalesce_stats_.Merge(other_coalesce);
+  for (const auto& [model, c] : other_coalesce_by_model) {
+    coalesce_by_model_[model].Merge(c);
+  }
 }
 
 UsageMeter::RetryStats UsageMeter::retry_stats() const {
@@ -89,6 +117,17 @@ std::map<std::string, UsageMeter::RetryStats> UsageMeter::retry_by_model()
     const {
   std::lock_guard<std::mutex> lock(mu_);
   return retry_by_model_;
+}
+
+UsageMeter::CoalesceStats UsageMeter::coalesce_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesce_stats_;
+}
+
+std::map<std::string, UsageMeter::CoalesceStats> UsageMeter::coalesce_by_model()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesce_by_model_;
 }
 
 UsageMeter::Totals UsageMeter::totals() const {
@@ -117,6 +156,8 @@ void UsageMeter::Reset() {
   by_model_.clear();
   retry_stats_ = RetryStats{};
   retry_by_model_.clear();
+  coalesce_stats_ = CoalesceStats{};
+  coalesce_by_model_.clear();
 }
 
 std::string UsageMeter::ToString() const {

@@ -45,6 +45,18 @@ class UsageMeter {
     std::string ToString() const;
   };
 
+  /// Single-flight accounting: requests that never reached the endpoint
+  /// because they were coalesced onto an identical in-flight call. Kept out
+  /// of Totals (those count real endpoint calls) and itemized per model so
+  /// the avoided spend is auditable next to the committed spend.
+  struct CoalesceStats {
+    size_t coalesced = 0;  // follower requests collapsed onto a leader
+    common::Money saved;   // estimated spend those calls avoided
+    void Merge(const CoalesceStats& other);
+    /// "coalesced=5 saved=$0.0123".
+    std::string ToString() const;
+  };
+
   UsageMeter() = default;
   UsageMeter(const UsageMeter&) = delete;
   UsageMeter& operator=(const UsageMeter&) = delete;
@@ -55,6 +67,10 @@ class UsageMeter {
   /// Folds one logical call's retry accounting into the ledger.
   void RecordRetry(const std::string& model, const RetryStats& delta);
 
+  /// Books one coalesced follower: the request was served from `model`'s
+  /// in-flight leader call, avoiding an estimated `saved_estimate` of spend.
+  void RecordCoalesced(const std::string& model, common::Money saved_estimate);
+
   /// Folds another meter's whole ledger into this one. The serve layer
   /// meters each hedge attempt into its own scratch meter and commits only
   /// the winning attempt's meter — this is the commit.
@@ -62,6 +78,9 @@ class UsageMeter {
 
   RetryStats retry_stats() const;
   std::map<std::string, RetryStats> retry_by_model() const;
+
+  CoalesceStats coalesce_stats() const;
+  std::map<std::string, CoalesceStats> coalesce_by_model() const;
 
   Totals totals() const;
   common::Money cost() const;
@@ -81,6 +100,8 @@ class UsageMeter {
   std::map<std::string, Totals> by_model_;
   RetryStats retry_stats_;
   std::map<std::string, RetryStats> retry_by_model_;
+  CoalesceStats coalesce_stats_;
+  std::map<std::string, CoalesceStats> coalesce_by_model_;
 };
 
 }  // namespace llmdm::llm

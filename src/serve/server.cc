@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "llm/deadline.h"
 #include "llm/prompt.h"
@@ -71,6 +72,32 @@ void Server::Submit(const Request& request) {
   double queue_len = static_cast<double>(pending_starts_.size());
   max_queue_len_ = std::max(max_queue_len_, queue_len);
 
+  // Single-flight: an identical call still in flight (by the virtual queue
+  // model — the leader's estimated finish is after this arrival) absorbs
+  // the request. The follower takes no slot, joins no queue, and cannot be
+  // shed: it adds no load. Decided here, in arrival order, so coalescing is
+  // deterministic across runs and worker counts.
+  uint64_t flight_key = 0;
+  if (options_.single_flight) {
+    flight_key = common::Fnv1a(request.input, common::Fnv1a(request.skill));
+    auto it = inflight_.find(flight_key);
+    if (it != inflight_.end() &&
+        request.arrival_vms < it->second->est_finish_vms) {
+      ++admitted_;
+      ++coalesced_;
+      Work work;
+      work.request = request;
+      work.group = it->second;
+      work.coalesced_follower = true;
+      {
+        std::lock_guard<std::mutex> wl(work_mu_);
+        work_queue_.push_back(std::move(work));
+      }
+      work_cv_.notify_one();
+      return;
+    }
+  }
+
   double earliest_free = kInf;
   size_t slot = 0;
   for (size_t i = 0; i < slot_free_vms_.size(); ++i) {
@@ -136,6 +163,16 @@ void Server::Submit(const Request& request) {
   work.est_service_vms = est_service;
   work.queue_wait_vms = queue_wait;
   work.hedge_trigger_vms = Percentile(est_services_, options_.hedge_percentile);
+  if (options_.single_flight) {
+    // This request leads a new flight; later identical arrivals inside
+    // [arrival, est_finish) will ride it. Replacing any expired group for
+    // the key keeps the map at one entry per distinct (skill, input).
+    auto group = std::make_shared<FlightGroup>();
+    group->leader_id = request.id;
+    group->est_finish_vms = est_start + est_service;
+    inflight_[flight_key] = group;
+    work.group = group;
+  }
   {
     std::lock_guard<std::mutex> wl(work_mu_);
     work_queue_.push_back(std::move(work));
@@ -162,6 +199,10 @@ void Server::WorkerLoop() {
 }
 
 void Server::Execute(const Work& work) {
+  if (work.coalesced_follower) {
+    ExecuteCoalesced(work);
+    return;
+  }
   const Request& req = work.request;
   Response r;
   r.id = req.id;
@@ -176,6 +217,7 @@ void Server::Execute(const Work& work) {
     r.deadline_missed = true;
     r.latency_vms = work.queue_wait_vms;
     clock_.AdvanceTo(work.est_start_vms);
+    ResolveFlight(work.group, r, work.est_start_vms);
     PushResponse(std::move(r));
     return;
   }
@@ -213,6 +255,7 @@ void Server::Execute(const Work& work) {
     r.deadline_missed =
         req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
     clock_.AdvanceTo(work.est_start_vms + r.service_vms);
+    ResolveFlight(work.group, r, work.est_start_vms + r.service_vms);
     PushResponse(std::move(r));
     return;
   }
@@ -259,6 +302,66 @@ void Server::Execute(const Work& work) {
     hedge_cancelled_cost_ += loser_meter.cost();
   }
   clock_.AdvanceTo(work.est_start_vms + r.service_vms);
+  ResolveFlight(work.group, r, work.est_start_vms + r.service_vms);
+  PushResponse(std::move(r));
+}
+
+void Server::ResolveFlight(const std::shared_ptr<FlightGroup>& group,
+                           const Response& response, double finish_vms) {
+  if (group == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    group->done = true;
+    group->status = response.status;
+    group->text = response.text;
+    group->model = response.model;
+    group->finish_vms = finish_vms;
+  }
+  group->cv.notify_all();
+}
+
+void Server::ExecuteCoalesced(const Work& work) {
+  const Request& req = work.request;
+  FlightGroup& group = *work.group;
+
+  // FIFO dispatch put the leader's work ahead of this one, so some worker
+  // is already executing (or has executed) it; this wait always terminates.
+  common::Status status;
+  std::string text, model;
+  double finish_vms = 0.0;
+  {
+    std::unique_lock<std::mutex> lock(group.mu);
+    group.cv.wait(lock, [&] { return group.done; });
+    status = group.status;
+    text = group.text;
+    model = group.model;
+    finish_vms = group.finish_vms;
+  }
+
+  Response r;
+  r.id = req.id;
+  r.coalesced = true;
+  r.status = status;
+  if (status.ok()) {
+    r.text = std::move(text);
+    r.model = model + "+coalesced";
+    r.cost = common::Money::Zero();
+  }
+  // In virtual time the follower arrived mid-flight and finished when the
+  // leader did; it never queued, so its whole latency is that overlap.
+  r.service_vms = std::max(0.0, finish_vms - req.arrival_vms);
+  r.latency_vms = r.service_vms;
+  r.deadline_missed = req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
+
+  // Itemize the avoided call in the meter: the spend estimate mirrors what
+  // admission knew (input tokens at the primary model's input price).
+  llm::Prompt prompt = llm::MakePrompt(req.skill, req.input);
+  common::Money saved = common::Money::FromMicros(
+      model_->spec().input_price_per_1k.micros() *
+      static_cast<int64_t>(prompt.CountInputTokens()) / 1000);
+  meter_.RecordCoalesced(status.ok() ? model : model_->spec().name, saved);
+
+  clock_.AdvanceTo(finish_vms);
   PushResponse(std::move(r));
 }
 
@@ -293,6 +396,7 @@ ServerStats Server::stats() const {
     s.submitted = submitted_;
     s.admitted = admitted_;
     s.shed = shed_;
+    s.coalesced = coalesced_;
     s.max_queue_len = max_queue_len_;
   }
   std::lock_guard<std::mutex> lock(results_mu_);

@@ -8,6 +8,7 @@
 #include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/money.h"
@@ -71,6 +72,9 @@ struct Response {
   bool deadline_missed = false;
   bool hedged = false;     // a hedge attempt was launched
   bool hedge_won = false;  // ...and it beat the primary
+  /// Single-flight: this request was collapsed onto an identical in-flight
+  /// leader call and served the leader's completion at zero marginal cost.
+  bool coalesced = false;
 };
 
 /// Aggregate serving metrics, valid after Drain().
@@ -83,6 +87,8 @@ struct ServerStats {
   size_t deadline_missed = 0;
   size_t hedges_launched = 0;
   size_t hedge_wins = 0;
+  /// Requests collapsed onto an identical in-flight call (single-flight).
+  size_t coalesced = 0;
   /// Spend of losing hedge attempts: paid to the endpoint, never committed
   /// to the main meter (the virtual cancellation arrived too late).
   common::Money hedge_cancelled_cost;
@@ -105,7 +111,10 @@ struct ServerStats {
 /// real worker threads, but every per-request output (completion text,
 /// virtual latency, hedge outcome) is a pure function of the request and
 /// its admission-time state, so Drain()'s id-sorted responses and the
-/// aggregate stats are byte-stable across runs and thread counts.
+/// aggregate stats are byte-stable across runs and thread counts. That
+/// guarantee is only as strong as the endpoint's own purity: a decorator
+/// with shared reactive state — e.g. a CircuitBreaker that actually trips —
+/// makes per-request outcomes depend on real completion order again.
 ///
 /// Hedging: when a request's actual service latency exceeds the seeded
 /// percentile (Options::hedge_percentile) of estimated service times of
@@ -114,6 +123,14 @@ struct ServerStats {
 /// virtual finish wins; only the winner's scratch meter is committed
 /// (UsageMeter::MergeFrom), the loser's spend is booked as
 /// hedge_cancelled_cost.
+///
+/// Single-flight (Options::single_flight): coalescing is *decided* in
+/// Submit() against the virtual queue model — a request coalesces iff its
+/// arrival precedes the leader's estimated virtual finish — never by real
+/// thread timing, so which requests coalesce is byte-stable across runs and
+/// worker counts. Followers wait for the leader's actual result on their
+/// worker thread; FIFO dispatch guarantees a leader is dequeued before any
+/// of its followers, so that wait cannot deadlock the pool.
 class Server {
  public:
   struct Options {
@@ -137,6 +154,14 @@ class Server {
     double failed_attempt_penalty_ms = 1000.0;
     /// Expected completion length used in service-time estimation.
     size_t est_output_tokens = 48;
+    /// Single-flight request coalescing: a request whose (skill, input)
+    /// matches a call still in flight (by the virtual queue model) does not
+    /// occupy a slot or reach the endpoint — it waits for the leader and is
+    /// served the leader's completion. Only the leader's spend is committed
+    /// to the meter; followers are itemized in UsageMeter::coalesce_stats().
+    /// Note followers deliberately lose per-request sampling independence:
+    /// identical concurrent queries get byte-identical answers.
+    bool single_flight = false;
   };
 
   /// `model` serves primaries; `hedge_model` (defaults to `model`) serves
@@ -168,16 +193,45 @@ class Server {
   const SimulatedClock& clock() const { return clock_; }
 
  private:
+  /// Shared state of one coalesced flight. The admission-side fields are
+  /// written once in Submit() under admission_mu_; the completion fields are
+  /// published by the leader's worker under `mu` and consumed by follower
+  /// workers blocking on `cv`.
+  struct FlightGroup {
+    // Admission-time (admission_mu_).
+    uint64_t leader_id = 0;
+    double est_finish_vms = 0.0;  // leader est_start + est_service
+
+    // Completion (mu/cv).
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    common::Status status;  // leader's final status
+    std::string text;
+    std::string model;
+    double finish_vms = 0.0;  // leader's actual virtual finish
+  };
+
   struct Work {
     Request request;
     double est_start_vms = 0.0;
     double est_service_vms = 0.0;
     double queue_wait_vms = 0.0;
     double hedge_trigger_vms = 0.0;  // service latency that launches a hedge
+    /// Single-flight: the flight this work leads (coalesced_follower false)
+    /// or rides (true). Null when coalescing is off or nothing coalesced.
+    std::shared_ptr<FlightGroup> group;
+    bool coalesced_follower = false;
   };
 
   void WorkerLoop();
   void Execute(const Work& work);
+  /// Follower path: wait for the leader's published result and answer with
+  /// it (zero cost, virtual latency = leader finish - own arrival).
+  void ExecuteCoalesced(const Work& work);
+  /// Publishes the leader's outcome to its flight group (no-op if null).
+  static void ResolveFlight(const std::shared_ptr<FlightGroup>& group,
+                            const Response& response, double finish_vms);
   double EstimateServiceVms(const Request& request) const;
   void PushResponse(Response response);
 
@@ -191,9 +245,14 @@ class Server {
   std::priority_queue<double, std::vector<double>, std::greater<double>>
       pending_starts_;                  // est_start of not-yet-started work
   std::vector<double> est_services_;    // admitted est service times, sorted
-  size_t submitted_ = 0, admitted_ = 0, shed_ = 0;
+  size_t submitted_ = 0, admitted_ = 0, shed_ = 0, coalesced_ = 0;
   double max_queue_len_ = 0.0;
   bool draining_ = false;
+  /// Single-flight: latest flight per (skill, input) hash. Entries expire by
+  /// virtual time (a new arrival past est_finish_vms starts a new flight and
+  /// replaces the old group), so the map holds one entry per distinct key
+  /// seen — bounded by the workload's key diversity.
+  std::unordered_map<uint64_t, std::shared_ptr<FlightGroup>> inflight_;
 
   // Worker pool.
   std::mutex work_mu_;

@@ -1,15 +1,17 @@
 #include "text/tokenizer.h"
 
+#include <array>
+#include <atomic>
 #include <cctype>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 
 namespace llmdm::text {
 namespace {
 
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
+bool IsWordChar(char c) { return IsWordByte(c); }
 
 }  // namespace
 
@@ -66,6 +68,60 @@ size_t Tokenizer::CountTokens(std::string_view input) const {
 size_t CountTokens(std::string_view input) {
   static const Tokenizer kDefault{};
   return kDefault.CountTokens(input);
+}
+
+namespace {
+
+struct CountSlot {
+  uint64_t key = 0;
+  size_t count = 0;
+  bool valid = false;
+};
+
+// Direct-mapped: a slot per low-bits bucket, overwritten on conflict. The
+// working set (distinct prompt prefixes alive at once) is tiny compared to
+// 1024, so conflict evictions are rare; reads take the shared lock.
+constexpr size_t kCountCacheSlots = 1024;
+static_assert((kCountCacheSlots & (kCountCacheSlots - 1)) == 0);
+
+struct CountCache {
+  std::shared_mutex mu;
+  std::array<CountSlot, kCountCacheSlots> slots;
+  std::atomic<size_t> hits{0};    // counted outside mu: shared readers race
+  std::atomic<size_t> misses{0};
+};
+
+CountCache& GlobalCountCache() {
+  static CountCache* cache = new CountCache();  // leaked: process lifetime
+  return *cache;
+}
+
+}  // namespace
+
+std::optional<size_t> LookupTokenCount(uint64_t key) {
+  CountCache& cache = GlobalCountCache();
+  {
+    std::shared_lock<std::shared_mutex> lock(cache.mu);
+    const CountSlot& slot = cache.slots[key & (kCountCacheSlots - 1)];
+    if (slot.valid && slot.key == key) {
+      cache.hits.fetch_add(1, std::memory_order_relaxed);
+      return slot.count;
+    }
+  }
+  cache.misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void StoreTokenCount(uint64_t key, size_t count) {
+  CountCache& cache = GlobalCountCache();
+  std::unique_lock<std::shared_mutex> lock(cache.mu);
+  cache.slots[key & (kCountCacheSlots - 1)] = CountSlot{key, count, true};
+}
+
+TokenCountCacheStats GetTokenCountCacheStats() {
+  CountCache& cache = GlobalCountCache();
+  return TokenCountCacheStats{cache.hits.load(std::memory_order_relaxed),
+                              cache.misses.load(std::memory_order_relaxed)};
 }
 
 std::vector<std::string> CharNgrams(std::string_view input, size_t n) {

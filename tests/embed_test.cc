@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "embed/embedder.h"
 #include "text/tokenizer.h"
 
@@ -37,6 +38,68 @@ TEST(Tokenizer, CharNgrams) {
   auto grams = text::CharNgrams("ab", 3);
   // "^ab$" -> {"^ab", "ab$"}
   EXPECT_EQ(grams, (std::vector<std::string>{"^ab", "ab$"}));
+}
+
+// The seed implementation of Embed(), kept verbatim as a reference: word
+// features via materialized lowercased tokens, n-gram features via
+// materialized CharNgrams strings. EmbedInto() must reproduce its output
+// bit for bit (same features, same accumulation order) while allocating
+// none of those temporaries.
+Vector ReferenceEmbed(std::string_view text,
+                      const HashingEmbedder::Options& options) {
+  Vector v(options.dimension, 0.0f);
+  auto add_feature = [&](std::string_view feature, float weight) {
+    uint64_t h = common::Fnv1a(feature, options.seed);
+    size_t bucket = h % options.dimension;
+    float sign = ((h >> 61) & 1) ? 1.0f : -1.0f;
+    v[bucket] += sign * weight;
+  };
+  text::Tokenizer::Options tok_options;
+  tok_options.lowercase = true;
+  text::Tokenizer tokenizer(tok_options);
+  for (const std::string& token : tokenizer.Tokenize(text)) {
+    add_feature("w:" + token, options.word_weight);
+  }
+  for (size_t n : {3u, 4u}) {
+    for (const std::string& gram : text::CharNgrams(text, n)) {
+      add_feature("g:" + gram, 1.0f);
+    }
+  }
+  L2Normalize(&v);
+  return v;
+}
+
+TEST(Embedder, EmbedIntoBitIdenticalToReference) {
+  const char* samples[] = {
+      "",
+      "a",
+      "ab",
+      "hello world",
+      "MiXeD CaSe QuErY with PUNCTUATION!?; and_underscores",
+      "internationalization of disproportionately long tokens",
+      "SELECT COUNT(*) FROM stadium WHERE capacity > 50000;",
+      "What are the names of stadiums that had concerts in 2014?",
+      "  leading and trailing whitespace   ",
+      "tabs\tand\nnewlines\r\nmixed",
+      "numbers 1234567890123 and s1mb0l1c_w0rds",
+  };
+  for (auto& options :
+       {HashingEmbedder::Options{}, HashingEmbedder::Options{64, 1.5f, 99}}) {
+    HashingEmbedder e(options);
+    for (const char* s : samples) {
+      Vector expected = ReferenceEmbed(s, options);
+      Vector via_embed = e.Embed(s);
+      Vector reused;
+      e.EmbedInto(s, &reused);
+      EXPECT_EQ(via_embed, expected) << s;   // exact float equality
+      EXPECT_EQ(reused, expected) << s;
+      // The buffer really is reused: embedding again into the same vector
+      // (now non-empty, wrong values) must fully overwrite it.
+      e.EmbedInto("something else entirely", &reused);
+      e.EmbedInto(s, &reused);
+      EXPECT_EQ(reused, expected) << s;
+    }
+  }
 }
 
 TEST(Embedder, DeterministicAndNormalized) {

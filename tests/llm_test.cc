@@ -5,6 +5,7 @@
 #include "data/qa_workload.h"
 #include "llm/simulated.h"
 #include "sql/database.h"
+#include "text/tokenizer.h"
 
 namespace llmdm::llm {
 namespace {
@@ -34,6 +35,48 @@ TEST_F(LlmTest, PromptRenderAndTokens) {
   EXPECT_NE(rendered.find("[example]"), std::string::npos);
   EXPECT_NE(rendered.find("[input]"), std::string::npos);
   EXPECT_GT(p.CountInputTokens(), 20u);
+}
+
+TEST_F(LlmTest, MemoizedTokenCountMatchesUncachedPath) {
+  // CountInputTokens memoizes the prompt-prefix count (the metering
+  // boundary counts the same system/few-shot prefix on every call); the
+  // memoized total must equal counting the full rendered prompt directly,
+  // for every shape of prompt — empty and non-empty sections, punctuation
+  // and whitespace at the section seams, multi-line fields.
+  std::vector<Prompt> prompts;
+  prompts.push_back(MakePrompt("freeform", ""));
+  prompts.push_back(MakePrompt("freeform", "plain input, no prefix at all"));
+  {
+    Prompt p = MakePrompt("qa", "?leading punctuation input");
+    p.system = "You are a careful data engineer.";
+    prompts.push_back(p);
+  }
+  {
+    Prompt p = MakePrompt("nl2sql", "multi\nline\ninput text");
+    p.instructions = "Translate the question to SQL;\nreturn SQL only.";
+    p.examples.push_back({"stadiums that had concerts in 2014", "SELECT 1"});
+    p.examples.push_back({"patients with high cholesterol?", "SELECT 2"});
+    prompts.push_back(p);
+  }
+  {
+    Prompt p = MakePrompt("qa", "   padded   input   ");
+    p.system = "sys";
+    p.instructions = "inst";
+    p.examples.push_back({"", ""});  // empty example fields
+    prompts.push_back(p);
+  }
+  for (const Prompt& p : prompts) {
+    EXPECT_EQ(p.CountInputTokens(), text::CountTokens(p.Render()))
+        << p.Render();
+  }
+  // Counting the same prompts again is served from the memo (hit delta),
+  // and still agrees.
+  auto before = text::GetTokenCountCacheStats();
+  for (const Prompt& p : prompts) {
+    EXPECT_EQ(p.CountInputTokens(), text::CountTokens(p.Render()));
+  }
+  auto after = text::GetTokenCountCacheStats();
+  EXPECT_GE(after.hits - before.hits, prompts.size());
 }
 
 TEST_F(LlmTest, DeterministicCompletions) {

@@ -343,6 +343,136 @@ TEST(SemanticCache, TopKAugmentationReturnsNeighbors) {
   EXPECT_NE(hits[1].response, "SQL3");
 }
 
+TEST(Doorkeeper, AdmitsOnSecondSightingWithinWindow) {
+  Doorkeeper dk(8);
+  EXPECT_FALSE(dk.SeenAndNote(42));  // first sighting
+  EXPECT_TRUE(dk.SeenAndNote(42));   // second sighting, same epoch
+  EXPECT_FALSE(dk.SeenAndNote(43));
+}
+
+TEST(Doorkeeper, EntriesStayBoundedByTwoEpochs) {
+  constexpr size_t kEpoch = 64;
+  Doorkeeper dk(kEpoch);
+  for (uint64_t h = 0; h < 100000; ++h) {
+    dk.SeenAndNote(h);
+    ASSERT_LE(dk.entries(), 2 * kEpoch);
+  }
+  // A hash re-sighted while still inside the window is remembered...
+  uint64_t recent = 100000;
+  dk.SeenAndNote(recent);
+  EXPECT_TRUE(dk.SeenAndNote(recent));
+  // ...but one older than two epochs has been forgotten.
+  EXPECT_FALSE(dk.SeenAndNote(0));
+}
+
+TEST(SemanticCache, DoorkeeperMemoryBoundedUnderSingletonFlood) {
+  SemanticCache::Options options;
+  options.capacity = 8;
+  options.predictive_admission = true;
+  options.doorkeeper_capacity = 32;
+  SemanticCache cache(options);
+  for (int i = 0; i < 10000; ++i) {
+    cache.Insert("unique singleton " + std::to_string(i), "a");
+    ASSERT_LE(cache.doorkeeper_entries(), 2 * 32u);
+  }
+  EXPECT_EQ(cache.Size(), 0u);  // all rejected at the door
+  EXPECT_EQ(cache.stats().admission_rejections, 10000u);
+}
+
+// A workload with exact repeats and ample capacity: hit/miss outcomes depend
+// only on each query's own history, never on eviction or shard layout, so
+// every shard count must produce identical aggregate stats.
+TEST(SemanticCache, ShardCountInvariantWithoutEvictionPressure) {
+  auto run = [](size_t num_shards) {
+    SemanticCache::Options options;
+    options.capacity = 1024;
+    options.similarity_threshold = 0.99;
+    options.num_shards = num_shards;
+    SemanticCache cache(options);
+    for (int rep = 0; rep < 3; ++rep) {
+      for (int i = 0; i < 40; ++i) {
+        std::string q = "query " + std::to_string(i) + " about subject " +
+                        std::to_string(i * 31 % 7);
+        if (!cache.Lookup(q, common::Money::FromDollars(0.01)).has_value()) {
+          cache.Insert(q, "answer " + std::to_string(i));
+        }
+      }
+    }
+    return cache.stats();
+  };
+  SemanticCache::Stats base = run(1);
+  EXPECT_EQ(base.lookups, 120u);
+  EXPECT_EQ(base.hits, 80u);  // each of 40 queries misses once, hits twice
+  for (size_t shards : {2u, 4u, 8u}) {
+    SemanticCache::Stats s = run(shards);
+    EXPECT_EQ(s.lookups, base.lookups) << shards;
+    EXPECT_EQ(s.hits, base.hits) << shards;
+    EXPECT_EQ(s.insertions, base.insertions) << shards;
+    EXPECT_EQ(s.evictions, base.evictions) << shards;
+    EXPECT_EQ(s.saved, base.saved) << shards;
+  }
+}
+
+TEST(SemanticCache, ShardedEvictionIsDeterministicAcrossRuns) {
+  auto run = [] {
+    SemanticCache::Options options;
+    options.capacity = 10;  // heavy pressure: splits 3,3,2,2 across shards
+    options.num_shards = 4;
+    options.policy = EvictionPolicy::kCostAware;
+    SemanticCache cache(options);
+    for (int step = 0; step < 300; ++step) {
+      std::string q = "stream query " + std::to_string(step % 40) +
+                      " topic " + std::to_string(step * 13 % 11);
+      if (!cache.Lookup(q).has_value()) cache.Insert(q, "a");
+    }
+    return cache.stats();
+  };
+  SemanticCache::Stats a = run();
+  SemanticCache::Stats b = run();
+  EXPECT_EQ(a.lookups, b.lookups);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.insertions, b.insertions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_GT(a.evictions, 0u);
+}
+
+// The acceptance gate for the ANN backend: on the Table III workload shape
+// (NL2SQL queries issued twice, threshold 0.99) the HNSW-backed cache must
+// make exactly the hit/miss decisions the exact flat scan makes.
+TEST(SemanticCache, AnnLookupAgreesWithFlatOnTableIIIWorkload) {
+  common::Rng rng(20240706);
+  data::Nl2SqlWorkloadOptions wopts;
+  wopts.num_queries = 60;
+  wopts.condition_pool = 6;
+  wopts.compound_rate = 0.8;
+  auto base = data::GenerateNl2SqlWorkload(wopts, rng);
+  std::vector<std::string> stream;
+  for (const auto& q : base) stream.push_back(q.ToNaturalLanguage());
+  for (const auto& q : base) stream.push_back(q.ToNaturalLanguage());
+
+  auto run = [&](CacheIndexKind kind) {
+    SemanticCache::Options options;
+    options.similarity_threshold = 0.99;
+    options.capacity = 1024;
+    options.index = kind;
+    options.ann_min_size = 1;  // force the graph path from the first entry
+    SemanticCache cache(options);
+    std::vector<bool> decisions;
+    for (const auto& q : stream) {
+      bool hit = cache.Lookup(q).has_value();
+      decisions.push_back(hit);
+      if (!hit) cache.Insert(q, "sql");
+    }
+    return std::make_pair(decisions, cache.stats());
+  };
+  auto [flat_decisions, flat_stats] = run(CacheIndexKind::kFlat);
+  auto [ann_decisions, ann_stats] = run(CacheIndexKind::kHnsw);
+  EXPECT_EQ(ann_decisions, flat_decisions);
+  EXPECT_EQ(ann_stats.hits, flat_stats.hits);
+  EXPECT_EQ(ann_stats.insertions, flat_stats.insertions);
+  EXPECT_GT(flat_stats.hits, 0u);
+}
+
 TEST(CachedLlm, HitAvoidsCostMissPopulates) {
   common::Rng rng(11);
   auto kb = data::KnowledgeBase::Generate(30, rng);
