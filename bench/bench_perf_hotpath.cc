@@ -26,6 +26,7 @@
 #include "core/optimize/semantic_cache.h"
 #include "embed/embedder.h"
 #include "llm/simulated.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace {
@@ -180,7 +181,11 @@ BenchResult AnnLookup(optimize::CacheIndexKind kind, size_t entries,
   });
 }
 
-BenchResult ServeQps(bool single_flight, size_t requests) {
+// When `metrics_text` is non-null the cell runs against an injected
+// obs::Registry and appends its Prometheus export (one commented section per
+// cell) for the --metrics-out file.
+BenchResult ServeQps(bool single_flight, size_t requests,
+                     std::string* metrics_text) {
   llm::ModelSpec spec;
   spec.name = "sim-serve";
   spec.capability = 0.9;
@@ -190,10 +195,12 @@ BenchResult ServeQps(bool single_flight, size_t requests) {
   auto model = std::make_shared<llm::SimulatedLlm>(spec, 17);
   model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
 
+  obs::Registry registry;
   serve::Server::Options options;
   options.worker_threads = 4;
   options.shed_policy = serve::ShedPolicy::kNone;
   options.single_flight = single_flight;
+  if (metrics_text != nullptr) options.registry = &registry;
   serve::Server server(model, options);
 
   auto wall_start = Clock::now();
@@ -219,6 +226,10 @@ BenchResult ServeQps(bool single_flight, size_t requests) {
       ", \"coalesced\": %zu, \"meter_calls\": %zu, \"meter_cost_micros\": %lld",
       stats.coalesced, server.meter().calls(),
       (long long)server.meter().cost().micros());
+  if (metrics_text != nullptr) {
+    *metrics_text += common::StrFormat("# cell: %s\n", r.name.c_str());
+    *metrics_text += registry.PrometheusText();
+  }
   return r;
 }
 
@@ -238,14 +249,18 @@ void AppendJson(std::string* out, const BenchResult& r) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_perf.json";
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--benchmark-smoke") == 0) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--benchmark-smoke] [--out=PATH]\n", argv[0]);
+                   "usage: %s [--benchmark-smoke] [--out=PATH] "
+                   "[--metrics-out=PATH]\n", argv[0]);
       return 2;
     }
   }
@@ -277,8 +292,13 @@ int main(int argc, char** argv) {
       AnnLookup(optimize::CacheIndexKind::kFlat, kAnnEntries, kAnnOps));
   results.push_back(
       AnnLookup(optimize::CacheIndexKind::kHnsw, kAnnEntries, kAnnOps));
-  results.push_back(ServeQps(/*single_flight=*/false, kServeReqs));
-  results.push_back(ServeQps(/*single_flight=*/true, kServeReqs));
+  std::string metrics_text;
+  std::string* metrics_collector =
+      metrics_out.empty() ? nullptr : &metrics_text;
+  results.push_back(
+      ServeQps(/*single_flight=*/false, kServeReqs, metrics_collector));
+  results.push_back(
+      ServeQps(/*single_flight=*/true, kServeReqs, metrics_collector));
 
   std::printf("%-26s %7s %6s %10s %12s %10s %10s\n", "scenario", "threads",
               "shards", "ops", "ops/sec", "p50_us", "p99_us");
@@ -318,5 +338,16 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!metrics_out.empty()) {
+    std::FILE* mf = std::fopen(metrics_out.c_str(), "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(metrics_text.data(), 1, metrics_text.size(), mf);
+    std::fclose(mf);
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
   return 0;
 }

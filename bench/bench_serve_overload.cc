@@ -10,7 +10,14 @@
 // simulated ms, all schedules are seeded, responses are id-sorted: two runs
 // print byte-identical tables even though real worker threads race over
 // the requests.
+//
+// Flags: `--benchmark-smoke` runs only the registry-reconciliation cell at a
+// ctest-friendly size (the exit status enforces that the registry snapshot
+// matches the legacy ServerStats view and is byte-stable across worker
+// counts); `--metrics-out=PATH` writes the cell's Prometheus text export.
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +26,7 @@
 #include "llm/fault_injection.h"
 #include "llm/resilient.h"
 #include "llm/simulated.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace {
@@ -49,14 +57,15 @@ struct CellResult {
 CellResult RunCell(const serve::Server::Options& options,
                    std::shared_ptr<llm::LlmModel> model,
                    std::shared_ptr<llm::LlmModel> hedge_model, size_t n,
-                   double gap_vms, double deadline_ms) {
+                   double gap_vms, double deadline_ms,
+                   size_t input_period = 50) {
   serve::Server server(std::move(model), options, std::move(hedge_model));
   for (size_t i = 0; i < n; ++i) {
     serve::Request req;
     req.id = i;
     req.arrival_vms = static_cast<double>(i) * gap_vms;
     req.input = common::StrFormat("workload query %zu about data systems",
-                                  i % 50);
+                                  i % input_period);
     // Mixed SLOs: half the traffic is latency-sensitive, half can wait 4x
     // as long — the population deadline-aware shedding discriminates on.
     req.deadline_ms =
@@ -102,7 +111,153 @@ void PrintCell(const char* policy, double load, const CellResult& cell) {
               cell.cost.ToString(2).c_str());
 }
 
-int main_impl() {
+// The observability acceptance check. Each cell is driven three times through
+// injected registries — 2, 8, and again 8 worker threads. ServerStats is a
+// view over the registry now, so every field must reconcile exactly; and
+// because every instrument is fed deterministic virtual-time values, the
+// Prometheus export must be byte-identical across runs and worker counts.
+// Returns true iff both hold, and appends the export to `prom_out`.
+template <typename RunCellFn>
+bool ReconcileCell(const char* cell_name, const RunCellFn& run_cell,
+                   std::string* prom_out) {
+  obs::Registry reg2, reg8, reg8_again;
+  CellResult cell = run_cell(size_t{2}, &reg2);
+  (void)run_cell(size_t{8}, &reg8);
+  (void)run_cell(size_t{8}, &reg8_again);
+
+  const serve::ServerStats& s = cell.stats;
+  auto counter = [&](const char* name) {
+    return static_cast<unsigned long long>(reg2.GetCounter(name)->value());
+  };
+  uint64_t latency_count =
+      reg2.GetHistogram("llmdm_serve_latency_vms", {},
+                        obs::Histogram::LatencyBoundsVms())
+          ->TakeSnapshot()
+          .count;
+  struct Row {
+    const char* field;
+    unsigned long long legacy;
+    unsigned long long registry;
+  };
+  const Row rows[] = {
+      {"submitted", s.submitted, counter("llmdm_serve_submitted_total")},
+      {"admitted", s.admitted, counter("llmdm_serve_admitted_total")},
+      {"shed", s.shed, counter("llmdm_serve_shed_total")},
+      {"coalesced", s.coalesced, counter("llmdm_serve_coalesced_total")},
+      {"completed", s.completed, counter("llmdm_serve_completed_total")},
+      {"failed", s.failed, counter("llmdm_serve_failed_total")},
+      {"deadline_missed", s.deadline_missed,
+       counter("llmdm_serve_deadline_missed_total")},
+      {"hedges_launched", s.hedges_launched,
+       counter("llmdm_serve_hedges_launched_total")},
+      {"hedge_wins", s.hedge_wins, counter("llmdm_serve_hedge_wins_total")},
+      {"hedge_cancelled_micros",
+       static_cast<unsigned long long>(s.hedge_cancelled_cost.micros()),
+       counter("llmdm_serve_hedge_cancelled_cost_micros_total")},
+      {"max_queue_len", static_cast<unsigned long long>(s.max_queue_len),
+       static_cast<unsigned long long>(
+           reg2.GetGauge("llmdm_serve_max_queue_len")->value())},
+      {"latency_histogram_count",
+       static_cast<unsigned long long>(s.completed + s.failed), latency_count},
+  };
+
+  std::printf("\n== registry snapshot vs legacy ServerStats: %s ==\n\n",
+              cell_name);
+  std::printf("%-24s %12s %12s\n", "field", "legacy", "registry");
+  bool reconciled = true;
+  for (const Row& r : rows) {
+    bool match = r.legacy == r.registry;
+    reconciled = reconciled && match;
+    std::printf("%-24s %12llu %12llu  %s\n", r.field, r.legacy, r.registry,
+                match ? "ok" : "MISMATCH");
+  }
+
+  const std::string prom = reg2.PrometheusText();
+  bool stable = prom == reg8.PrometheusText() &&
+                prom == reg8_again.PrometheusText();
+  std::printf("\nexport byte-identical across 2/8/8 worker threads: %s\n",
+              stable ? "yes" : "NO");
+  *prom_out += common::StrFormat("# cell: %s\n", cell_name);
+  *prom_out += prom;
+  return reconciled && stable;
+}
+
+int RunReconciliation(size_t n, const std::string& metrics_out) {
+  std::string prom;
+  // Overload cell: a bounded queue at 2x offered load with distinct queries,
+  // so the shed counters and the queue-length high-water mark move.
+  bool ok = ReconcileCell(
+      "overload (queue-full shedding)",
+      [&](size_t workers, obs::Registry* registry) {
+        serve::Server::Options options;
+        options.worker_threads = workers;
+        options.virtual_concurrency = static_cast<size_t>(kSlots);
+        options.queue_depth = 16;
+        options.shed_policy = serve::ShedPolicy::kQueueFull;
+        options.registry = registry;
+        return RunCell(options, MakeEndpoint("sim-endpoint", 2000.0, 3),
+                       nullptr, n, GapForLoad(2.0), 4.0 * kServiceVms);
+      },
+      &prom);
+  // Coalescing cell: the workload repeats every 8 queries so duplicates
+  // overlap in flight and single-flight collapses them.
+  ok = ReconcileCell(
+           "coalesce (single-flight, period-8 workload)",
+           [&](size_t workers, obs::Registry* registry) {
+             serve::Server::Options options;
+             options.worker_threads = workers;
+             options.virtual_concurrency = static_cast<size_t>(kSlots);
+             options.queue_depth = 16;
+             options.shed_policy = serve::ShedPolicy::kQueueFull;
+             options.single_flight = true;
+             options.registry = registry;
+             return RunCell(options, MakeEndpoint("sim-endpoint", 2000.0, 3),
+                            nullptr, n, GapForLoad(2.0), 4.0 * kServiceVms,
+                            /*input_period=*/8);
+           },
+           &prom) &&
+       ok;
+  // Hedging cell: timeout-tail primary raced by a fast fallback, so the
+  // hedge counters and the cancelled-spend ledger are exercised too.
+  ok = ReconcileCell(
+           "hedged (20% timeout primary)",
+           [&](size_t workers, obs::Registry* registry) {
+             llm::FaultProfile tail;
+             tail.timeout = 0.2;
+             auto primary = std::make_shared<llm::FaultInjectingLlm>(
+                 MakeEndpoint("sim-endpoint", 2000.0, 3), tail, 21);
+             serve::Server::Options options;
+             options.worker_threads = workers;
+             options.virtual_concurrency = static_cast<size_t>(kSlots);
+             options.shed_policy = serve::ShedPolicy::kNone;
+             options.hedging = true;
+             options.hedge_percentile = 0.5;
+             options.est_output_tokens = 8;
+             options.registry = registry;
+             return RunCell(options, primary,
+                            MakeEndpoint("sim-fallback", 400.0, 4), n,
+                            GapForLoad(0.5), 0.0);
+           },
+           &prom) &&
+       ok;
+
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+int main_impl(bool smoke, const std::string& metrics_out) {
+  if (smoke) {
+    return RunReconciliation(/*n=*/160, metrics_out);
+  }
   std::printf("== serving under overload: admission policy x offered load ==\n");
   std::printf("(%zu requests, %d virtual slots, queue depth 32, deadlines "
               "%.0f/%.0f vms mixed)\n\n", kRequests, int(kSlots),
@@ -145,7 +300,7 @@ int main_impl() {
   std::printf("\n== hedged requests against a timeout-tail primary ==\n");
   std::printf("(primary injects 20%% timeouts; hedge races the fast "
               "fallback endpoint)\n\n");
-  std::printf("%-10s %6s %6s %7s %5s %9s %9s %10s\n", "hedging", "done",
+  std::printf("%-10s %6s %6s %7s %5s %9s %9s %9s %10s\n", "hedging", "done",
               "fail", "hedges", "wins", "p50(vms)", "p99(vms)", "cost",
               "cancelled");
   for (bool hedging : {false, true}) {
@@ -210,9 +365,24 @@ int main_impl() {
       "meter) for the timeout tail; at 30%% faults the resilient stack "
       "under the same\nadmission policy degrades by paying retry/fallback "
       "cost, not by losing requests.\n");
-  return 0;
+  return RunReconciliation(kRequests, metrics_out);
 }
 
 }  // namespace
 
-int main() { return main_impl(); }
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark-smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else {
+      std::fprintf(stderr, "usage: %s [--benchmark-smoke] [--metrics-out=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return main_impl(smoke, metrics_out);
+}

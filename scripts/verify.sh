@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification gate: configure, build and run the test suite from a
+# FRESH build directory. Incremental builds have bitten us before — after a
+# header ABI change, stale object files link silently and fail at runtime
+# (futex hangs, heap corruption) — so this script never reuses a build dir.
+#
+# Usage: scripts/verify.sh [extra cmake args...]
+#   LLMDM_VERIFY_BUILD_DIR  override the build dir (still wiped first)
+#   LLMDM_VERIFY_KEEP=1     keep the build dir afterwards (default: keep)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${LLMDM_VERIFY_BUILD_DIR:-${repo_root}/build-verify}"
+
+rm -rf "${build_dir}"
+
+generator=()
+if command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+
+echo "== configure (${build_dir}) =="
+cmake -B "${build_dir}" -S "${repo_root}" "${generator[@]}" "$@"
+
+echo "== build =="
+cmake --build "${build_dir}" -j "$(nproc)"
+
+echo "== test =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+echo "== bench smoke (registry reconciliation) =="
+"${build_dir}/bench/bench_serve_overload" --benchmark-smoke \
+  --metrics-out="${build_dir}/BENCH_serve_smoke.prom" >/dev/null
+echo "ok: registry snapshot reconciles and is byte-stable"
+
+echo "VERIFY PASSED (${build_dir})"

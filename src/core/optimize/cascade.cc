@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <map>
 
+#include "common/string_util.h"
 #include "llm/deadline.h"
+#include "llm/prompt.h"
+#include "obs/trace.h"
 
 namespace llmdm::optimize {
 
@@ -12,6 +15,14 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
   if (ladder_.empty()) {
     return common::Status::FailedPrecondition("cascade has no models");
   }
+  metrics_.queries->Add(1);
+  // Rung spans are anchored at the enclosing span's start and advanced by
+  // the samples' simulated latencies, mirroring how ResilientLlm keeps its
+  // local span clock.
+  obs::TraceContext* trace = prompt.trace.get();
+  double span_base = 0.0;
+  double elapsed_ms = 0.0;
+  if (trace != nullptr) span_base = trace->SpanStart(prompt.trace_parent);
   CascadeResult result;
   // Best sub-threshold answer seen so far, kept for graceful degradation
   // when the rungs that would normally accept are down.
@@ -24,12 +35,19 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
       // The request-wide budget ran out mid-ladder. Escalating further would
       // only make the answer later; settle for the best candidate so far.
       result.deadline_stopped = true;
+      metrics_.deadline_stops->Add(1);
       last_error = common::Status::Timeout(
           "request deadline exhausted before cascade rung " +
           std::to_string(rung));
       break;
     }
     llm::LlmModel& model = *ladder_[rung];
+    metrics_.rungs[rung].visits->Add(1);
+    obs::Span* rung_span = nullptr;
+    if (trace != nullptr) {
+      rung_span = trace->StartSpan("cascade_rung:" + model.name(),
+                                   span_base + elapsed_ms, prompt.trace_parent);
+    }
     // Self-consistency: independent draws via distinct sample salts. The
     // final rung accepts unconditionally, so it takes a single sample —
     // paying 3x the most expensive model would erase the cascade's saving.
@@ -44,6 +62,7 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
     for (size_t s = 0; s < samples; ++s) {
       llm::Prompt sampled = prompt;
       sampled.sample_salt = prompt.sample_salt * 101 + s;
+      sampled.trace_parent = rung_span;
       auto c = model.CompleteMetered(sampled, meter);
       if (!c.ok()) {
         // The spend of the samples that did succeed is already counted;
@@ -55,6 +74,8 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
       }
       result.cost += c->cost;
       ++result.total_calls;
+      metrics_.rungs[rung].calls->Add(1);
+      elapsed_ms += c->latency_ms;
       ++votes[c->text];
       confidence_sum += c->confidence;
       if (samples_ok == 0) first_completion = c->text;
@@ -64,6 +85,11 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
       // Every sample failed: skip the rung and escalate past it.
       step.failed = true;
       ++result.rungs_failed;
+      metrics_.rungs[rung].failures->Add(1);
+      if (rung_span != nullptr) {
+        trace->SetAttr(rung_span, "result", "failed");
+        trace->EndSpan(rung_span, span_base + elapsed_ms);
+      }
       result.trace.push_back(std::move(step));
       continue;
     }
@@ -91,10 +117,17 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
     step.confidence = score;
     step.accepted =
         (score >= options_.accept_threshold) || (rung + 1 == ladder_.size());
+    if (rung_span != nullptr) {
+      trace->SetAttr(rung_span, "result",
+                     step.accepted ? "accepted" : "escalated");
+      trace->SetAttr(rung_span, "score", common::StrFormat("%.3f", score));
+      trace->EndSpan(rung_span, span_base + elapsed_ms);
+    }
     result.trace.push_back(step);
     if (step.accepted) {
       result.answer = majority;
       result.model = model.name();
+      metrics_.rungs[rung].accepts->Add(1);
       return result;
     }
     if (score > best_fallback_score) {
@@ -109,6 +142,7 @@ common::Result<CascadeResult> LlmCascade::Run(const llm::Prompt& prompt,
     result.answer = best_fallback_answer;
     result.model = best_fallback_model;
     result.degraded = true;
+    metrics_.degraded->Add(1);
     return result;
   }
   return last_error;

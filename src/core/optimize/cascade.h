@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "llm/model.h"
+#include "obs/metrics.h"
 
 namespace llmdm::optimize {
 
@@ -57,12 +58,42 @@ class LlmCascade {
     /// Blend weight of agreement vs reported confidence in the decision
     /// score: score = w*agreement + (1-w)*mean_confidence.
     double agreement_weight = 0.7;
+    /// Metrics registry for the cascade's per-rung instruments (labelled
+    /// rung=<index>, model=<name>). Null gives this instance a private
+    /// registry.
+    obs::Registry* registry = nullptr;
   };
 
   /// `ladder` must be ordered from cheapest/smallest to priciest/largest.
   LlmCascade(std::vector<std::shared_ptr<llm::LlmModel>> ladder,
              const Options& options)
-      : ladder_(std::move(ladder)), options_(options) {}
+      : ladder_(std::move(ladder)), options_(options) {
+    if (options_.registry != nullptr) {
+      registry_ = options_.registry;
+    } else {
+      owned_registry_ = std::make_unique<obs::Registry>();
+      registry_ = owned_registry_.get();
+    }
+    metrics_.queries = registry_->GetCounter("llmdm_cascade_queries_total");
+    metrics_.degraded = registry_->GetCounter("llmdm_cascade_degraded_total");
+    metrics_.deadline_stops =
+        registry_->GetCounter("llmdm_cascade_deadline_stops_total");
+    metrics_.rungs.reserve(ladder_.size());
+    for (size_t i = 0; i < ladder_.size(); ++i) {
+      const obs::Labels labels{{"rung", std::to_string(i)},
+                               {"model", ladder_[i]->name()}};
+      RungMetrics rung;
+      rung.visits =
+          registry_->GetCounter("llmdm_cascade_rung_visits_total", labels);
+      rung.accepts =
+          registry_->GetCounter("llmdm_cascade_rung_accepts_total", labels);
+      rung.failures =
+          registry_->GetCounter("llmdm_cascade_rung_failures_total", labels);
+      rung.calls =
+          registry_->GetCounter("llmdm_cascade_rung_calls_total", labels);
+      metrics_.rungs.push_back(rung);
+    }
+  }
 
   /// Runs the cascade on one prompt. Usage (including the rejected rungs'
   /// spend — escalation is not free) is recorded into `meter` if non-null.
@@ -76,10 +107,28 @@ class LlmCascade {
 
   const Options& options() const { return options_; }
   void set_accept_threshold(double t) { options_.accept_threshold = t; }
+  /// The registry holding the cascade's instruments.
+  obs::Registry* registry() const { return registry_; }
 
  private:
+  struct RungMetrics {
+    obs::Counter* visits = nullptr;    // rung attempted
+    obs::Counter* accepts = nullptr;   // rung's answer accepted
+    obs::Counter* failures = nullptr;  // every sample failed, rung skipped
+    obs::Counter* calls = nullptr;     // successful samples
+  };
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* deadline_stops = nullptr;
+    std::vector<RungMetrics> rungs;  // parallel to ladder_
+  };
+
   std::vector<std::shared_ptr<llm::LlmModel>> ladder_;
   Options options_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  Metrics metrics_;
 };
 
 /// Picks the acceptance threshold that maximizes `accuracy - cost_weight *

@@ -3,13 +3,29 @@
 #include <algorithm>
 
 #include "common/hash.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
+#include "text/tokenizer.h"
 #include "vectordb/flat_index.h"
 #include "vectordb/hnsw_index.h"
 
 namespace llmdm::optimize {
 
+namespace {
+/// How many neighbours a reuse/stale probe fetches: wide enough to step
+/// over dead ids an index may still return (e.g. HNSW mark-removal) without
+/// missing a live above-threshold neighbour behind them.
+constexpr size_t kLookupProbeWidth = 4;
+}  // namespace
+
 SemanticCache::SemanticCache(const Options& options) : options_(options) {
   if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
   const size_t n = options_.num_shards;
   // Divide the global capacity across shards: base share everywhere, the
   // remainder spread over the first shards, so the shares always sum to
@@ -20,6 +36,23 @@ SemanticCache::SemanticCache(const Options& options) : options_(options) {
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(
         MakeIndex(), base + (i < extra ? 1 : 0), options_.doorkeeper_capacity));
+    Shard& shard = *shards_.back();
+    obs::Labels labels{{"shard", std::to_string(i)}};
+    ShardMetrics& m = shard.metrics;
+    m.lookups = registry_->GetCounter("llmdm_cache_lookups_total", labels);
+    m.hits = registry_->GetCounter("llmdm_cache_hits_total", labels);
+    m.insertions = registry_->GetCounter("llmdm_cache_insertions_total", labels);
+    m.evictions = registry_->GetCounter("llmdm_cache_evictions_total", labels);
+    m.admission_rejections =
+        registry_->GetCounter("llmdm_cache_admission_rejections_total", labels);
+    m.saved_micros =
+        registry_->GetCounter("llmdm_cache_saved_micros_total", labels);
+    m.compactions =
+        registry_->GetCounter("llmdm_cache_compactions_total", labels);
+    m.reclaimed_slots =
+        registry_->GetCounter("llmdm_cache_reclaimed_slots_total", labels);
+    m.live_entries = registry_->GetGauge("llmdm_cache_live_entries", labels);
+    m.slots = registry_->GetGauge("llmdm_cache_slots", labels);
   }
 }
 
@@ -95,35 +128,88 @@ void SemanticCache::EvictIfNeeded(Shard& shard) {
       }
     }
     if (victim == shard.entries.size()) return;
-    shard.entries[victim].live = false;
+    Entry& evicted = shard.entries[victim];
+    evicted.live = false;
+    // Release the payloads now — the slot itself lingers until compaction
+    // (ids must stay stable between compactions), but the strings and the
+    // embedding are the bytes that matter.
+    std::string().swap(evicted.query);
+    std::string().swap(evicted.response);
+    embed::Vector().swap(evicted.embedding);
     shard.index->Remove(victim).ok();  // ignore status: id is known-present
     --shard.live_count;
-    ++shard.stats.evictions;
+    ++shard.dead_count;
+    shard.metrics.evictions->Add(1);
+    shard.metrics.live_entries->Set(static_cast<int64_t>(shard.live_count));
+  }
+  if (shard.dead_count > std::max(options_.compact_min_dead, shard.capacity)) {
+    CompactShard(shard);
   }
 }
 
+void SemanticCache::CompactShard(Shard& shard) {
+  std::vector<Entry> survivors;
+  survivors.reserve(shard.live_count);
+  for (Entry& entry : shard.entries) {
+    if (entry.live) survivors.push_back(std::move(entry));
+  }
+  shard.metrics.reclaimed_slots->Add(shard.dead_count);
+  shard.entries = std::move(survivors);
+  // Rebuild the index over the remapped ids. The compaction is stable, so
+  // live entries keep their relative order: every id-based tie-break
+  // (search ordering, eviction scans) behaves exactly as before. With an
+  // HNSW index the rebuilt graph may differ from the tombstoned one — an
+  // approximate index makes no byte-stability promise across maintenance.
+  shard.index = MakeIndex();
+  for (size_t i = 0; i < shard.entries.size(); ++i) {
+    shard.index->Add(i, shard.entries[i].embedding).ok();
+  }
+  shard.dead_count = 0;
+  ++shard.generation;
+  shard.metrics.compactions->Add(1);
+  shard.metrics.slots->Set(static_cast<int64_t>(shard.entries.size()));
+}
+
 std::optional<SemanticCache::Hit> SemanticCache::Lookup(
-    const std::string& query, common::Money avoided_cost) {
+    const std::string& query, common::Money avoided_cost,
+    common::Money output_price_per_1k) {
   // Embedding is the expensive half of a lookup; do it before taking any
   // lock so concurrent lookups only serialize on the (cheap) shard scan.
   embed::Vector q;
   embedder_.EmbedInto(query, &q);
   Shard& shard = *shards_[ShardIndexFor(query)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.stats.lookups;
+  shard.metrics.lookups->Add(1);
   ++shard.tick;
   if (shard.live_count == 0) return std::nullopt;
-  auto results = SearchShard(shard, q, 1);
-  if (results.empty()) return std::nullopt;
-  Entry& entry = shard.entries[results[0].id];
-  if (results[0].score < options_.similarity_threshold || !entry.live) {
+  // Probe a few neighbours and take the best *live* one: an index that only
+  // mark-removes (HNSW) can still surface a dead id at rank 0, and a miss
+  // there must not shadow the live neighbour right behind it.
+  const std::vector<vectordb::SearchResult> results =
+      SearchShard(shard, q, kLookupProbeWidth);
+  const vectordb::SearchResult* best = nullptr;
+  for (const auto& r : results) {
+    if (r.id < shard.entries.size() && shard.entries[r.id].live) {
+      best = &r;
+      break;
+    }
+  }
+  if (best == nullptr || best->score < options_.similarity_threshold) {
     return std::nullopt;
   }
+  Entry& entry = shard.entries[best->id];
   entry.last_used_tick = shard.tick;
   ++entry.reuse_hits;
-  ++shard.stats.hits;
-  shard.stats.saved += avoided_cost;
-  return Hit{entry.query, entry.response, results[0].score, avoided_cost};
+  // Credit both halves of the avoided bill: the caller's input-side
+  // estimate, plus the output tokens the cached response replaces.
+  common::Money saved =
+      avoided_cost +
+      common::Money::FromMicros(output_price_per_1k.micros() *
+                                static_cast<int64_t>(entry.response_tokens) /
+                                1000);
+  shard.metrics.hits->Add(1);
+  shard.metrics.saved_micros->Add(static_cast<uint64_t>(saved.micros()));
+  return Hit{entry.query, entry.response, best->score, saved};
 }
 
 std::optional<SemanticCache::Hit> SemanticCache::LookupStale(
@@ -138,13 +224,15 @@ std::optional<SemanticCache::Hit> SemanticCache::LookupStale(
     const Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.live_count == 0) continue;
-    auto results = SearchShard(shard, q, 1);
-    if (results.empty()) continue;
-    const Entry& entry = shard.entries[results[0].id];
-    if (results[0].score < relaxed_threshold || !entry.live) continue;
-    if (!best.has_value() || results[0].score > best->similarity) {
-      best = Hit{entry.query, entry.response, results[0].score,
-                 common::Money::Zero()};
+    for (const auto& r : SearchShard(shard, q, kLookupProbeWidth)) {
+      if (r.id >= shard.entries.size() || !shard.entries[r.id].live) continue;
+      const Entry& entry = shard.entries[r.id];
+      if (r.score < relaxed_threshold) break;  // results are best-first
+      if (!best.has_value() || r.score > best->similarity) {
+        best = Hit{entry.query, entry.response, r.score,
+                   common::Money::Zero()};
+      }
+      break;  // the first live neighbour is this shard's best
     }
   }
   return best;
@@ -162,6 +250,7 @@ std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
     float score;
     size_t shard;
     uint64_t id;
+    uint64_t generation;  // shard generation the id was read under
   };
   std::vector<Candidate> candidates;
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -170,7 +259,7 @@ std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
     ++shard.tick;
     if (shard.live_count == 0) continue;
     for (const auto& r : SearchShard(shard, q, k)) {
-      candidates.push_back(Candidate{r.score, s, r.id});
+      candidates.push_back(Candidate{r.score, s, r.id, shard.generation});
     }
   }
   std::stable_sort(candidates.begin(), candidates.end(),
@@ -178,12 +267,17 @@ std::vector<SemanticCache::Hit> SemanticCache::TopKForAugmentation(
                      return a.score > b.score;
                    });
   // Phase 2: re-lock each winner's shard to bump its usage. An entry evicted
-  // between the phases is simply skipped.
+  // between the phases is simply skipped, and a shard compacted between the
+  // phases remapped its ids — the generation check drops those candidates
+  // rather than crediting (or reading past) the wrong entry.
   std::vector<Hit> out;
   for (const Candidate& c : candidates) {
     if (out.size() == k) break;
     Shard& shard = *shards_[c.shard];
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.generation != c.generation || c.id >= shard.entries.size()) {
+      continue;
+    }
     Entry& entry = shard.entries[c.id];
     if (!entry.live) continue;
     entry.last_used_tick = shard.tick;
@@ -209,17 +303,18 @@ void SemanticCache::Insert(const std::string& query,
   if (options_.predictive_admission) {
     if (!shard.doorkeeper.SeenAndNote(common::Fnv1a(query))) {
       // First sighting: predicted unlikely to recur; do not admit.
-      ++shard.stats.admission_rejections;
+      shard.metrics.admission_rejections->Add(1);
       return;
     }
   }
-  ++shard.stats.insertions;
+  shard.metrics.insertions->Add(1);
   // Refresh an existing (near-)identical key instead of duplicating it.
   auto nearest = SearchShard(shard, q, 1);
   if (!nearest.empty() && nearest[0].score > 0.999) {
     Entry& entry = shard.entries[nearest[0].id];
     if (entry.live) {
       entry.response = response;
+      entry.response_tokens = text::CountTokens(response);
       entry.cost_to_produce = cost_to_produce;
       entry.last_used_tick = shard.tick;
       return;
@@ -229,12 +324,15 @@ void SemanticCache::Insert(const std::string& query,
   entry.query = query;
   entry.response = response;
   entry.embedding = std::move(q);
+  entry.response_tokens = text::CountTokens(response);
   entry.cost_to_produce = cost_to_produce;
   entry.last_used_tick = shard.tick;
   size_t id = shard.entries.size();
   shard.entries.push_back(std::move(entry));
   shard.index->Add(id, shard.entries.back().embedding).ok();
   ++shard.live_count;
+  shard.metrics.live_entries->Set(static_cast<int64_t>(shard.live_count));
+  shard.metrics.slots->Set(static_cast<int64_t>(shard.entries.size()));
   EvictIfNeeded(shard);
 }
 
@@ -248,15 +346,39 @@ size_t SemanticCache::Size() const {
 }
 
 SemanticCache::Stats SemanticCache::stats() const {
+  // The legacy struct is a view over the per-shard instruments: the same
+  // numbers a registry export reports, re-shaped for existing callers.
   Stats total;
   for (const auto& shard : shards_) {
+    const ShardMetrics& m = shard->metrics;
+    total.lookups += m.lookups->value();
+    total.hits += m.hits->value();
+    total.insertions += m.insertions->value();
+    total.evictions += m.evictions->value();
+    total.admission_rejections += m.admission_rejections->value();
+    total.saved +=
+        common::Money::FromMicros(static_cast<int64_t>(m.saved_micros->value()));
+  }
+  return total;
+}
+
+size_t SemanticCache::TotalSlots() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    total.lookups += shard->stats.lookups;
-    total.hits += shard->stats.hits;
-    total.insertions += shard->stats.insertions;
-    total.evictions += shard->stats.evictions;
-    total.admission_rejections += shard->stats.admission_rejections;
-    total.saved += shard->stats.saved;
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+size_t SemanticCache::RetainedBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& entry : shard->entries) {
+      total += entry.query.capacity() + entry.response.capacity() +
+               entry.embedding.capacity() * sizeof(float);
+    }
   }
   return total;
 }
@@ -271,13 +393,32 @@ size_t SemanticCache::doorkeeper_entries() const {
 }
 
 common::Result<llm::Completion> CachedLlm::Complete(const llm::Prompt& prompt) {
-  // Estimate what a fresh call would cost (for the savings ledger).
+  // Estimate the input half of what a fresh call would cost; the cache
+  // credits the output half from the cached response's own token count, so
+  // the savings ledger reflects the whole avoided bill (input + output),
+  // not just the prompt side.
   size_t input_tokens = prompt.CountInputTokens();
   common::Money avoided = common::Money::FromMicros(
       spec().input_price_per_1k.micros() *
       static_cast<int64_t>(input_tokens) / 1000);
-  if (auto hit = cache_->Lookup(prompt.input, avoided); hit.has_value()) {
+  obs::Span* probe = nullptr;
+  double probe_start = 0.0;
+  if (prompt.trace != nullptr) {
+    probe_start = prompt.trace->SpanStart(prompt.trace_parent);
+    probe = prompt.trace->StartSpan("cache_probe", probe_start,
+                                    prompt.trace_parent);
+  }
+  if (auto hit = cache_->Lookup(prompt.input, avoided,
+                                spec().output_price_per_1k);
+      hit.has_value()) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (probe != nullptr) {
+      prompt.trace->SetAttr(probe, "outcome", "hit");
+      prompt.trace->SetAttr(probe, "similarity",
+                            common::StrFormat("%.3f", hit->similarity));
+      prompt.trace->SetAttr(probe, "saved", hit->saved.ToString());
+      prompt.trace->EndSpan(probe, probe_start + 1.0);
+    }
     llm::Completion c;
     c.text = hit->response;
     c.confidence = 0.9;  // cache hits are answers we previously committed to
@@ -287,6 +428,10 @@ common::Result<llm::Completion> CachedLlm::Complete(const llm::Prompt& prompt) {
     c.cost = common::Money::Zero();
     c.latency_ms = 1.0;  // vector lookup, not a model round-trip
     return c;
+  }
+  if (probe != nullptr) {
+    prompt.trace->SetAttr(probe, "outcome", "miss");
+    prompt.trace->EndSpan(probe, probe_start + 1.0);
   }
   LLMDM_ASSIGN_OR_RETURN(llm::Completion c, inner_->Complete(prompt));
   cache_->Insert(prompt.input, c.text, c.cost);

@@ -12,6 +12,7 @@
 #include "embed/embedder.h"
 #include "llm/model.h"
 #include "llm/resilient.h"
+#include "obs/metrics.h"
 #include "vectordb/index.h"
 
 namespace llmdm::optimize {
@@ -107,6 +108,18 @@ class SemanticCache {
     /// Doorkeeper epoch capacity per shard; the rotating window retains at
     /// most twice this many hashes (see Doorkeeper).
     size_t doorkeeper_capacity = 4096;
+    /// A shard compacts its entries vector (dropping dead slots and
+    /// remapping index ids) once dead slots exceed
+    /// max(compact_min_dead, the shard's capacity share) — the bound that
+    /// keeps memory O(capacity) under insert-evict churn instead of
+    /// retaining every evicted entry for process lifetime.
+    size_t compact_min_dead = 16;
+    /// Metrics registry the cache's per-shard instruments live in. Null
+    /// (the default) gives the cache a private registry, which keeps
+    /// stats() per-instance; inject one registry per cache to aggregate
+    /// across a stack (instrument names collide between caches sharing a
+    /// registry).
+    obs::Registry* registry = nullptr;
   };
 
   struct Hit {
@@ -132,11 +145,17 @@ class SemanticCache {
 
   explicit SemanticCache(const Options& options);
 
-  /// Reuse lookup: the best cached entry with similarity >= threshold.
-  /// `avoided_cost` is what a fresh LLM call would have cost (credited to
-  /// the stats and to the entry's eviction score on a hit).
-  std::optional<Hit> Lookup(const std::string& query,
-                            common::Money avoided_cost = common::Money::Zero());
+  /// Reuse lookup: the best *live* cached entry with similarity >=
+  /// threshold (a dead id lingering in an index never shadows a live
+  /// neighbour: the probe searches past it). `avoided_cost` is what a fresh
+  /// LLM call's *input* side would have cost; when `output_price_per_1k` is
+  /// non-zero the hit additionally credits the output tokens the cached
+  /// response replaces — both halves of the bill land in Hit::saved and the
+  /// stats ledger.
+  std::optional<Hit> Lookup(
+      const std::string& query,
+      common::Money avoided_cost = common::Money::Zero(),
+      common::Money output_price_per_1k = common::Money::Zero());
 
   /// Augmentation lookup: top-k similar cached (query, response) pairs below
   /// or above threshold, for use as extra few-shot examples (hit case (2)).
@@ -169,16 +188,48 @@ class SemanticCache {
   /// num_shards x 2 x doorkeeper_capacity); exposed for the bound tests.
   size_t doorkeeper_entries() const;
 
+  /// Total entry slots across shards — live plus dead-awaiting-compaction.
+  /// The churn-soak tests assert this stays O(capacity) no matter how many
+  /// insert-evict cycles have run.
+  size_t TotalSlots() const;
+
+  /// Approximate payload bytes retained across shards (query + response +
+  /// embedding capacities). Evicted entries release their payloads, so this
+  /// too is bounded under churn.
+  size_t RetainedBytes() const;
+
+  /// The registry holding the cache's instruments (the injected one, or the
+  /// private per-instance registry).
+  obs::Registry* registry() const { return registry_; }
+
  private:
   struct Entry {
     std::string query;
     std::string response;
     embed::Vector embedding;
     common::Money cost_to_produce;
+    /// Token count of `response`, memoized at insert so a hit can credit
+    /// the output half of the avoided bill without re-tokenizing.
+    size_t response_tokens = 0;
     uint64_t last_used_tick = 0;
     size_t reuse_hits = 0;
     size_t augment_hits = 0;
     bool live = true;
+  };
+
+  /// Per-shard instruments; the legacy Stats struct is a read-time view
+  /// over these counters.
+  struct ShardMetrics {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* insertions = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* admission_rejections = nullptr;
+    obs::Counter* saved_micros = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Counter* reclaimed_slots = nullptr;
+    obs::Gauge* live_entries = nullptr;
+    obs::Gauge* slots = nullptr;
   };
 
   struct Shard {
@@ -189,17 +240,27 @@ class SemanticCache {
     mutable std::mutex mu;
     std::unique_ptr<vectordb::VectorIndex> index;  // ids are entries slots
     std::vector<Entry> entries;
-    Stats stats;
     uint64_t tick = 0;
     size_t live_count = 0;
+    size_t dead_count = 0;  // evicted slots not yet compacted away
+    /// Bumped by every compaction (ids are remapped): stale (shard, id)
+    /// references held across an unlock — TopKForAugmentation's phase 2 —
+    /// check it before dereferencing.
+    uint64_t generation = 0;
     size_t capacity = 0;  // this shard's share of Options::capacity
     Doorkeeper doorkeeper;
+    ShardMetrics metrics;
   };
 
   size_t ShardIndexFor(std::string_view query) const;
   std::unique_ptr<vectordb::VectorIndex> MakeIndex() const;
   double EvictionScore(const Entry& entry) const;
   void EvictIfNeeded(Shard& shard);  // requires shard.mu
+  /// Stable-compacts `shard.entries` down to its live entries (preserving
+  /// relative id order, so tie-breaks and eviction scans behave exactly as
+  /// before) and rebuilds the index over the remapped ids. Requires
+  /// shard.mu.
+  void CompactShard(Shard& shard);
   /// Top-k over one shard, honouring the index kind and the brute-force
   /// fallback below ann_min_size. Requires shard.mu.
   std::vector<vectordb::SearchResult> SearchShard(const Shard& shard,
@@ -208,6 +269,10 @@ class SemanticCache {
 
   Options options_;
   embed::HashingEmbedder embedder_;
+  /// Private registry when Options::registry is null (keeps stats()
+  /// per-instance); registry_ always points at the one in use.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -6,6 +6,11 @@
 #include <string>
 #include <vector>
 
+namespace llmdm::obs {
+class TraceContext;  // see obs/trace.h
+struct Span;
+}  // namespace llmdm::obs
+
 namespace llmdm::llm {
 
 class Deadline;  // see llm/deadline.h
@@ -48,6 +53,15 @@ struct Prompt {
   /// rather than resetting per call. Null means unbounded. Not part of the
   /// rendered prompt: it never reaches the (simulated) wire.
   std::shared_ptr<Deadline> deadline;
+
+  /// Optional span tree for the request this prompt belongs to, created
+  /// where the request enters the system (like `deadline`). Layers that do
+  /// interesting work on the way to the model — retries, cache probes,
+  /// cascade rungs — hang child spans under `trace_parent` (the enclosing
+  /// span; the trace root when null). Null means no tracing. Not part of
+  /// the rendered prompt: it never reaches the (simulated) wire.
+  std::shared_ptr<obs::TraceContext> trace;
+  obs::Span* trace_parent = nullptr;
 
   /// Full prompt text as it would be sent over the wire.
   std::string Render() const;

@@ -5,6 +5,8 @@
 #include "common/hash.h"
 #include "common/string_util.h"
 #include "llm/deadline.h"
+#include "llm/prompt.h"
+#include "obs/trace.h"
 
 namespace llmdm::llm {
 
@@ -91,11 +93,40 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
       common::Status::Unavailable("no attempt made for " + name());
   std::optional<Completion> degraded;  // truncated answer kept as last resort
 
+  // Span accounting: the call's spans are anchored at the parent span's
+  // start, and child offsets follow this call's local elapsed clock, so
+  // the tree is exactly as deterministic as the virtual-time workload.
+  obs::TraceContext* trace = prompt.trace.get();
+  obs::Span* call_span = nullptr;
+  double span_base = 0.0;
+  if (trace != nullptr) {
+    span_base = trace->SpanStart(prompt.trace_parent);
+    call_span =
+        trace->StartSpan("resilient:" + name(), span_base, prompt.trace_parent);
+  }
+  const char* outcome = "error";
+
   auto finalize = [&]() {
     call.circuit_opens = breaker_.times_opened() - opens_before;
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.Merge(call);
-    clock_ms_ += elapsed_ms;
+    metrics_.attempts->Add(call.attempts);
+    metrics_.retries->Add(call.retries);
+    metrics_.transient_errors->Add(call.transient_errors);
+    metrics_.fallbacks->Add(call.fallbacks);
+    metrics_.stale_serves->Add(call.stale_serves);
+    metrics_.circuit_opens->Add(call.circuit_opens);
+    metrics_.circuit_rejections->Add(call.circuit_rejections);
+    metrics_.deadline_exceeded->Add(call.deadline_exceeded);
+    metrics_.breaker_state->Set(static_cast<int64_t>(breaker_.state()));
+    if (call_span != nullptr) {
+      trace->SetAttr(call_span, "attempts", std::to_string(call.attempts));
+      trace->SetAttr(call_span, "retries", std::to_string(call.retries));
+      trace->SetAttr(call_span, "outcome", outcome);
+      trace->EndSpan(call_span, span_base + elapsed_ms);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      clock_ms_ += elapsed_ms;
+    }
     if (meter != nullptr) meter->RecordRetry(name(), call);
   };
 
@@ -106,6 +137,11 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
       for (size_t i = 1; i < attempt; ++i) backoff *= retry.backoff_multiplier;
       backoff = std::min(backoff, retry.max_backoff_ms);
       backoff *= 1.0 + retry.jitter * JitterUnit(prompt, attempt);
+      if (call_span != nullptr) {
+        obs::Span* b = trace->StartSpan("backoff", span_base + elapsed_ms,
+                                        call_span);
+        trace->EndSpan(b, span_base + elapsed_ms + backoff);
+      }
       elapsed_ms += backoff;
       if (prompt.deadline != nullptr) prompt.deadline->Charge(backoff);
       if (elapsed_ms > deadline_ms) {
@@ -119,11 +155,23 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
     }
     if (!breaker_.Allow(clock_base + elapsed_ms)) {
       ++call.circuit_rejections;
+      outcome = "circuit_open";
       last_error = common::Status::Unavailable(
           "circuit open for " + name());
       break;
     }
     ++call.attempts;
+    obs::Span* attempt_span = nullptr;
+    if (call_span != nullptr) {
+      attempt_span = trace->StartSpan("attempt", span_base + elapsed_ms,
+                                      call_span);
+    }
+    auto end_attempt = [&](std::string result_attr) {
+      if (attempt_span != nullptr) {
+        trace->SetAttr(attempt_span, "result", std::move(result_attr));
+        trace->EndSpan(attempt_span, span_base + elapsed_ms);
+      }
+    };
     auto result = inner_->CompleteMetered(prompt, meter);
     if (result.ok()) {
       elapsed_ms += result->latency_ms;
@@ -134,6 +182,7 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
         breaker_.RecordFailure(clock_base + elapsed_ms);
         ++call.transient_errors;
         ++call.deadline_exceeded;
+        end_attempt("deadline_exceeded");
         last_error = common::Status::Timeout(common::StrFormat(
             "%s took %.0fms against a %.0fms deadline", name().c_str(),
             elapsed_ms, deadline_ms));
@@ -142,12 +191,15 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
       if (result->truncated && retry.retry_on_truncation) {
         breaker_.RecordFailure(clock_base + elapsed_ms);
         ++call.transient_errors;
+        end_attempt("truncated");
         degraded = *result;  // better a clipped answer than none
         last_error = common::Status::Unavailable(
             "completion truncated by " + name());
         continue;
       }
       breaker_.RecordSuccess(clock_base + elapsed_ms);
+      end_attempt("ok");
+      outcome = "ok";
       finalize();
       return result;
     }
@@ -161,29 +213,51 @@ common::Result<Completion> ResilientLlm::CompleteMetered(const Prompt& prompt,
         prompt.deadline->Charge(options_.timeout_wait_ms);
       }
     }
+    end_attempt(std::string(common::StatusCodeName(last_error.code())));
     if (!common::IsTransientError(last_error.code())) break;  // permanent
   }
 
   // Retries exhausted (or circuit open / deadline blown): degrade through
   // the fallback chain rather than failing the whole query.
   for (const auto& fallback : fallbacks_) {
+    obs::Span* fb_span = nullptr;
+    if (call_span != nullptr) {
+      fb_span = trace->StartSpan("fallback:" + fallback->name(),
+                                 span_base + elapsed_ms, call_span);
+    }
     auto result = fallback->CompleteMetered(prompt, meter);
     if (result.ok()) {
       elapsed_ms += result->latency_ms;
       ++call.fallbacks;
+      if (fb_span != nullptr) {
+        trace->SetAttr(fb_span, "result", "ok");
+        trace->EndSpan(fb_span, span_base + elapsed_ms);
+      }
+      outcome = "fallback";
       finalize();
       return result;
     }
     last_error = result.status();
+    if (fb_span != nullptr) {
+      trace->SetAttr(fb_span, "result", "error");
+      trace->EndSpan(fb_span, span_base + elapsed_ms);
+    }
   }
   if (cache_fallback_) {
     if (std::optional<Completion> hit = cache_fallback_(prompt)) {
       ++call.stale_serves;
+      if (call_span != nullptr) {
+        obs::Span* stale = trace->StartSpan("stale_serve",
+                                            span_base + elapsed_ms, call_span);
+        trace->EndSpan(stale, span_base + elapsed_ms);
+      }
+      outcome = "stale";
       finalize();
       return *hit;
     }
   }
   if (degraded.has_value()) {
+    outcome = "degraded";
     finalize();
     return *degraded;
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "llm/model.h"
+#include "obs/metrics.h"
 
 namespace llmdm::llm {
 
@@ -105,6 +106,12 @@ class ResilientLlm : public LlmModel {
     /// client waits out its socket timeout before retrying).
     double timeout_wait_ms = 1000.0;
     uint64_t seed = 0;
+    /// Metrics registry for the decorator's instruments (labelled
+    /// model=<inner model name>). Null gives this instance a private
+    /// registry, keeping stats() per-instance; inject one to aggregate a
+    /// stack (two ResilientLlm over the same model name would then share
+    /// series).
+    obs::Registry* registry = nullptr;
   };
 
   /// Last-resort lookup (e.g. a stale SemanticCache hit); returns a
@@ -112,7 +119,32 @@ class ResilientLlm : public LlmModel {
   using CacheFallback = std::function<std::optional<Completion>(const Prompt&)>;
 
   ResilientLlm(std::shared_ptr<LlmModel> inner, const Options& options)
-      : inner_(std::move(inner)), options_(options), breaker_(options.breaker) {}
+      : inner_(std::move(inner)), options_(options), breaker_(options.breaker) {
+    if (options_.registry != nullptr) {
+      registry_ = options_.registry;
+    } else {
+      owned_registry_ = std::make_unique<obs::Registry>();
+      registry_ = owned_registry_.get();
+    }
+    const obs::Labels labels{{"model", inner_->spec().name}};
+    metrics_.attempts =
+        registry_->GetCounter("llmdm_llm_attempts_total", labels);
+    metrics_.retries = registry_->GetCounter("llmdm_llm_retries_total", labels);
+    metrics_.transient_errors =
+        registry_->GetCounter("llmdm_llm_transient_errors_total", labels);
+    metrics_.fallbacks =
+        registry_->GetCounter("llmdm_llm_fallbacks_total", labels);
+    metrics_.stale_serves =
+        registry_->GetCounter("llmdm_llm_stale_serves_total", labels);
+    metrics_.circuit_opens =
+        registry_->GetCounter("llmdm_llm_circuit_opens_total", labels);
+    metrics_.circuit_rejections =
+        registry_->GetCounter("llmdm_llm_circuit_rejections_total", labels);
+    metrics_.deadline_exceeded =
+        registry_->GetCounter("llmdm_llm_deadline_exceeded_total", labels);
+    metrics_.breaker_state =
+        registry_->GetGauge("llmdm_llm_breaker_state", labels);
+  }
 
   const ModelSpec& spec() const override { return inner_->spec(); }
 
@@ -132,11 +164,23 @@ class ResilientLlm : public LlmModel {
   common::Result<Completion> CompleteMetered(const Prompt& prompt,
                                              UsageMeter* meter) override;
 
-  /// Lifetime retry accounting across all calls through this decorator.
+  /// Lifetime retry accounting across all calls through this decorator — a
+  /// view over the registry counters, so the legacy struct and a registry
+  /// export always agree.
   UsageMeter::RetryStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    UsageMeter::RetryStats s;
+    s.attempts = metrics_.attempts->value();
+    s.retries = metrics_.retries->value();
+    s.transient_errors = metrics_.transient_errors->value();
+    s.fallbacks = metrics_.fallbacks->value();
+    s.stale_serves = metrics_.stale_serves->value();
+    s.circuit_opens = metrics_.circuit_opens->value();
+    s.circuit_rejections = metrics_.circuit_rejections->value();
+    s.deadline_exceeded = metrics_.deadline_exceeded->value();
+    return s;
   }
+  /// The registry holding this decorator's instruments.
+  obs::Registry* registry() const { return registry_; }
   const CircuitBreaker& breaker() const { return breaker_; }
   /// Simulated milliseconds elapsed across all calls (latency + waits).
   /// Under concurrency this is total busy time, not a wall clock: calls in
@@ -147,6 +191,19 @@ class ResilientLlm : public LlmModel {
   }
 
  private:
+  struct Metrics {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* transient_errors = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* stale_serves = nullptr;
+    obs::Counter* circuit_opens = nullptr;
+    obs::Counter* circuit_rejections = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    /// 0 = closed, 1 = half-open, 2 = open (sampled after each call).
+    obs::Gauge* breaker_state = nullptr;
+  };
+
   /// Deterministic jitter draw in [0,1) for (this call's prompt, attempt#).
   double JitterUnit(const Prompt& prompt, size_t attempt) const;
 
@@ -155,8 +212,10 @@ class ResilientLlm : public LlmModel {
   CircuitBreaker breaker_;
   std::vector<std::shared_ptr<LlmModel>> fallbacks_;
   CacheFallback cache_fallback_;
-  mutable std::mutex mu_;  // guards stats_ and clock_ms_
-  UsageMeter::RetryStats stats_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  Metrics metrics_;
+  mutable std::mutex mu_;  // guards clock_ms_
   double clock_ms_ = 0.0;
 };
 

@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include "common/string_util.h"
+
+namespace llmdm::obs {
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += common::StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void AppendSpanJson(const Span& span, std::string* out) {
+  *out += common::StrFormat("{\"name\":\"%s\",\"start_vms\":%.3f,"
+                            "\"end_vms\":%.3f",
+                            JsonEscape(span.name).c_str(), span.start_vms,
+                            span.end_vms);
+  if (!span.attrs.empty()) {
+    *out += ",\"attrs\":{";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      *out += common::StrFormat("\"%s\":\"%s\"",
+                                JsonEscape(span.attrs[i].first).c_str(),
+                                JsonEscape(span.attrs[i].second).c_str());
+    }
+    out->push_back('}');
+  }
+  if (!span.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendSpanJson(*span.children[i], out);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+size_t CountSpans(const Span& span) {
+  size_t n = 1;
+  for (const auto& child : span.children) n += CountSpans(*child);
+  return n;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(std::string root_name, double start_vms) {
+  root_ = std::make_unique<Span>();
+  root_->name = std::move(root_name);
+  root_->start_vms = start_vms;
+  root_->end_vms = start_vms;
+}
+
+Span* TraceContext::StartSpan(std::string name, double start_vms,
+                              Span* parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parent == nullptr) parent = root_.get();
+  auto span = std::make_unique<Span>();
+  span->name = std::move(name);
+  span->start_vms = start_vms;
+  span->end_vms = start_vms;
+  Span* handle = span.get();
+  parent->children.push_back(std::move(span));
+  return handle;
+}
+
+void TraceContext::EndSpan(Span* span, double end_vms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span == nullptr) span = root_.get();
+  span->end_vms = end_vms;
+}
+
+void TraceContext::SetAttr(Span* span, std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span == nullptr) span = root_.get();
+  span->attrs.emplace_back(std::move(key), std::move(value));
+}
+
+double TraceContext::SpanStart(const Span* span) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span == nullptr) span = root_.get();
+  return span->start_vms;
+}
+
+size_t TraceContext::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CountSpans(*root_);
+}
+
+std::string TraceContext::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  AppendSpanJson(*root_, &out);
+  return out;
+}
+
+}  // namespace llmdm::obs

@@ -1,0 +1,60 @@
+#ifndef LLMDM_OBS_TRACE_H_
+#define LLMDM_OBS_TRACE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace llmdm::obs {
+
+/// One timed operation inside a request. Times are *simulated* milliseconds
+/// in whatever frame the request uses (the serve layer anchors them at the
+/// request's virtual arrival), so a span tree from a deterministic workload
+/// is byte-identical across runs and thread counts — unlike wall-clock
+/// traces. Children are appended in the order the work was issued.
+struct Span {
+  std::string name;
+  double start_vms = 0.0;
+  double end_vms = 0.0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<std::unique_ptr<Span>> children;
+};
+
+/// The span tree of one request. Created where the request enters the system
+/// and carried through every layer on llm::Prompt (next to the Deadline), so
+/// a cascade rung, a cache probe, and a third retry all land in one tree.
+///
+/// Thread-safe: a request's hedge attempts may touch the tree from the same
+/// worker sequentially today, but the contract is guarded by a mutex so
+/// layers never need to know who else holds a span pointer. Span* handles
+/// remain valid for the TraceContext's lifetime (children own their nodes).
+class TraceContext {
+ public:
+  explicit TraceContext(std::string root_name, double start_vms = 0.0);
+
+  /// Opens a child of `parent` (the root when null). The returned handle is
+  /// owned by the tree; use it for EndSpan/SetAttr and as a parent.
+  Span* StartSpan(std::string name, double start_vms, Span* parent = nullptr);
+  void EndSpan(Span* span, double end_vms);
+  void SetAttr(Span* span, std::string key, std::string value);
+
+  Span* root_span() { return root_.get(); }
+  /// Start time of `span` (the root when null) — layers that keep their own
+  /// relative clocks use this to anchor child spans in the parent's frame.
+  double SpanStart(const Span* span) const;
+
+  size_t span_count() const;
+
+  /// Deterministic JSON rendering of the whole tree.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<Span> root_;
+};
+
+}  // namespace llmdm::obs
+
+#endif  // LLMDM_OBS_TRACE_H_

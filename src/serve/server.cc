@@ -8,6 +8,8 @@
 #include "common/string_util.h"
 #include "llm/deadline.h"
 #include "llm/prompt.h"
+#include "obs/trace.h"
+#include "text/tokenizer.h"
 
 namespace llmdm::serve {
 
@@ -30,6 +32,32 @@ Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
       hedge_model_(hedge_model != nullptr ? std::move(hedge_model) : model_),
       options_(options),
       slot_free_vms_(std::max<size_t>(1, options.virtual_concurrency), 0.0) {
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  metrics_.submitted = registry_->GetCounter("llmdm_serve_submitted_total");
+  metrics_.admitted = registry_->GetCounter("llmdm_serve_admitted_total");
+  metrics_.shed = registry_->GetCounter("llmdm_serve_shed_total");
+  metrics_.coalesced = registry_->GetCounter("llmdm_serve_coalesced_total");
+  metrics_.completed = registry_->GetCounter("llmdm_serve_completed_total");
+  metrics_.failed = registry_->GetCounter("llmdm_serve_failed_total");
+  metrics_.deadline_missed =
+      registry_->GetCounter("llmdm_serve_deadline_missed_total");
+  metrics_.hedges_launched =
+      registry_->GetCounter("llmdm_serve_hedges_launched_total");
+  metrics_.hedge_wins = registry_->GetCounter("llmdm_serve_hedge_wins_total");
+  metrics_.hedge_cancelled_cost_micros =
+      registry_->GetCounter("llmdm_serve_hedge_cancelled_cost_micros_total");
+  metrics_.coalesce_saved_micros =
+      registry_->GetCounter("llmdm_serve_coalesce_saved_micros_total");
+  metrics_.max_queue_len = registry_->GetGauge("llmdm_serve_max_queue_len");
+  metrics_.queue_wait_vms = registry_->GetHistogram(
+      "llmdm_serve_queue_wait_vms", {}, obs::Histogram::LatencyBoundsVms());
+  metrics_.latency_vms = registry_->GetHistogram(
+      "llmdm_serve_latency_vms", {}, obs::Histogram::LatencyBoundsVms());
   size_t n = std::max<size_t>(1, options_.worker_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -61,7 +89,7 @@ double Server::EstimateServiceVms(const Request& request) const {
 void Server::Submit(const Request& request) {
   std::lock_guard<std::mutex> lock(admission_mu_);
   if (draining_) return;  // late submissions after Drain() are dropped
-  ++submitted_;
+  metrics_.submitted->Add(1);
 
   // Retire virtual work that has started by this arrival; what remains is
   // the waiting queue the new request would join.
@@ -70,7 +98,7 @@ void Server::Submit(const Request& request) {
     pending_starts_.pop();
   }
   double queue_len = static_cast<double>(pending_starts_.size());
-  max_queue_len_ = std::max(max_queue_len_, queue_len);
+  metrics_.max_queue_len->SetMax(static_cast<int64_t>(queue_len));
 
   // Single-flight: an identical call still in flight (by the virtual queue
   // model — the leader's estimated finish is after this arrival) absorbs
@@ -83,8 +111,8 @@ void Server::Submit(const Request& request) {
     auto it = inflight_.find(flight_key);
     if (it != inflight_.end() &&
         request.arrival_vms < it->second->est_finish_vms) {
-      ++admitted_;
-      ++coalesced_;
+      metrics_.admitted->Add(1);
+      metrics_.coalesced->Add(1);
       Work work;
       work.request = request;
       work.group = it->second;
@@ -140,7 +168,7 @@ void Server::Submit(const Request& request) {
   }
 
   if (shed) {
-    ++shed_;
+    metrics_.shed->Add(1);
     Response r;
     r.id = request.id;
     r.shed = true;
@@ -150,7 +178,7 @@ void Server::Submit(const Request& request) {
     return;
   }
 
-  ++admitted_;
+  metrics_.admitted->Add(1);
   slot_free_vms_[slot] = est_start + est_service;
   pending_starts_.push(est_start);
   est_services_.insert(
@@ -208,6 +236,19 @@ void Server::Execute(const Work& work) {
   r.id = req.id;
   r.queue_wait_vms = work.queue_wait_vms;
 
+  // Span times are anchored in the request's virtual-time frame (arrival,
+  // estimated start, estimated start + service), so the tree is as
+  // deterministic as the workload itself.
+  std::shared_ptr<obs::TraceContext> trace;
+  if (options_.tracing) {
+    trace = std::make_shared<obs::TraceContext>("request", req.arrival_vms);
+    trace->SetAttr(nullptr, "id", std::to_string(req.id));
+    trace->SetAttr(nullptr, "skill", req.skill);
+    obs::Span* queue_span =
+        trace->StartSpan("queue", req.arrival_vms, nullptr);
+    trace->EndSpan(queue_span, work.est_start_vms);
+  }
+
   // Under kNone/kQueueFull a request can be admitted into a wait longer
   // than its whole budget; it dies in the queue without costing a call.
   if (req.deadline_ms > 0.0 && work.queue_wait_vms >= req.deadline_ms) {
@@ -216,6 +257,11 @@ void Server::Execute(const Work& work) {
         work.queue_wait_vms));
     r.deadline_missed = true;
     r.latency_vms = work.queue_wait_vms;
+    if (trace != nullptr) {
+      trace->SetAttr(nullptr, "outcome", "queue_deadline");
+      trace->EndSpan(nullptr, work.est_start_vms);
+      r.trace = trace;
+    }
     clock_.AdvanceTo(work.est_start_vms);
     ResolveFlight(work.group, r, work.est_start_vms);
     PushResponse(std::move(r));
@@ -233,10 +279,20 @@ void Server::Execute(const Work& work) {
     prompt.deadline = deadline;
   }
 
+  obs::Span* attempt_span = nullptr;
+  if (trace != nullptr) {
+    attempt_span = trace->StartSpan("attempt", work.est_start_vms, nullptr);
+    prompt.trace = trace;
+    prompt.trace_parent = attempt_span;
+  }
   llm::UsageMeter primary_meter;
   auto primary = model_->CompleteMetered(prompt, &primary_meter);
   double primary_finish =
       primary.ok() ? primary->latency_ms : options_.failed_attempt_penalty_ms;
+  if (attempt_span != nullptr) {
+    trace->SetAttr(attempt_span, "result", primary.ok() ? "ok" : "error");
+    trace->EndSpan(attempt_span, work.est_start_vms + primary_finish);
+  }
 
   bool hedge = options_.hedging &&
                (!primary.ok() || primary_finish > work.hedge_trigger_vms);
@@ -254,6 +310,11 @@ void Server::Execute(const Work& work) {
     }
     r.deadline_missed =
         req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
+    if (trace != nullptr) {
+      trace->SetAttr(nullptr, "outcome", primary.ok() ? "ok" : "error");
+      trace->EndSpan(nullptr, work.est_start_vms + r.service_vms);
+      r.trace = trace;
+    }
     clock_.AdvanceTo(work.est_start_vms + r.service_vms);
     ResolveFlight(work.group, r, work.est_start_vms + r.service_vms);
     PushResponse(std::move(r));
@@ -267,11 +328,22 @@ void Server::Execute(const Work& work) {
   double hedge_start = std::min(work.hedge_trigger_vms, primary_finish);
   llm::Prompt hedge_prompt = prompt;
   hedge_prompt.sample_salt = prompt.sample_salt + 1;
+  obs::Span* hedge_span = nullptr;
+  if (trace != nullptr) {
+    hedge_span =
+        trace->StartSpan("hedge", work.est_start_vms + hedge_start, nullptr);
+    hedge_prompt.trace = trace;
+    hedge_prompt.trace_parent = hedge_span;
+  }
   llm::UsageMeter hedge_meter;
   auto hedged = hedge_model_->CompleteMetered(hedge_prompt, &hedge_meter);
   double hedge_finish = hedged.ok()
                             ? hedge_start + hedged->latency_ms
                             : hedge_start + options_.failed_attempt_penalty_ms;
+  if (hedge_span != nullptr) {
+    trace->SetAttr(hedge_span, "result", hedged.ok() ? "ok" : "error");
+    trace->EndSpan(hedge_span, work.est_start_vms + hedge_finish);
+  }
 
   double p_score = primary.ok() ? primary_finish : kInf;
   double h_score = hedged.ok() ? hedge_finish : kInf;
@@ -295,11 +367,15 @@ void Server::Execute(const Work& work) {
   }
   r.latency_vms = work.queue_wait_vms + r.service_vms;
   r.deadline_missed = req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
-  {
-    std::lock_guard<std::mutex> lock(results_mu_);
-    ++hedges_launched_;
-    if (r.hedge_won) ++hedge_wins_;
-    hedge_cancelled_cost_ += loser_meter.cost();
+  metrics_.hedges_launched->Add(1);
+  if (r.hedge_won) metrics_.hedge_wins->Add(1);
+  metrics_.hedge_cancelled_cost_micros->Add(
+      static_cast<uint64_t>(loser_meter.cost().micros()));
+  if (trace != nullptr) {
+    trace->SetAttr(nullptr, "outcome", any_ok ? "ok" : "error");
+    trace->SetAttr(nullptr, "hedge_won", r.hedge_won ? "true" : "false");
+    trace->EndSpan(nullptr, work.est_start_vms + r.service_vms);
+    r.trace = trace;
   }
   clock_.AdvanceTo(work.est_start_vms + r.service_vms);
   ResolveFlight(work.group, r, work.est_start_vms + r.service_vms);
@@ -353,19 +429,50 @@ void Server::ExecuteCoalesced(const Work& work) {
   r.latency_vms = r.service_vms;
   r.deadline_missed = req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
 
-  // Itemize the avoided call in the meter: the spend estimate mirrors what
-  // admission knew (input tokens at the primary model's input price).
+  // Itemize the avoided call in the meter. The input side mirrors what
+  // admission knew (input tokens at the primary model's input price); the
+  // output side prices the answer the follower got for free — the leader's
+  // actual text, so the credit is exact and deterministic, not a guess.
   llm::Prompt prompt = llm::MakePrompt(req.skill, req.input);
   common::Money saved = common::Money::FromMicros(
       model_->spec().input_price_per_1k.micros() *
       static_cast<int64_t>(prompt.CountInputTokens()) / 1000);
+  if (status.ok()) {
+    saved += common::Money::FromMicros(
+        model_->spec().output_price_per_1k.micros() *
+        static_cast<int64_t>(text::CountTokens(r.text)) / 1000);
+  }
+  metrics_.coalesce_saved_micros->Add(static_cast<uint64_t>(saved.micros()));
   meter_.RecordCoalesced(status.ok() ? model : model_->spec().name, saved);
+
+  if (options_.tracing) {
+    auto trace =
+        std::make_shared<obs::TraceContext>("request", req.arrival_vms);
+    trace->SetAttr(nullptr, "id", std::to_string(req.id));
+    trace->SetAttr(nullptr, "skill", req.skill);
+    trace->SetAttr(nullptr, "outcome", "coalesced");
+    obs::Span* wait = trace->StartSpan("coalesce_wait", req.arrival_vms,
+                                       nullptr);
+    trace->EndSpan(wait, finish_vms);
+    trace->EndSpan(nullptr, std::max(req.arrival_vms, finish_vms));
+    r.trace = trace;
+  }
 
   clock_.AdvanceTo(finish_vms);
   PushResponse(std::move(r));
 }
 
 void Server::PushResponse(Response response) {
+  if (!response.shed) {
+    if (response.status.ok()) {
+      metrics_.completed->Add(1);
+    } else {
+      metrics_.failed->Add(1);
+    }
+    if (response.deadline_missed) metrics_.deadline_missed->Add(1);
+    metrics_.queue_wait_vms->Observe(response.queue_wait_vms);
+    metrics_.latency_vms->Observe(response.latency_vms);
+  }
   std::lock_guard<std::mutex> lock(results_mu_);
   responses_.push_back(std::move(response));
 }
@@ -390,31 +497,29 @@ std::vector<Response> Server::Drain() {
 }
 
 ServerStats Server::stats() const {
+  // A view over the registry counters: the legacy struct and a registry
+  // export always agree by construction. Percentiles still come from the
+  // retained responses (histograms only keep bucketed counts).
   ServerStats s;
-  {
-    std::lock_guard<std::mutex> lock(admission_mu_);
-    s.submitted = submitted_;
-    s.admitted = admitted_;
-    s.shed = shed_;
-    s.coalesced = coalesced_;
-    s.max_queue_len = max_queue_len_;
-  }
+  s.submitted = metrics_.submitted->value();
+  s.admitted = metrics_.admitted->value();
+  s.shed = metrics_.shed->value();
+  s.coalesced = metrics_.coalesced->value();
+  s.max_queue_len = static_cast<double>(metrics_.max_queue_len->value());
+  s.hedges_launched = metrics_.hedges_launched->value();
+  s.hedge_wins = metrics_.hedge_wins->value();
+  s.hedge_cancelled_cost = common::Money::FromMicros(
+      static_cast<int64_t>(metrics_.hedge_cancelled_cost_micros->value()));
+  s.completed = metrics_.completed->value();
+  s.failed = metrics_.failed->value();
+  s.deadline_missed = metrics_.deadline_missed->value();
   std::lock_guard<std::mutex> lock(results_mu_);
-  s.hedges_launched = hedges_launched_;
-  s.hedge_wins = hedge_wins_;
-  s.hedge_cancelled_cost = hedge_cancelled_cost_;
   std::vector<double> latencies;
   size_t good = 0;
   for (const Response& r : responses_) {
     if (r.shed) continue;
     latencies.push_back(r.latency_vms);
-    if (r.status.ok()) {
-      ++s.completed;
-      if (!r.deadline_missed) ++good;
-    } else {
-      ++s.failed;
-    }
-    if (r.deadline_missed) ++s.deadline_missed;
+    if (r.status.ok() && !r.deadline_missed) ++good;
   }
   std::sort(latencies.begin(), latencies.end());
   s.p50_latency_vms = Percentile(latencies, 0.5);

@@ -15,7 +15,12 @@
 #include "common/status.h"
 #include "llm/model.h"
 #include "llm/usage.h"
+#include "obs/metrics.h"
 #include "serve/clock.h"
+
+namespace llmdm::obs {
+class TraceContext;  // see obs/trace.h
+}  // namespace llmdm::obs
 
 namespace llmdm::serve {
 
@@ -75,6 +80,10 @@ struct Response {
   /// Single-flight: this request was collapsed onto an identical in-flight
   /// leader call and served the leader's completion at zero marginal cost.
   bool coalesced = false;
+  /// Span tree of this request (queue → attempt → retry → cache probe ...),
+  /// populated when Options::tracing is on; null otherwise. Exportable as
+  /// JSON via obs::TraceContext::ToJson.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 /// Aggregate serving metrics, valid after Drain().
@@ -162,6 +171,15 @@ class Server {
     /// Note followers deliberately lose per-request sampling independence:
     /// identical concurrent queries get byte-identical answers.
     bool single_flight = false;
+    /// Attach an obs::TraceContext to every executed request (published on
+    /// Response::trace). Costs one small allocation tree per request; off by
+    /// default.
+    bool tracing = false;
+    /// Metrics registry for the server's instruments. Null gives the server
+    /// a private registry (stats() stays per-instance); inject one registry
+    /// per server to aggregate a stack (two servers sharing a registry share
+    /// series).
+    obs::Registry* registry = nullptr;
   };
 
   /// `model` serves primaries; `hedge_model` (defaults to `model`) serves
@@ -189,6 +207,10 @@ class Server {
 
   /// Committed usage across all winning attempts (thread-safe itself).
   const llm::UsageMeter& meter() const { return meter_; }
+
+  /// The registry holding the server's instruments (the injected one, or
+  /// the private per-instance registry).
+  obs::Registry* registry() const { return registry_; }
 
   const SimulatedClock& clock() const { return clock_; }
 
@@ -224,6 +246,26 @@ class Server {
     bool coalesced_follower = false;
   };
 
+  /// Instrument handles; ServerStats is a read-time view over these (plus
+  /// the per-response scan for percentiles/goodput), so a registry export
+  /// and the legacy struct always agree.
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Counter* hedges_launched = nullptr;
+    obs::Counter* hedge_wins = nullptr;
+    obs::Counter* hedge_cancelled_cost_micros = nullptr;
+    obs::Counter* coalesce_saved_micros = nullptr;
+    obs::Gauge* max_queue_len = nullptr;
+    obs::Histogram* queue_wait_vms = nullptr;
+    obs::Histogram* latency_vms = nullptr;
+  };
+
   void WorkerLoop();
   void Execute(const Work& work);
   /// Follower path: wait for the leader's published result and answer with
@@ -239,14 +281,22 @@ class Server {
   std::shared_ptr<llm::LlmModel> hedge_model_;
   Options options_;
 
+  /// Private registry when Options::registry is null; registry_ always
+  /// points at the registry in use. Declared before metrics_ so the
+  /// instruments outlive every handle.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  Metrics metrics_;
+
   // Admission state: touched only under admission_mu_, only from Submit().
+  // The admission counters (submitted/admitted/shed/coalesced) live in
+  // metrics_; being written under admission_mu_ keeps them as deterministic
+  // as the fields they replaced.
   mutable std::mutex admission_mu_;
   std::vector<double> slot_free_vms_;  // per virtual slot
   std::priority_queue<double, std::vector<double>, std::greater<double>>
       pending_starts_;                  // est_start of not-yet-started work
   std::vector<double> est_services_;    // admitted est service times, sorted
-  size_t submitted_ = 0, admitted_ = 0, shed_ = 0, coalesced_ = 0;
-  double max_queue_len_ = 0.0;
   bool draining_ = false;
   /// Single-flight: latest flight per (skill, input) hash. Entries expire by
   /// virtual time (a new arrival past est_finish_vms starts a new flight and
@@ -261,11 +311,9 @@ class Server {
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 
-  // Results + execution-side stats.
+  // Results + execution-side stats (hedge counters live in metrics_).
   mutable std::mutex results_mu_;
   std::vector<Response> responses_;
-  size_t hedges_launched_ = 0, hedge_wins_ = 0;
-  common::Money hedge_cancelled_cost_;
 
   llm::UsageMeter meter_;
   SimulatedClock clock_;

@@ -20,6 +20,7 @@
 #include "llm/fault_injection.h"
 #include "llm/resilient.h"
 #include "llm/simulated.h"
+#include "obs/metrics.h"
 #include "serve/server.h"
 
 namespace llmdm {
@@ -234,6 +235,88 @@ TEST(ConcurrentSoak, ShardedCacheTotalsAreExactUnderThreads) {
   EXPECT_EQ(b.hits, a.hits);
   EXPECT_EQ(b.insertions, a.insertions);
   EXPECT_EQ(b.saved, a.saved);
+}
+
+// ---- The metrics registry ---------------------------------------------------
+
+TEST(ConcurrentMetrics, RegistryTotalsAreExactUnderThreads) {
+  // Instrument creation races with instrument writes from every thread; the
+  // registry hands back stable pointers and the lock-free instruments must
+  // not lose an update. Run under -DLLMDM_TSAN=ON like the rest of this
+  // suite.
+  obs::Registry registry;
+  constexpr size_t kThreads = 8, kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Each thread fetches its own handles (exercising GetOrCreate under
+      // contention) and writes shared series.
+      obs::Counter* events = registry.GetCounter("llmdm_soak_events_total");
+      obs::Counter* mine = registry.GetCounter(
+          "llmdm_soak_thread_total", {{"thread", std::to_string(t % 4)}});
+      obs::Gauge* high = registry.GetGauge("llmdm_soak_high_water");
+      obs::Histogram* lat = registry.GetHistogram(
+          "llmdm_soak_latency_vms", {}, obs::Histogram::LatencyBoundsVms());
+      for (size_t i = 0; i < kPerThread; ++i) {
+        events->Add(1);
+        mine->Add(1);
+        high->SetMax(static_cast<int64_t>(i));
+        lat->Observe(static_cast<double>(i % 50));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("llmdm_soak_events_total")->value(),
+            kThreads * kPerThread);
+  uint64_t per_thread_sum = 0;
+  for (size_t t = 0; t < 4; ++t) {
+    per_thread_sum +=
+        registry
+            .GetCounter("llmdm_soak_thread_total",
+                        {{"thread", std::to_string(t)}})
+            ->value();
+  }
+  EXPECT_EQ(per_thread_sum, kThreads * kPerThread);
+  EXPECT_EQ(registry.GetGauge("llmdm_soak_high_water")->value(),
+            static_cast<int64_t>(kPerThread - 1));
+  auto snap = registry
+                  .GetHistogram("llmdm_soak_latency_vms", {},
+                                obs::Histogram::LatencyBoundsVms())
+                  ->TakeSnapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  // Bucket counts must sum to the observation count — a torn histogram
+  // update breaks this conservation law.
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, snap.count);
+}
+
+TEST(ConcurrentMetrics, ExportIsByteIdenticalAcrossThreadCounts) {
+  // The same fixed workload observed through 1, 2 or 8 threads must export
+  // byte-identical text: every accumulation in the registry is integer.
+  auto run = [](size_t threads) {
+    obs::Registry registry;
+    obs::Counter* events = registry.GetCounter("llmdm_soak_events_total");
+    obs::Histogram* lat = registry.GetHistogram(
+        "llmdm_soak_latency_vms", {}, obs::Histogram::LatencyBoundsVms());
+    constexpr size_t kTotal = 1200;
+    std::vector<std::thread> pool;
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        const size_t per = kTotal / threads;
+        for (size_t i = 0; i < per; ++i) {
+          size_t k = t * per + i;
+          events->Add(1);
+          lat->Observe(0.25 * static_cast<double>(k % 200));
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    return registry.PrometheusText() + registry.JsonSnapshot();
+  };
+  std::string one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
 }
 
 // ---- The serving layer ------------------------------------------------------

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/optimize/cascade.h"
 #include "core/optimize/decomposition.h"
 #include "core/optimize/prompt_store.h"
@@ -8,6 +10,7 @@
 #include "data/qa_workload.h"
 #include "llm/simulated.h"
 #include "sql/database.h"
+#include "text/tokenizer.h"
 
 namespace llmdm::optimize {
 namespace {
@@ -490,6 +493,150 @@ TEST(CachedLlm, HitAvoidsCostMissPopulates) {
   EXPECT_EQ(second->cost.micros(), 0);
   EXPECT_EQ(second->text, first->text);
   EXPECT_EQ(cached.cache_hits(), 1u);
+}
+
+TEST(SemanticCache, SavingsLedgerCreditsInputAndOutput) {
+  // Bugfix regression: a hit replaces the whole bill — the caller's
+  // input-side estimate plus the cached response's output tokens at the
+  // output price — not just the input half.
+  SemanticCache cache(SemanticCache::Options{});
+  const std::string response = "SELECT name FROM stadium WHERE year = 2014";
+  cache.Insert("stadium concert names in 2014", response,
+               common::Money::FromDollars(0.01));
+  const common::Money input_side = common::Money::FromDollars(0.02);
+  const common::Money output_price = common::Money::FromDollars(0.002);
+  auto hit = cache.Lookup("stadium concert names in 2014", input_side,
+                          output_price);
+  ASSERT_TRUE(hit.has_value());
+  const common::Money expected =
+      input_side +
+      common::Money::FromMicros(
+          output_price.micros() *
+          static_cast<int64_t>(text::CountTokens(response)) / 1000);
+  EXPECT_EQ(hit->saved, expected);
+  EXPECT_GT(hit->saved, input_side);  // the output credit is real
+  EXPECT_EQ(cache.stats().saved, expected);
+  // The two-argument form still credits exactly the caller's estimate, so
+  // callers that price the whole bill themselves are unchanged.
+  auto input_only = cache.Lookup("stadium concert names in 2014", input_side);
+  ASSERT_TRUE(input_only.has_value());
+  EXPECT_EQ(input_only->saved, input_side);
+}
+
+TEST(CachedLlm, SavingsLedgerCreditsInputAndOutput) {
+  common::Rng rng(11);
+  auto kb = data::KnowledgeBase::Generate(30, rng);
+  auto models = llm::CreatePaperModelLadder(&kb, 123);
+  SemanticCache cache(SemanticCache::Options{});
+  CachedLlm cached(models[2], &cache);
+
+  llm::Prompt p = llm::MakePrompt(
+      "qa", data::RenderChainQuestion({"advisor"}, kb.entities()[0]));
+  auto first = cached.Complete(p);
+  ASSERT_TRUE(first.ok());
+  auto second = cached.Complete(p);
+  ASSERT_TRUE(second.ok());
+  const llm::ModelSpec& spec = models[2]->spec();
+  const common::Money expected =
+      common::Money::FromMicros(
+          spec.input_price_per_1k.micros() *
+          static_cast<int64_t>(p.CountInputTokens()) / 1000) +
+      common::Money::FromMicros(
+          spec.output_price_per_1k.micros() *
+          static_cast<int64_t>(text::CountTokens(first->text)) / 1000);
+  EXPECT_EQ(cache.stats().saved, expected);
+  EXPECT_GT(expected, common::Money::Zero());
+}
+
+TEST(SemanticCache, ChurnedShardsStayBoundedAndCompact) {
+  // Bugfix regression for the tombstone leak: eviction used to only flip
+  // live=false, so slots (and their payloads) accumulated for process
+  // lifetime. Now payloads are released at eviction and the shard compacts
+  // past the dead threshold, so memory is O(capacity) under any churn.
+  SemanticCache::Options options;
+  options.capacity = 8;
+  options.compact_min_dead = 4;
+  options.policy = EvictionPolicy::kLru;
+  SemanticCache cache(options);
+  constexpr size_t kInserts = 200;  // 25x capacity of distinct queries
+  for (size_t i = 0; i < kInserts; ++i) {
+    cache.Insert(
+        "churn query " + std::to_string(i) + " topic " + std::to_string(i * 3),
+        "answer " + std::to_string(i));
+  }
+  EXPECT_EQ(cache.Size(), options.capacity);
+  EXPECT_EQ(cache.stats().evictions, kInserts - options.capacity);
+  // Slots: live share + dead slots up to the compaction threshold.
+  const size_t slot_bound =
+      options.capacity + std::max(options.compact_min_dead, options.capacity) +
+      1;
+  EXPECT_LE(cache.TotalSlots(), slot_bound);
+  // Payload bytes: a generous per-slot envelope (256-float embedding plus
+  // short strings), nowhere near the ~kInserts entries the leak retained.
+  EXPECT_LE(cache.RetainedBytes(), slot_bound * 8192);
+  // The survivors are still found after all that index rebuilding.
+  auto hit = cache.Lookup("churn query 199 topic 597",
+                          common::Money::FromDollars(0.01));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->response, "answer 199");
+}
+
+TEST(SemanticCache, ChurnStatsAreByteStableAcrossRuns) {
+  // Compaction remaps ids and rebuilds indexes mid-stream; the observable
+  // behaviour (per-step hit decisions and the final ledger) must remain a
+  // pure function of the input stream.
+  auto run = [] {
+    SemanticCache::Options options;
+    options.capacity = 8;
+    options.compact_min_dead = 4;
+    SemanticCache cache(options);
+    std::string log;
+    for (size_t i = 0; i < 300; ++i) {
+      std::string q = "churn query " + std::to_string(i % 40) + " topic " +
+                      std::to_string((i * 7) % 11);
+      bool hit = cache.Lookup(q, common::Money::FromDollars(0.01)).has_value();
+      if (!hit) cache.Insert(q, "a");
+      log += hit ? 'H' : 'M';
+    }
+    auto s = cache.stats();
+    log += " " + std::to_string(s.hits) + "/" + std::to_string(s.evictions) +
+           "/" + std::to_string(cache.TotalSlots());
+    return log;
+  };
+  std::string a = run();
+  EXPECT_EQ(a, run());
+}
+
+TEST(SemanticCache, EvictedNearestNeighbourDoesNotShadowSecond) {
+  // Bugfix regression for dead-entry shadowing: when the nearest neighbour
+  // of a probe has been evicted, the probe must step past it to the live
+  // second-nearest instead of reporting a miss. Exercised on both index
+  // kinds — HNSW only mark-removes, so its index can still surface dead ids.
+  for (CacheIndexKind kind : {CacheIndexKind::kFlat, CacheIndexKind::kHnsw}) {
+    SemanticCache::Options options;
+    options.capacity = 2;
+    options.policy = EvictionPolicy::kLru;
+    options.similarity_threshold = 0.85;
+    options.index = kind;
+    options.ann_min_size = 1;  // force the graph path from the first entry
+    SemanticCache cache(options);
+    const std::string nearest =
+        "What are the names of stadiums that had concerts in 2014?";
+    const std::string second =
+        "Show the names of stadiums that had concerts in 2014";
+    cache.Insert(nearest, "answer nearest");
+    cache.Insert(second, "answer second");
+    // Touch `second` so `nearest` becomes the LRU victim...
+    ASSERT_TRUE(cache.Lookup(second).has_value());
+    // ...then push it out with an unrelated entry.
+    cache.Insert("completely different medical topic on insulin", "other");
+    EXPECT_EQ(cache.Size(), 2u);
+    // The probe's top match is the evicted entry; the live paraphrase right
+    // behind it must still hit.
+    auto hit = cache.Lookup(nearest, common::Money::FromDollars(0.01));
+    ASSERT_TRUE(hit.has_value()) << "index kind " << static_cast<int>(kind);
+    EXPECT_EQ(hit->response, "answer second");
+  }
 }
 
 // ---- prompt store -----------------------------------------------------------------
