@@ -12,6 +12,18 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${LLMDM_VERIFY_BUILD_DIR:-${repo_root}/build-verify}"
 
+# Every phase runs through stage(): a failure anywhere (including inside a
+# pipeline, via pipefail) lands in the ERR trap below, which names the stage
+# that died and the exit code it died with — instead of the bare `set -e`
+# exit that leaves the reader scrolling for the first red line.
+current_stage="startup"
+stage() {
+  current_stage="$1"
+  echo "== ${current_stage} =="
+}
+trap 'code=$?; echo "VERIFY FAILED in stage: ${current_stage} (exit ${code})" >&2; exit "${code}"' ERR
+
+stage "clean (${build_dir})"
 rm -rf "${build_dir}"
 
 generator=()
@@ -19,18 +31,27 @@ if command -v ninja >/dev/null 2>&1; then
   generator=(-G Ninja)
 fi
 
-echo "== configure (${build_dir}) =="
+stage "configure"
 cmake -B "${build_dir}" -S "${repo_root}" "${generator[@]}" "$@"
 
-echo "== build =="
+stage "build"
 cmake --build "${build_dir}" -j "$(nproc)"
 
-echo "== test =="
+stage "test"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 
-echo "== bench smoke (registry reconciliation) =="
+stage "bench smoke (registry reconciliation)"
 "${build_dir}/bench/bench_serve_overload" --benchmark-smoke \
   --metrics-out="${build_dir}/BENCH_serve_smoke.prom" >/dev/null
 echo "ok: registry snapshot reconciles and is byte-stable"
+
+stage "durability crash sweep"
+sweep_dir="$(mktemp -d "${build_dir}/crash-sweep.XXXXXX")"
+"${build_dir}/tests/llmdm_durability_harness" --mode=sweep --unit=cache \
+  --dir="${sweep_dir}" >/dev/null
+"${build_dir}/tests/llmdm_durability_harness" --mode=sweep --unit=prompts \
+  --dir="${sweep_dir}" >/dev/null
+rm -rf "${sweep_dir}"
+echo "ok: recovery is a clean prefix at every truncation offset"
 
 echo "VERIFY PASSED (${build_dir})"

@@ -4,6 +4,8 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "durability/format.h"
+#include "durability/store.h"
 #include "obs/trace.h"
 #include "text/tokenizer.h"
 #include "vectordb/flat_index.h"
@@ -26,6 +28,11 @@ SemanticCache::SemanticCache(const Options& options) : options_(options) {
     owned_registry_ = std::make_unique<obs::Registry>();
     registry_ = owned_registry_.get();
   }
+  InitShards();
+}
+
+void SemanticCache::InitShards() {
+  shards_.clear();
   const size_t n = options_.num_shards;
   // Divide the global capacity across shards: base share everywhere, the
   // remainder spread over the first shards, so the shares always sum to
@@ -37,6 +44,7 @@ SemanticCache::SemanticCache(const Options& options) : options_(options) {
     shards_.push_back(std::make_unique<Shard>(
         MakeIndex(), base + (i < extra ? 1 : 0), options_.doorkeeper_capacity));
     Shard& shard = *shards_.back();
+    shard.shard_id = i;
     obs::Labels labels{{"shard", std::to_string(i)}};
     ShardMetrics& m = shard.metrics;
     m.lookups = registry_->GetCounter("llmdm_cache_lookups_total", labels);
@@ -53,6 +61,10 @@ SemanticCache::SemanticCache(const Options& options) : options_(options) {
         registry_->GetCounter("llmdm_cache_reclaimed_slots_total", labels);
     m.live_entries = registry_->GetGauge("llmdm_cache_live_entries", labels);
     m.slots = registry_->GetGauge("llmdm_cache_slots", labels);
+    // Counters are process history and survive a reset; the state gauges
+    // must reflect the (now empty) cache.
+    m.live_entries->Set(0);
+    m.slots->Set(0);
   }
 }
 
@@ -115,7 +127,24 @@ double SemanticCache::EvictionScore(const Entry& entry) const {
   return 0.0;
 }
 
-void SemanticCache::EvictIfNeeded(Shard& shard) {
+void SemanticCache::KillSlot(Shard& shard, size_t slot) {
+  Entry& evicted = shard.entries[slot];
+  evicted.live = false;
+  // Release the payloads now — the slot itself lingers until compaction
+  // (ids must stay stable between compactions), but the strings and the
+  // embedding are the bytes that matter.
+  std::string().swap(evicted.query);
+  std::string().swap(evicted.response);
+  embed::Vector().swap(evicted.embedding);
+  shard.index->Remove(slot).ok();  // ignore status: id is known-present
+  --shard.live_count;
+  ++shard.dead_count;
+  shard.metrics.evictions->Add(1);
+  shard.metrics.live_entries->Set(static_cast<int64_t>(shard.live_count));
+}
+
+void SemanticCache::EvictIfNeeded(Shard& shard,
+                                  const durability::MutationGuard& guard) {
   while (shard.live_count > shard.capacity) {
     double worst = 1e300;
     size_t victim = shard.entries.size();
@@ -128,22 +157,22 @@ void SemanticCache::EvictIfNeeded(Shard& shard) {
       }
     }
     if (victim == shard.entries.size()) return;
-    Entry& evicted = shard.entries[victim];
-    evicted.live = false;
-    // Release the payloads now — the slot itself lingers until compaction
-    // (ids must stay stable between compactions), but the strings and the
-    // embedding are the bytes that matter.
-    std::string().swap(evicted.query);
-    std::string().swap(evicted.response);
-    embed::Vector().swap(evicted.embedding);
-    shard.index->Remove(victim).ok();  // ignore status: id is known-present
-    --shard.live_count;
-    ++shard.dead_count;
-    shard.metrics.evictions->Add(1);
-    shard.metrics.live_entries->Set(static_cast<int64_t>(shard.live_count));
+    KillSlot(shard, victim);
+    // The *outcome* is logged (which slot died), not the scoring that chose
+    // it — eviction scores read non-durable heat, so replaying the decision
+    // could pick a different victim.
+    std::string rec;
+    durability::AppendU8(&rec, static_cast<uint8_t>(WalOp::kEvict));
+    durability::AppendU32(&rec, static_cast<uint32_t>(shard.shard_id));
+    durability::AppendU64(&rec, victim);
+    LogWal(guard, std::move(rec));
   }
   if (shard.dead_count > std::max(options_.compact_min_dead, shard.capacity)) {
     CompactShard(shard);
+    std::string rec;
+    durability::AppendU8(&rec, static_cast<uint8_t>(WalOp::kCompact));
+    durability::AppendU32(&rec, static_cast<uint32_t>(shard.shard_id));
+    LogWal(guard, std::move(rec));
   }
 }
 
@@ -297,12 +326,20 @@ void SemanticCache::Insert(const std::string& query,
   // pre-sharding semantics under every interleaving.
   embed::Vector q;
   embedder_.EmbedInto(query, &q);
+  // Commit gate before the shard lock (ordering: gate -> shard.mu -> WAL
+  // file mutex): the mutation and its WAL record must land on the same side
+  // of any concurrent Checkpoint, or replay would re-apply an operation the
+  // snapshot already contains.
+  durability::MutationGuard guard = durable_ != nullptr
+                                        ? durable_->BeginMutation()
+                                        : durability::MutationGuard();
   Shard& shard = *shards_[ShardIndexFor(query)];
   std::lock_guard<std::mutex> lock(shard.mu);
   ++shard.tick;
   if (options_.predictive_admission) {
     if (!shard.doorkeeper.SeenAndNote(common::Fnv1a(query))) {
-      // First sighting: predicted unlikely to recur; do not admit.
+      // First sighting: predicted unlikely to recur; do not admit. Nothing
+      // durable changed, so nothing is logged.
       shard.metrics.admission_rejections->Add(1);
       return;
     }
@@ -317,6 +354,13 @@ void SemanticCache::Insert(const std::string& query,
       entry.response_tokens = text::CountTokens(response);
       entry.cost_to_produce = cost_to_produce;
       entry.last_used_tick = shard.tick;
+      std::string rec;
+      durability::AppendU8(&rec, static_cast<uint8_t>(WalOp::kRefresh));
+      durability::AppendU32(&rec, static_cast<uint32_t>(shard.shard_id));
+      durability::AppendU64(&rec, nearest[0].id);
+      durability::AppendString(&rec, response);
+      durability::AppendI64(&rec, cost_to_produce.micros());
+      LogWal(guard, std::move(rec));
       return;
     }
   }
@@ -333,7 +377,14 @@ void SemanticCache::Insert(const std::string& query,
   ++shard.live_count;
   shard.metrics.live_entries->Set(static_cast<int64_t>(shard.live_count));
   shard.metrics.slots->Set(static_cast<int64_t>(shard.entries.size()));
-  EvictIfNeeded(shard);
+  std::string rec;
+  durability::AppendU8(&rec, static_cast<uint8_t>(WalOp::kInsert));
+  durability::AppendU32(&rec, static_cast<uint32_t>(shard.shard_id));
+  durability::AppendString(&rec, query);
+  durability::AppendString(&rec, response);
+  durability::AppendI64(&rec, cost_to_produce.micros());
+  LogWal(guard, std::move(rec));
+  EvictIfNeeded(shard, guard);
 }
 
 size_t SemanticCache::Size() const {
@@ -390,6 +441,189 @@ size_t SemanticCache::doorkeeper_entries() const {
     total += shard->doorkeeper.entries();
   }
   return total;
+}
+
+void SemanticCache::AttachDurability(durability::DurableStore* store) {
+  durable_ = store;
+}
+
+void SemanticCache::LogWal(const durability::MutationGuard& guard,
+                           std::string payload) {
+  if (durable_ == nullptr) return;
+  // A failed append is either the harness's injected crash (the process's
+  // in-memory state is about to be discarded and re-derived from disk) or a
+  // real I/O failure, which the next Sync/Checkpoint surfaces loudly.
+  durable_->Append(guard, payload).ok();
+}
+
+void SemanticCache::ResetToEmpty() { InitShards(); }
+
+common::Status SemanticCache::SaveSnapshot(std::string* out) const {
+  // Full slot layout, dead slots included: WAL records written after this
+  // snapshot address slots by id, so the image must preserve the id space
+  // exactly (a checkpoint must not double as a compaction). Dead slots cost
+  // one byte each and disappear at the next logged kCompact.
+  durability::AppendU32(out, static_cast<uint32_t>(shards_.size()));
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    durability::AppendU64(out, shard.entries.size());
+    for (const Entry& entry : shard.entries) {
+      durability::AppendU8(out, entry.live ? 1 : 0);
+      if (entry.live) {
+        durability::AppendString(out, entry.query);
+        durability::AppendString(out, entry.response);
+        durability::AppendI64(out, entry.cost_to_produce.micros());
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Status SemanticCache::LoadSnapshot(durability::ByteReader& in) {
+  uint32_t num_shards = 0;
+  LLMDM_RETURN_IF_ERROR(in.ReadU32(&num_shards));
+  if (num_shards != shards_.size()) {
+    return common::Status::InvalidArgument(
+        "cache snapshot written with " + std::to_string(num_shards) +
+        " shards, cache configured with " + std::to_string(shards_.size()));
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    uint64_t slots = 0;
+    LLMDM_RETURN_IF_ERROR(in.ReadU64(&slots));
+    shard.entries.reserve(slots);
+    for (uint64_t i = 0; i < slots; ++i) {
+      uint8_t live = 0;
+      LLMDM_RETURN_IF_ERROR(in.ReadU8(&live));
+      Entry entry;
+      entry.live = live != 0;
+      if (entry.live) {
+        LLMDM_RETURN_IF_ERROR(in.ReadString(&entry.query));
+        LLMDM_RETURN_IF_ERROR(in.ReadString(&entry.response));
+        int64_t cost_micros = 0;
+        LLMDM_RETURN_IF_ERROR(in.ReadI64(&cost_micros));
+        // Derived state is recomputed, not stored: the embedder and
+        // tokenizer are deterministic, so the rebuilt entry matches the one
+        // that was saved.
+        embedder_.EmbedInto(entry.query, &entry.embedding);
+        entry.response_tokens = text::CountTokens(entry.response);
+        entry.cost_to_produce = common::Money::FromMicros(cost_micros);
+      }
+      shard.entries.push_back(std::move(entry));
+      if (shard.entries.back().live) {
+        shard.index->Add(i, shard.entries.back().embedding).ok();
+        ++shard.live_count;
+      } else {
+        ++shard.dead_count;
+      }
+    }
+    shard.metrics.live_entries->Set(static_cast<int64_t>(shard.live_count));
+    shard.metrics.slots->Set(static_cast<int64_t>(shard.entries.size()));
+  }
+  return common::Status::Ok();
+}
+
+common::Status SemanticCache::ApplyWalRecord(std::string_view payload) {
+  durability::ByteReader in(payload);
+  uint8_t op = 0;
+  LLMDM_RETURN_IF_ERROR(in.ReadU8(&op));
+  switch (static_cast<WalOp>(op)) {
+    case WalOp::kInsert:
+      return ApplyInsertRecord(in);
+    case WalOp::kRefresh:
+      return ApplyRefreshRecord(in);
+    case WalOp::kEvict:
+      return ApplyEvictRecord(in);
+    case WalOp::kCompact:
+      return ApplyCompactRecord(in);
+  }
+  return common::Status::InvalidArgument("unknown cache WAL op " +
+                                         std::to_string(op));
+}
+
+common::Status SemanticCache::ApplyInsertRecord(durability::ByteReader& in) {
+  uint32_t shard_id = 0;
+  Entry entry;
+  int64_t cost_micros = 0;
+  LLMDM_RETURN_IF_ERROR(in.ReadU32(&shard_id));
+  LLMDM_RETURN_IF_ERROR(in.ReadString(&entry.query));
+  LLMDM_RETURN_IF_ERROR(in.ReadString(&entry.response));
+  LLMDM_RETURN_IF_ERROR(in.ReadI64(&cost_micros));
+  if (shard_id >= shards_.size()) {
+    return common::Status::InvalidArgument(
+        "cache WAL record for shard " + std::to_string(shard_id) + " of " +
+        std::to_string(shards_.size()));
+  }
+  Shard& shard = *shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  embedder_.EmbedInto(entry.query, &entry.embedding);
+  entry.response_tokens = text::CountTokens(entry.response);
+  entry.cost_to_produce = common::Money::FromMicros(cost_micros);
+  size_t id = shard.entries.size();
+  shard.entries.push_back(std::move(entry));
+  shard.index->Add(id, shard.entries.back().embedding).ok();
+  ++shard.live_count;
+  shard.metrics.insertions->Add(1);
+  shard.metrics.live_entries->Set(static_cast<int64_t>(shard.live_count));
+  shard.metrics.slots->Set(static_cast<int64_t>(shard.entries.size()));
+  return common::Status::Ok();
+}
+
+common::Status SemanticCache::ApplyRefreshRecord(durability::ByteReader& in) {
+  uint32_t shard_id = 0;
+  uint64_t slot = 0;
+  std::string response;
+  int64_t cost_micros = 0;
+  LLMDM_RETURN_IF_ERROR(in.ReadU32(&shard_id));
+  LLMDM_RETURN_IF_ERROR(in.ReadU64(&slot));
+  LLMDM_RETURN_IF_ERROR(in.ReadString(&response));
+  LLMDM_RETURN_IF_ERROR(in.ReadI64(&cost_micros));
+  if (shard_id >= shards_.size()) {
+    return common::Status::InvalidArgument("cache WAL refresh: bad shard");
+  }
+  Shard& shard = *shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (slot >= shard.entries.size() || !shard.entries[slot].live) {
+    return common::Status::InvalidArgument(
+        "cache WAL refresh of missing/dead slot " + std::to_string(slot));
+  }
+  Entry& entry = shard.entries[slot];
+  entry.response = std::move(response);
+  entry.response_tokens = text::CountTokens(entry.response);
+  entry.cost_to_produce = common::Money::FromMicros(cost_micros);
+  return common::Status::Ok();
+}
+
+common::Status SemanticCache::ApplyEvictRecord(durability::ByteReader& in) {
+  uint32_t shard_id = 0;
+  uint64_t slot = 0;
+  LLMDM_RETURN_IF_ERROR(in.ReadU32(&shard_id));
+  LLMDM_RETURN_IF_ERROR(in.ReadU64(&slot));
+  if (shard_id >= shards_.size()) {
+    return common::Status::InvalidArgument("cache WAL evict: bad shard");
+  }
+  Shard& shard = *shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (slot >= shard.entries.size() || !shard.entries[slot].live) {
+    return common::Status::InvalidArgument(
+        "cache WAL evict of missing/dead slot " + std::to_string(slot));
+  }
+  KillSlot(shard, slot);
+  return common::Status::Ok();
+}
+
+common::Status SemanticCache::ApplyCompactRecord(durability::ByteReader& in) {
+  uint32_t shard_id = 0;
+  LLMDM_RETURN_IF_ERROR(in.ReadU32(&shard_id));
+  if (shard_id >= shards_.size()) {
+    return common::Status::InvalidArgument("cache WAL compact: bad shard");
+  }
+  Shard& shard = *shards_[shard_id];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  CompactShard(shard);
+  return common::Status::Ok();
 }
 
 common::Result<llm::Completion> CachedLlm::Complete(const llm::Prompt& prompt) {

@@ -9,11 +9,16 @@
 #include <unordered_set>
 #include <vector>
 
+#include "durability/durable.h"
 #include "embed/embedder.h"
 #include "llm/model.h"
 #include "llm/resilient.h"
 #include "obs/metrics.h"
 #include "vectordb/index.h"
+
+namespace llmdm::durability {
+class DurableStore;
+}  // namespace llmdm::durability
 
 namespace llmdm::optimize {
 
@@ -81,7 +86,7 @@ class Doorkeeper {
 /// Reuse lookups consult only the query's shard (the hot path touches one
 /// lock); augmentation and stale lookups search every shard, since their
 /// candidates may hash anywhere.
-class SemanticCache {
+class SemanticCache : public durability::DurableState {
  public:
   struct Options {
     double similarity_threshold = 0.9;
@@ -202,7 +207,33 @@ class SemanticCache {
   /// private per-instance registry).
   obs::Registry* registry() const { return registry_; }
 
+  /// Attaches a DurableStore (src/durability/): from here on every
+  /// insert/refresh/evict/compact is logged as a physical WAL record under
+  /// the store's commit gate. Call during setup — typically right after
+  /// DurableStore::Open has replayed this cache back to its recovered state
+  /// — not while other threads are using the cache. Pass nullptr to detach.
+  void AttachDurability(durability::DurableStore* store);
+
+  // DurableState implementation. The durable image is the payload state
+  // (queries, responses, costs, slot layout including dead slots — WAL slot
+  // ids stay valid across a checkpoint); heat (ticks, hit counts, the
+  // doorkeeper window, metric counters) is process-local and re-learned.
+  void ResetToEmpty() override;
+  common::Status SaveSnapshot(std::string* out) const override;
+  common::Status LoadSnapshot(durability::ByteReader& in) override;
+  common::Status ApplyWalRecord(std::string_view payload) override;
+
  private:
+  /// Physical WAL record kinds. Replay re-applies the *outcome* of each
+  /// mutation (which slot, which shard) rather than re-running admission or
+  /// eviction heuristics, which consult non-durable heat and would diverge.
+  enum class WalOp : uint8_t {
+    kInsert = 1,   // shard, query, response, cost -> append a new slot
+    kRefresh = 2,  // shard, slot, response, cost  -> overwrite payload
+    kEvict = 3,    // shard, slot                  -> mark dead
+    kCompact = 4,  // shard                        -> stable-compact
+  };
+
   struct Entry {
     std::string query;
     std::string response;
@@ -248,6 +279,7 @@ class SemanticCache {
     /// check it before dereferencing.
     uint64_t generation = 0;
     size_t capacity = 0;  // this shard's share of Options::capacity
+    size_t shard_id = 0;  // position in shards_, for WAL record encoding
     Doorkeeper doorkeeper;
     ShardMetrics metrics;
   };
@@ -255,7 +287,22 @@ class SemanticCache {
   size_t ShardIndexFor(std::string_view query) const;
   std::unique_ptr<vectordb::VectorIndex> MakeIndex() const;
   double EvictionScore(const Entry& entry) const;
-  void EvictIfNeeded(Shard& shard);  // requires shard.mu
+  /// (Re)creates the shard array empty; shared by the constructor and
+  /// ResetToEmpty. Instruments are re-fetched from the registry, so counters
+  /// survive a reset (they are process metrics, not cache state).
+  void InitShards();
+  /// Appends one WAL record when durability is attached; no-op otherwise.
+  /// The guard must be held whenever shard state is being mutated.
+  void LogWal(const durability::MutationGuard& guard, std::string payload);
+  common::Status ApplyInsertRecord(durability::ByteReader& in);
+  common::Status ApplyRefreshRecord(durability::ByteReader& in);
+  common::Status ApplyEvictRecord(durability::ByteReader& in);
+  common::Status ApplyCompactRecord(durability::ByteReader& in);
+  /// Marks `slot` dead and releases its payloads (the shared mutation both
+  /// live eviction and WAL replay perform). Requires shard.mu.
+  void KillSlot(Shard& shard, size_t slot);
+  void EvictIfNeeded(Shard& shard,
+                     const durability::MutationGuard& guard);  // requires mu
   /// Stable-compacts `shard.entries` down to its live entries (preserving
   /// relative id order, so tie-breaks and eviction scans behave exactly as
   /// before) and rebuilds the index over the remapped ids. Requires
@@ -274,6 +321,7 @@ class SemanticCache {
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
+  durability::DurableStore* durable_ = nullptr;  // not owned; may be null
 };
 
 /// An LlmModel decorator that consults a SemanticCache before calling the

@@ -1,0 +1,78 @@
+#ifndef LLMDM_DURABILITY_DURABLE_H_
+#define LLMDM_DURABILITY_DURABLE_H_
+
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "durability/format.h"
+
+namespace llmdm::durability {
+
+/// A component whose state can be captured as a point-in-time byte image and
+/// restored from one. The image is the component's *durable* state — the
+/// bytes that cost money to rebuild (queries, responses, vectors, outcome
+/// tallies). Process-local heat (ticks, hit counters, doorkeeper windows,
+/// metric counters) is deliberately excluded: it is cheap to re-learn, and
+/// excluding it makes "recovered state == reference state" a byte-equality
+/// check (two stores that applied the same operations serialize identically
+/// even if one of them also served lookups).
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+
+  /// Drops all state, returning the component to its freshly constructed
+  /// (empty) form. Recovery-time only: not thread-safe against concurrent
+  /// use of the component.
+  virtual void ResetToEmpty() = 0;
+
+  /// Appends the durable image to `out`. Must be a pure function of durable
+  /// state: save → load → save must reproduce the bytes exactly.
+  virtual common::Status SaveSnapshot(std::string* out) const = 0;
+
+  /// Rebuilds state from an image produced by SaveSnapshot. Called on an
+  /// empty component (after ResetToEmpty); derived data (embeddings, token
+  /// counts, index graphs) is recomputed deterministically.
+  virtual common::Status LoadSnapshot(ByteReader& in) = 0;
+};
+
+/// A component that can re-apply its own WAL records. Records are *physical*
+/// (insert this entry, evict this slot, compact this shard) rather than
+/// logical, so replay bypasses admission/eviction heuristics and lands in
+/// exactly the state the original process reached — heuristics may consult
+/// non-durable heat, and re-running them on replay would diverge.
+class WalReplayable {
+ public:
+  virtual ~WalReplayable() = default;
+
+  /// Applies one record payload (as passed to DurableStore::Append). Returns
+  /// an error only for structurally impossible records (a checksummed-valid
+  /// record referencing a missing slot means a format bug or a WAL from an
+  /// incompatible configuration) — torn/corrupt tails never reach here.
+  virtual common::Status ApplyWalRecord(std::string_view payload) = 0;
+};
+
+/// What DurableStore manages: snapshot + WAL over one component.
+class DurableState : public Snapshottable, public WalReplayable {};
+
+/// Shared-side handle on a store's commit gate. A component holds one across
+/// "mutate state, then append the WAL record" so a concurrent Checkpoint
+/// (which takes the exclusive side) can never serialize a snapshot between
+/// the mutation and its record — the torn interleaving that would replay an
+/// operation on top of a snapshot that already contains it. Default
+/// constructed = empty (no durability attached); cheap to move.
+class MutationGuard {
+ public:
+  MutationGuard() = default;
+  explicit MutationGuard(std::shared_mutex& mu) : lock_(mu) {}
+
+  bool held() const { return lock_.owns_lock(); }
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace llmdm::durability
+
+#endif  // LLMDM_DURABILITY_DURABLE_H_

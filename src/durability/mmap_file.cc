@@ -1,0 +1,63 @@
+#include "durability/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace llmdm::durability {
+
+common::Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return common::Status::NotFound("no such file: " + path);
+    }
+    return common::Status::Internal("open(" + path +
+                                    "): " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return common::Status::Internal("fstat(" + path +
+                                    "): " + std::strerror(err));
+  }
+  MappedFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ > 0) {
+    void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return common::Status::Internal("mmap(" + path +
+                                      "): " + std::strerror(err));
+    }
+    out.addr_ = addr;
+    out.mapped_ = true;
+  }
+  ::close(fd);  // the mapping survives the descriptor
+  return out;
+}
+
+MappedFile::~MappedFile() {
+  if (mapped_) ::munmap(addr_, size_);
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (mapped_) ::munmap(addr_, size_);
+    addr_ = other.addr_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.addr_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+}  // namespace llmdm::durability

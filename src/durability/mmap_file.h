@@ -1,0 +1,46 @@
+#ifndef LLMDM_DURABILITY_MMAP_FILE_H_
+#define LLMDM_DURABILITY_MMAP_FILE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace llmdm::durability {
+
+/// Read-only memory-mapped file: the shared read path under WAL replay and
+/// snapshot loading (parsers run directly over the mapping, no copy). An
+/// empty file maps to an empty view (mmap(2) rejects length 0, so that case
+/// is handled without a mapping) — a zero-length WAL or snapshot left by a
+/// crash before the first sync must open cleanly, not error. Move-only;
+/// unmaps on destruction. Keep the object alive for as long as any
+/// string_view into data() is in use.
+class MappedFile {
+ public:
+  /// kNotFound if the path does not exist; kInternal for I/O errors.
+  static common::Result<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view data() const {
+    if (size_ == 0) return std::string_view();
+    return std::string_view(static_cast<const char*>(addr_), size_);
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;  // size 0 files have no mapping to release
+};
+
+}  // namespace llmdm::durability
+
+#endif  // LLMDM_DURABILITY_MMAP_FILE_H_

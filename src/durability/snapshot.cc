@@ -1,0 +1,127 @@
+#include "durability/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+#include "durability/format.h"
+
+namespace llmdm::durability {
+
+namespace {
+
+constexpr char kSnapMagic[8] = {'L', 'D', 'M', 'S', 'N', 'A', 'P', '1'};
+constexpr uint64_t kMaxSnapshotPayload = 1ull << 40;
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+common::Status WriteFully(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return common::Status::Internal(std::string("write: ") +
+                                      std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+SnapshotView ParseSnapshot(std::string_view bytes) {
+  SnapshotView out;
+  if (bytes.size() < kSnapshotHeaderSize) return out;
+  if (std::memcmp(bytes.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    return out;
+  }
+  ByteReader header(
+      bytes.substr(sizeof(kSnapMagic), kSnapshotHeaderSize - sizeof(kSnapMagic)));
+  uint32_t version = 0;
+  uint64_t epoch = 0;
+  uint64_t payload_len = 0;
+  if (!header.ReadU32(&version).ok() || !header.ReadU64(&epoch).ok() ||
+      !header.ReadU64(&payload_len).ok()) {
+    return out;
+  }
+  if (version != kSnapshotVersion) return out;
+  if (payload_len > kMaxSnapshotPayload) return out;
+  if (bytes.size() - kSnapshotHeaderSize < payload_len + sizeof(uint64_t)) {
+    return out;  // truncated payload or missing trailing checksum
+  }
+  std::string_view payload = bytes.substr(kSnapshotHeaderSize, payload_len);
+  ByteReader trailer(
+      bytes.substr(kSnapshotHeaderSize + payload_len, sizeof(uint64_t)));
+  uint64_t checksum = 0;
+  if (!trailer.ReadU64(&checksum).ok()) return out;
+  // The checksum covers everything after the magic — version, epoch, length
+  // AND payload — so a bit flip in the epoch cannot validate and silently
+  // pair the snapshot with the wrong WAL.
+  std::string_view covered =
+      bytes.substr(sizeof(kSnapMagic), kSnapshotHeaderSize -
+                                           sizeof(kSnapMagic) + payload_len);
+  if (common::Fnv1a(covered) != checksum) return out;
+  out.valid = true;
+  out.epoch = epoch;
+  out.payload = payload;
+  return out;
+}
+
+common::Status WriteSnapshotFile(const std::string& path, uint64_t epoch,
+                                 std::string_view payload, bool fsync) {
+  std::string bytes;
+  bytes.reserve(kSnapshotHeaderSize + payload.size() + sizeof(uint64_t));
+  bytes.append(kSnapMagic, sizeof(kSnapMagic));
+  AppendU32(&bytes, kSnapshotVersion);
+  AppendU64(&bytes, epoch);
+  AppendU64(&bytes, payload.size());
+  bytes.append(payload.data(), payload.size());
+  AppendU64(&bytes, common::Fnv1a(std::string_view(bytes).substr(
+                        sizeof(kSnapMagic))));
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return common::Status::Internal("open(" + tmp +
+                                    "): " + std::strerror(errno));
+  }
+  common::Status s = WriteFully(fd, bytes.data(), bytes.size());
+  if (s.ok() && fsync && ::fdatasync(fd) != 0) {
+    s = common::Status::Internal("fdatasync(" + tmp +
+                                 "): " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return common::Status::Internal("rename(" + tmp + ", " + path +
+                                    "): " + std::strerror(err));
+  }
+  if (fsync) {
+    // Make the rename itself durable: the directory entry is metadata of the
+    // directory, not the file.
+    int dfd = ::open(DirOf(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace llmdm::durability

@@ -53,7 +53,10 @@ Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
       registry_->GetCounter("llmdm_serve_hedge_cancelled_cost_micros_total");
   metrics_.coalesce_saved_micros =
       registry_->GetCounter("llmdm_serve_coalesce_saved_micros_total");
+  metrics_.maintenance_runs =
+      registry_->GetCounter("llmdm_serve_maintenance_runs_total");
   metrics_.max_queue_len = registry_->GetGauge("llmdm_serve_max_queue_len");
+  next_maintenance_vms_ = options_.maintenance_interval_vms;
   metrics_.queue_wait_vms = registry_->GetHistogram(
       "llmdm_serve_queue_wait_vms", {}, obs::Histogram::LatencyBoundsVms());
   metrics_.latency_vms = registry_->GetHistogram(
@@ -90,6 +93,18 @@ void Server::Submit(const Request& request) {
   std::lock_guard<std::mutex> lock(admission_mu_);
   if (draining_) return;  // late submissions after Drain() are dropped
   metrics_.submitted->Add(1);
+
+  // Virtual-clock maintenance: fire once per crossed interval boundary (a
+  // long arrival gap catches up, one run per boundary), before this
+  // request's own admission — so the decision sequence is identical for
+  // every run of the same workload.
+  if (options_.maintenance_interval_vms > 0 && options_.maintenance_hook) {
+    while (request.arrival_vms >= next_maintenance_vms_) {
+      options_.maintenance_hook();
+      metrics_.maintenance_runs->Add(1);
+      next_maintenance_vms_ += options_.maintenance_interval_vms;
+    }
+  }
 
   // Retire virtual work that has started by this arrival; what remains is
   // the waiting queue the new request would join.

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -180,6 +181,16 @@ class Server {
     /// per server to aggregate a stack (two servers sharing a registry share
     /// series).
     obs::Registry* registry = nullptr;
+    /// Periodic maintenance driven by *virtual* time: when interval > 0 and
+    /// a hook is set, Submit() fires the hook synchronously (on the
+    /// submitting thread, under the admission lock, in arrival order) each
+    /// time a request's arrival_vms crosses the next interval boundary. The
+    /// deterministic home for durability checkpoints / WAL compaction — the
+    /// same workload fires maintenance at the same points regardless of
+    /// thread count or wall-clock speed. Keep the hook bounded: it blocks
+    /// admission while it runs.
+    double maintenance_interval_vms = 0.0;
+    std::function<void()> maintenance_hook;
   };
 
   /// `model` serves primaries; `hedge_model` (defaults to `model`) serves
@@ -261,6 +272,7 @@ class Server {
     obs::Counter* hedge_wins = nullptr;
     obs::Counter* hedge_cancelled_cost_micros = nullptr;
     obs::Counter* coalesce_saved_micros = nullptr;
+    obs::Counter* maintenance_runs = nullptr;
     obs::Gauge* max_queue_len = nullptr;
     obs::Histogram* queue_wait_vms = nullptr;
     obs::Histogram* latency_vms = nullptr;
@@ -297,6 +309,8 @@ class Server {
   std::priority_queue<double, std::vector<double>, std::greater<double>>
       pending_starts_;                  // est_start of not-yet-started work
   std::vector<double> est_services_;    // admitted est service times, sorted
+  /// Next virtual-time boundary at which the maintenance hook fires.
+  double next_maintenance_vms_ = 0.0;
   bool draining_ = false;
   /// Single-flight: latest flight per (skill, input) hash. Entries expire by
   /// virtual time (a new arrival past est_finish_vms starts a new flight and

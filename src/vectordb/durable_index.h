@@ -1,0 +1,77 @@
+#ifndef LLMDM_VECTORDB_DURABLE_INDEX_H_
+#define LLMDM_VECTORDB_DURABLE_INDEX_H_
+
+#include <memory>
+#include <string_view>
+
+#include "durability/durable.h"
+#include "vectordb/hnsw_index.h"
+#include "vectordb/index.h"
+
+namespace llmdm::durability {
+class DurableStore;
+}  // namespace llmdm::durability
+
+namespace llmdm::vectordb {
+
+/// A VectorIndex with durable state: wraps a flat or HNSW index and logs
+/// every Add/Remove as a physical WAL record once a DurableStore is
+/// attached.
+///
+/// The durable image is the *vector set* — the sorted live (id, vector)
+/// pairs — never the index structure. A flat index restores trivially; an
+/// HNSW index is rebuilt by re-inserting the pairs in ascending id order
+/// with a fresh level rng. The rebuilt graph is therefore a function of the
+/// surviving vectors alone (deterministic across recoveries of the same
+/// files) but not bit-identical to the pre-crash graph, whose shape depended
+/// on the original insert/remove interleaving: an approximate index promises
+/// equivalent *contents*, not an identical search path. Exact results (the
+/// flat kind) are unaffected.
+class DurableVectorIndex : public VectorIndex, public durability::DurableState {
+ public:
+  enum class Kind { kFlat, kHnsw };
+
+  struct Options {
+    Kind kind = Kind::kFlat;
+    HnswIndex::Options hnsw;  // used when kind == kHnsw
+  };
+
+  explicit DurableVectorIndex(const Options& options);
+
+  // VectorIndex. Not internally synchronized (same contract as the other
+  // indexes — callers own the locking); mutations are logged under the
+  // attached store's commit gate.
+  common::Status Add(uint64_t id, Vector vector) override;
+  common::Status Remove(uint64_t id) override;
+  bool Contains(uint64_t id) const override;
+  size_t Size() const override;
+  std::vector<SearchResult> Search(const Vector& query,
+                                   size_t k) const override;
+  void ForEach(const std::function<void(uint64_t, const Vector&)>& fn)
+      const override;
+
+  /// See SemanticCache::AttachDurability for the setup contract.
+  void AttachDurability(durability::DurableStore* store);
+
+  // DurableState.
+  void ResetToEmpty() override;
+  common::Status SaveSnapshot(std::string* out) const override;
+  common::Status LoadSnapshot(durability::ByteReader& in) override;
+  common::Status ApplyWalRecord(std::string_view payload) override;
+
+ private:
+  enum class WalOp : uint8_t {
+    kAdd = 1,     // id, floats -> insert/replace
+    kRemove = 2,  // id         -> delete (tombstone under HNSW)
+  };
+
+  std::unique_ptr<VectorIndex> MakeInner() const;
+
+  Options options_;
+  std::unique_ptr<VectorIndex> inner_;
+  durability::DurableStore* durable_ = nullptr;  // not owned; may be null
+};
+
+}  // namespace llmdm::vectordb
+
+#endif  // LLMDM_VECTORDB_DURABLE_INDEX_H_

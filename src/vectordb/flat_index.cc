@@ -35,4 +35,13 @@ std::vector<SearchResult> FlatIndex::Search(const Vector& query,
   return all;
 }
 
+void FlatIndex::ForEach(
+    const std::function<void(uint64_t, const Vector&)>& fn) const {
+  std::vector<uint64_t> ids;
+  ids.reserve(vectors_.size());
+  for (const auto& [id, vector] : vectors_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) fn(id, vectors_.at(id));
+}
+
 }  // namespace llmdm::vectordb

@@ -22,6 +22,9 @@ class FlatIndex : public VectorIndex {
   std::vector<SearchResult> Search(const Vector& query,
                                    size_t k) const override;
 
+  void ForEach(const std::function<void(uint64_t, const Vector&)>& fn)
+      const override;
+
  private:
   std::unordered_map<uint64_t, Vector> vectors_;
 };

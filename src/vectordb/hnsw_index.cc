@@ -182,4 +182,15 @@ std::vector<SearchResult> HnswIndex::Search(const Vector& query,
   return out;
 }
 
+void HnswIndex::ForEach(
+    const std::function<void(uint64_t, const Vector&)>& fn) const {
+  std::vector<uint64_t> ids;
+  ids.reserve(live_count_);
+  for (const auto& [id, node] : id_to_node_) {
+    if (!nodes_[node].deleted) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) fn(id, nodes_[id_to_node_.at(id)].vector);
+}
+
 }  // namespace llmdm::vectordb

@@ -38,6 +38,10 @@ class HnswIndex : public VectorIndex {
   std::vector<SearchResult> Search(const Vector& query,
                                    size_t k) const override;
 
+  /// Live (non-tombstoned) vectors only, ascending external id.
+  void ForEach(const std::function<void(uint64_t, const Vector&)>& fn)
+      const override;
+
   size_t ef_search() const { return options_.ef_search; }
   void set_ef_search(size_t ef) { options_.ef_search = ef; }
 

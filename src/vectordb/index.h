@@ -2,6 +2,7 @@
 #define LLMDM_VECTORDB_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/status.h"
@@ -34,6 +35,13 @@ class VectorIndex {
   /// Top-k by cosine similarity, best first. May return fewer than k.
   virtual std::vector<SearchResult> Search(const Vector& query,
                                            size_t k) const = 0;
+
+  /// Invokes `fn(id, vector)` once per *live* vector, in ascending id order.
+  /// The ordering is part of the contract: durability snapshots and
+  /// rebuild-by-reinsertion both consume this iteration, and they need two
+  /// indexes holding the same vectors to enumerate them identically.
+  virtual void ForEach(
+      const std::function<void(uint64_t, const Vector&)>& fn) const = 0;
 };
 
 }  // namespace llmdm::vectordb

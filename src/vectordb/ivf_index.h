@@ -34,6 +34,9 @@ class IvfIndex : public VectorIndex {
   std::vector<SearchResult> Search(const Vector& query,
                                    size_t k) const override;
 
+  void ForEach(const std::function<void(uint64_t, const Vector&)>& fn)
+      const override;
+
   /// Forces a (re)build of the coarse quantizer; otherwise it happens lazily.
   void Build();
 

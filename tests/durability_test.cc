@@ -1,0 +1,831 @@
+// Durability suite (ctest label `durability`): the WAL and snapshot formats,
+// DurableStore recovery policy, and crash-consistent recovery of the durable
+// components (semantic cache, prompt store, vector indexes). The exhaustive
+// every-byte crash sweep lives in durability_harness.cc; these tests pin the
+// individual format and policy contracts the sweep's guarantee rests on.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/money.h"
+#include "core/optimize/prompt_store.h"
+#include "core/optimize/semantic_cache.h"
+#include "durability/format.h"
+#include "durability/mmap_file.h"
+#include "durability/snapshot.h"
+#include "durability/store.h"
+#include "durability/wal.h"
+#include "gtest/gtest.h"
+#include "llm/simulated.h"
+#include "llm/skills.h"
+#include "serve/server.h"
+#include "vectordb/durable_index.h"
+
+namespace llmdm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+/// Self-cleaning scratch directory; best-effort removal (recovery creates
+/// files with predictable names, so plain unlink on the survivors suffices).
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = ::testing::TempDir() + "llmdm_dur_XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* made = ::mkdtemp(buf.data());
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : tmpl;
+  }
+  ~TempDir() {
+    for (const std::string& name : cleanup_) {
+      ::unlink((path_ + "/" + name).c_str());
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+  /// Register a file for removal at teardown.
+  void Track(const std::string& name) { cleanup_.push_back(name); }
+
+ private:
+  std::string path_;
+  std::vector<std::string> cleanup_;
+};
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+std::string Image(const durability::DurableState& state) {
+  std::string out;
+  EXPECT_TRUE(state.SaveSnapshot(&out).ok());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level encoding.
+
+TEST(DurabilityFormat, RoundtripsEveryType) {
+  std::string buf;
+  durability::AppendU8(&buf, 7);
+  durability::AppendU32(&buf, 0xDEADBEEFu);
+  durability::AppendU64(&buf, 0x0123456789ABCDEFull);
+  durability::AppendI64(&buf, -42);
+  durability::AppendString(&buf, "hello\0world");  // embedded NUL survives? no:
+  // string_view from a literal stops at the NUL — use an explicit view.
+  durability::AppendString(&buf, std::string_view("a\0b", 3));
+  durability::AppendFloats(&buf, {1.5f, -0.25f, 3.0f});
+
+  durability::ByteReader in(buf);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  std::string s1, s2;
+  std::vector<float> floats;
+  ASSERT_TRUE(in.ReadU8(&u8).ok());
+  ASSERT_TRUE(in.ReadU32(&u32).ok());
+  ASSERT_TRUE(in.ReadU64(&u64).ok());
+  ASSERT_TRUE(in.ReadI64(&i64).ok());
+  ASSERT_TRUE(in.ReadString(&s1).ok());
+  ASSERT_TRUE(in.ReadString(&s2).ok());
+  ASSERT_TRUE(in.ReadFloats(&floats).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, std::string("a\0b", 3));
+  EXPECT_EQ(floats, (std::vector<float>{1.5f, -0.25f, 3.0f}));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(DurabilityFormat, TruncatedReadsFailCleanly) {
+  std::string buf;
+  durability::AppendString(&buf, "payload");
+  // Every proper prefix must fail with a status, not read out of bounds.
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    durability::ByteReader in(std::string_view(buf).substr(0, cut));
+    std::string s;
+    EXPECT_FALSE(in.ReadString(&s).ok()) << "prefix length " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL format.
+
+TEST(DurabilityWal, AppendThenReplayRoundtrips) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.wal.3";
+  dir.Track("t.wal.3");
+  {
+    auto writer = durability::WalWriter::Create(path, 3, /*fsync=*/false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append("first").ok());
+    ASSERT_TRUE(writer.value()->Append("").ok());  // empty payloads are legal
+    ASSERT_TRUE(writer.value()->Append("third record").ok());
+    ASSERT_TRUE(writer.value()->Sync().ok());
+  }
+  std::vector<std::string> seen;
+  auto result = durability::ReplayWalFile(path, [&](std::string_view p) {
+    seen.emplace_back(p);
+    return common::Status::Ok();
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().header_valid);
+  EXPECT_EQ(result.value().epoch, 3u);
+  EXPECT_EQ(result.value().records, 3u);
+  EXPECT_FALSE(result.value().torn_tail);
+  EXPECT_EQ(result.value().discarded_bytes, 0u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"first", "", "third record"}));
+}
+
+TEST(DurabilityWal, EveryTruncationRecoversACleanPrefix) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.wal.1";
+  const std::string cut_path = dir.path() + "/cut.wal.1";
+  dir.Track("t.wal.1");
+  dir.Track("cut.wal.1");
+  {
+    auto writer = durability::WalWriter::Create(path, 1, false);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          writer.value()->Append("record " + std::to_string(i)).ok());
+    }
+  }
+  const std::string bytes = ReadFileBytes(path);
+  size_t prev_records = 0;
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    WriteFileBytes(cut_path, std::string_view(bytes).substr(0, cut));
+    std::vector<std::string> seen;
+    auto result = durability::ReplayWalFile(cut_path, [&](std::string_view p) {
+      seen.emplace_back(p);
+      return common::Status::Ok();
+    });
+    ASSERT_TRUE(result.ok()) << "cut " << cut;  // truncation is never an error
+    const durability::WalReplayResult& r = result.value();
+    // The replayed records must be exactly the expected prefix...
+    ASSERT_EQ(seen.size(), r.records);
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], "record " + std::to_string(i)) << "cut " << cut;
+    }
+    // ...monotone in the cut point, with exact byte accounting.
+    EXPECT_GE(r.records, prev_records) << "cut " << cut;
+    prev_records = r.records;
+    if (r.header_valid) {
+      EXPECT_EQ(r.valid_bytes + r.discarded_bytes, cut);
+    } else {
+      EXPECT_EQ(r.records, 0u);
+      EXPECT_EQ(r.valid_bytes, 0u);
+    }
+    if (cut == bytes.size()) {
+      EXPECT_EQ(r.records, 5u);
+      EXPECT_FALSE(r.torn_tail);
+    }
+  }
+}
+
+TEST(DurabilityWal, ShortForeignAndWrongVersionHeadersReplayAsEmpty) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.wal.1";
+  dir.Track("t.wal.1");
+  const auto replay_records = [&]() {
+    size_t n = 0;
+    auto result = durability::ReplayWalFile(path, [&](std::string_view) {
+      ++n;
+      return common::Status::Ok();
+    });
+    EXPECT_TRUE(result.ok());
+    EXPECT_FALSE(result.value().header_valid);
+    return n;
+  };
+  WriteFileBytes(path, "");  // zero-length: crash before the header landed
+  EXPECT_EQ(replay_records(), 0u);
+  WriteFileBytes(path, "LDMWAL");  // partial header
+  EXPECT_EQ(replay_records(), 0u);
+  WriteFileBytes(path, "this is not a WAL file at all......");  // foreign
+  EXPECT_EQ(replay_records(), 0u);
+  std::string wrong_version = "LDMWAL01";
+  durability::AppendU32(&wrong_version, 99);
+  durability::AppendU64(&wrong_version, 1);
+  WriteFileBytes(path, wrong_version);
+  EXPECT_EQ(replay_records(), 0u);
+}
+
+TEST(DurabilityWal, PeekHeaderParsesEpochWithoutReplaying) {
+  std::string bytes = "LDMWAL01";
+  durability::AppendU32(&bytes, durability::kWalVersion);
+  durability::AppendU64(&bytes, 42);
+  uint64_t epoch = 0;
+  EXPECT_TRUE(durability::PeekWalHeader(bytes, &epoch));
+  EXPECT_EQ(epoch, 42u);
+  EXPECT_FALSE(durability::PeekWalHeader(std::string_view(bytes).substr(0, 19),
+                                         &epoch));
+  EXPECT_FALSE(durability::PeekWalHeader("XXXXXXXX1234567890ab", &epoch));
+}
+
+TEST(DurabilityWal, ChecksumCorruptionStopsReplayBeforeTheBadRecord) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.wal.1";
+  dir.Track("t.wal.1");
+  {
+    auto writer = durability::WalWriter::Create(path, 1, false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->Append("aaaa").ok());
+    ASSERT_TRUE(writer.value()->Append("bbbb").ok());
+    ASSERT_TRUE(writer.value()->Append("cccc").ok());
+  }
+  std::string bytes = ReadFileBytes(path);
+  // Flip one payload byte of the middle record.
+  const size_t second_payload =
+      durability::kWalHeaderSize + durability::kWalRecordOverhead + 4 +
+      durability::kWalRecordOverhead;
+  bytes[second_payload] ^= 0x40;
+  WriteFileBytes(path, bytes);
+  std::vector<std::string> seen;
+  auto result = durability::ReplayWalFile(path, [&](std::string_view p) {
+    seen.emplace_back(p);
+    return common::Status::Ok();
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"aaaa"}));
+  EXPECT_TRUE(result.value().torn_tail);
+  EXPECT_GT(result.value().discarded_bytes, 0u);
+}
+
+TEST(DurabilityWal, CrashInjectionTearsExactlyAtTheLimit) {
+  TempDir dir;
+  const std::string path = dir.path() + "/t.wal.1";
+  dir.Track("t.wal.1");
+  const int64_t limit = static_cast<int64_t>(durability::kWalHeaderSize) +
+                        2 * (durability::kWalRecordOverhead + 4) + 5;
+  {
+    auto writer = durability::WalWriter::Create(path, 1, false);
+    ASSERT_TRUE(writer.ok());
+    writer.value()->set_crash_after_bytes(limit);
+    ASSERT_TRUE(writer.value()->Append("aaaa").ok());
+    ASSERT_TRUE(writer.value()->Append("bbbb").ok());
+    // The third record would cross the limit: partial write, then kAborted.
+    EXPECT_FALSE(writer.value()->Append("cccc").ok());
+    EXPECT_FALSE(writer.value()->Append("dddd").ok());  // stays dead
+  }
+  const std::string bytes = ReadFileBytes(path);
+  EXPECT_EQ(bytes.size(), static_cast<size_t>(limit));  // torn mid-record
+  std::vector<std::string> seen;
+  auto result = durability::ReplayWalFile(path, [&](std::string_view p) {
+    seen.emplace_back(p);
+    return common::Status::Ok();
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"aaaa", "bbbb"}));
+  EXPECT_TRUE(result.value().torn_tail);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format.
+
+TEST(DurabilitySnapshot, RoundtripsAndPublishesAtomically) {
+  TempDir dir;
+  const std::string path = dir.path() + "/c.snap";
+  dir.Track("c.snap");
+  const std::string payload = "component image bytes";
+  ASSERT_TRUE(
+      durability::WriteSnapshotFile(path, 7, payload, /*fsync=*/false).ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));  // tmp renamed away, never left
+  const std::string bytes = ReadFileBytes(path);
+  durability::SnapshotView view = durability::ParseSnapshot(bytes);
+  ASSERT_TRUE(view.valid);
+  EXPECT_EQ(view.epoch, 7u);
+  EXPECT_EQ(view.payload, payload);
+
+  // An empty payload is a legal image (an empty component is durable too).
+  ASSERT_TRUE(durability::WriteSnapshotFile(path, 8, "", false).ok());
+  view = durability::ParseSnapshot(ReadFileBytes(path));
+  ASSERT_TRUE(view.valid);
+  EXPECT_EQ(view.epoch, 8u);
+  EXPECT_TRUE(view.payload.empty());
+}
+
+TEST(DurabilitySnapshot, NoTruncationOrBitFlipEverValidates) {
+  TempDir dir;
+  const std::string path = dir.path() + "/c.snap";
+  dir.Track("c.snap");
+  ASSERT_TRUE(
+      durability::WriteSnapshotFile(path, 1, "payload payload", false).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_TRUE(durability::ParseSnapshot(bytes).valid);
+  // Every proper prefix is invalid: the trailing checksum cannot verify.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        durability::ParseSnapshot(std::string_view(bytes).substr(0, cut)).valid)
+        << "prefix " << cut;
+  }
+  // Any single bit flip is invalid (magic, version, epoch, length, payload,
+  // or checksum — all covered by structure checks plus FNV over the payload).
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] ^= 0x01;
+    EXPECT_FALSE(durability::ParseSnapshot(mutated).valid) << "byte " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DurableStore recovery policy (exercised through the flat durable index —
+// the simplest DurableState).
+
+durability::DurableStore::Options StoreOptions(const std::string& dir,
+                                               const std::string& name) {
+  durability::DurableStore::Options options;
+  options.dir = dir;
+  options.name = name;
+  options.fsync = false;
+  return options;
+}
+
+vectordb::Vector TestVector(uint64_t seed) {
+  vectordb::Vector v(4);
+  for (size_t j = 0; j < v.size(); ++j) {
+    v[j] = static_cast<float>((seed * 5 + j) % 11) - 5.0f;
+  }
+  return v;
+}
+
+TEST(DurableStore, ColdOpenStartsEmptyAtEpochZero) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.0");
+  vectordb::DurableVectorIndex index({});
+  auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &index);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(index.Size(), 0u);
+  EXPECT_EQ(store.value()->epoch(), 0u);
+  EXPECT_FALSE(store.value()->recovery_info().snapshot_loaded);
+  EXPECT_FALSE(store.value()->recovery_info().snapshot_corrupt);
+  EXPECT_TRUE(FileExists(store.value()->wal_path(0)));
+  // The recovery trace is deterministic: two fixed phases under the root.
+  const std::string trace = store.value()->recovery_trace().ToJson();
+  EXPECT_NE(trace.find("snapshot_load"), std::string::npos);
+  EXPECT_NE(trace.find("wal_replay"), std::string::npos);
+}
+
+TEST(DurableStore, AppendRequiresAGuardFromBeginMutation) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.0");
+  vectordb::DurableVectorIndex index({});
+  auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &index);
+  ASSERT_TRUE(store.ok());
+  durability::MutationGuard empty;  // not from BeginMutation
+  EXPECT_EQ(store.value()->Append(empty, "rec").code(),
+            common::StatusCode::kFailedPrecondition);
+  durability::MutationGuard held = store.value()->BeginMutation();
+  EXPECT_TRUE(store.value()->Append(held, "rec").ok());
+}
+
+TEST(DurableStore, ReopenReplaysTheWalAndIsIdempotent) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.0");
+  std::string image;
+  {
+    vectordb::DurableVectorIndex index({});
+    auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                                &index);
+    ASSERT_TRUE(store.ok());
+    index.AttachDurability(store.value().get());
+    for (uint64_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(index.Add(i, TestVector(i)).ok());
+    }
+    ASSERT_TRUE(index.Remove(3).ok());
+    image = Image(index);
+  }
+  for (int round = 0; round < 2; ++round) {  // double recovery: idempotent
+    vectordb::DurableVectorIndex recovered({});
+    auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                                &recovered);
+    ASSERT_TRUE(store.ok()) << "round " << round;
+    EXPECT_EQ(Image(recovered), image) << "round " << round;
+    EXPECT_EQ(store.value()->recovery_info().wal_records_replayed, 9u);
+    EXPECT_EQ(store.value()->recovery_info().wal_discarded_bytes, 0u);
+    EXPECT_EQ(recovered.Size(), 7u);
+    EXPECT_FALSE(recovered.Contains(3));
+  }
+}
+
+TEST(DurableStore, CheckpointRetiresTheWalAndAdvancesTheEpoch) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.0");
+  dir.Track("ix.wal.1");
+  vectordb::DurableVectorIndex index({});
+  auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &index);
+  ASSERT_TRUE(store.ok());
+  index.AttachDurability(store.value().get());
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(index.Add(i, TestVector(i)).ok());
+  }
+  const std::string wal0 = store.value()->wal_path(0);
+  ASSERT_TRUE(store.value()->Checkpoint().ok());
+  EXPECT_EQ(store.value()->epoch(), 1u);
+  EXPECT_FALSE(FileExists(wal0));  // retired
+  EXPECT_TRUE(FileExists(store.value()->snapshot_path()));
+  EXPECT_TRUE(FileExists(store.value()->wal_path(1)));
+  // The fresh WAL is just a header: everything lives in the snapshot now.
+  EXPECT_EQ(store.value()->wal_size_bytes(), durability::kWalHeaderSize);
+
+  // Recovery from snapshot alone (plus post-checkpoint appends).
+  ASSERT_TRUE(index.Add(100, TestVector(100)).ok());
+  const std::string image = Image(index);
+  store.value().reset();
+  vectordb::DurableVectorIndex recovered({});
+  auto reopened = durability::DurableStore::Open(
+      StoreOptions(dir.path(), "ix"), &recovered);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened.value()->recovery_info().snapshot_loaded);
+  EXPECT_EQ(reopened.value()->recovery_info().epoch, 1u);
+  EXPECT_EQ(reopened.value()->recovery_info().wal_records_replayed, 1u);
+  EXPECT_EQ(Image(recovered), image);
+}
+
+TEST(DurableStore, CorruptSnapshotFallsBackToEmptyButValid) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.0");
+  WriteFileBytes(dir.path() + "/ix.snap", "garbage, not a snapshot");
+  vectordb::DurableVectorIndex index({});
+  auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &index);
+  ASSERT_TRUE(store.ok());  // never a startup error
+  EXPECT_TRUE(store.value()->recovery_info().snapshot_corrupt);
+  EXPECT_FALSE(store.value()->recovery_info().snapshot_loaded);
+  EXPECT_EQ(index.Size(), 0u);
+  // The store is fully usable after the fallback.
+  index.AttachDurability(store.value().get());
+  EXPECT_TRUE(index.Add(1, TestVector(1)).ok());
+  EXPECT_TRUE(store.value()->Checkpoint().ok());
+}
+
+TEST(DurableStore, WalWithMismatchedEmbeddedEpochIsNeverReplayed) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.1");
+  // Publish a valid empty snapshot at epoch 1...
+  std::string empty_image;
+  {
+    vectordb::DurableVectorIndex scratch({});
+    ASSERT_TRUE(scratch.SaveSnapshot(&empty_image).ok());
+  }
+  ASSERT_TRUE(durability::WriteSnapshotFile(dir.path() + "/ix.snap", 1,
+                                            empty_image, false)
+                  .ok());
+  // ...and hand-craft ix.wal.1 whose *embedded* epoch says 2, carrying one
+  // structurally valid record. Recovery must not apply it: the record
+  // belongs on a different base image.
+  std::string payload;
+  durability::AppendU8(&payload, 1);  // DurableVectorIndex WalOp::kAdd
+  durability::AppendU64(&payload, 9);
+  durability::AppendFloats(&payload, TestVector(9));
+  std::string wal = "LDMWAL01";
+  durability::AppendU32(&wal, durability::kWalVersion);
+  durability::AppendU64(&wal, 2);  // lies about its epoch
+  durability::AppendU32(&wal, static_cast<uint32_t>(payload.size()));
+  durability::AppendU64(&wal, common::Fnv1a(payload));
+  wal += payload;
+  WriteFileBytes(dir.path() + "/ix.wal.1", wal);
+
+  vectordb::DurableVectorIndex index({});
+  auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &index);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->recovery_info().wal_records_replayed, 0u);
+  EXPECT_EQ(store.value()->recovery_info().wal_discarded_bytes, wal.size());
+  EXPECT_EQ(index.Size(), 0u);  // the foreign record never reached the index
+}
+
+TEST(DurableStore, SweepsOrphanWalsAndSnapshotTmps) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.0");
+  dir.Track("other.keep");
+  WriteFileBytes(dir.path() + "/ix.wal.7", "stale epoch wal");
+  WriteFileBytes(dir.path() + "/ix.wal.12", "another stale wal");
+  WriteFileBytes(dir.path() + "/ix.snap.tmp", "unpublished snapshot");
+  WriteFileBytes(dir.path() + "/other.keep", "unrelated file");
+  vectordb::DurableVectorIndex index({});
+  auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &index);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.value()->recovery_info().orphans_removed, 3u);
+  EXPECT_FALSE(FileExists(dir.path() + "/ix.wal.7"));
+  EXPECT_FALSE(FileExists(dir.path() + "/ix.wal.12"));
+  EXPECT_FALSE(FileExists(dir.path() + "/ix.snap.tmp"));
+  EXPECT_TRUE(FileExists(dir.path() + "/other.keep"));  // not ours, not touched
+}
+
+TEST(DurableStore, TornTailIsTruncatedOnceAndStaysGone) {
+  TempDir dir;
+  dir.Track("ix.snap");
+  dir.Track("ix.wal.0");
+  std::string image_before_tear;
+  {
+    vectordb::DurableVectorIndex index({});
+    auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                                &index);
+    ASSERT_TRUE(store.ok());
+    index.AttachDurability(store.value().get());
+    for (uint64_t i = 0; i < 6; ++i) {
+      ASSERT_TRUE(index.Add(i, TestVector(i)).ok());
+      if (i == 4) image_before_tear = Image(index);
+    }
+  }
+  // Tear the last record: cut 3 bytes off the file.
+  const std::string wal_file = dir.path() + "/ix.wal.0";
+  std::string bytes = ReadFileBytes(wal_file);
+  WriteFileBytes(wal_file, std::string_view(bytes).substr(0, bytes.size() - 3));
+
+  vectordb::DurableVectorIndex first({});
+  auto open1 = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &first);
+  ASSERT_TRUE(open1.ok());
+  EXPECT_TRUE(open1.value()->recovery_info().torn_tail);
+  EXPECT_GT(open1.value()->recovery_info().wal_discarded_bytes, 0u);
+  EXPECT_EQ(Image(first), image_before_tear);  // the clean 5-record prefix
+  open1.value().reset();
+
+  vectordb::DurableVectorIndex second({});
+  auto open2 = durability::DurableStore::Open(StoreOptions(dir.path(), "ix"),
+                                              &second);
+  ASSERT_TRUE(open2.ok());
+  EXPECT_FALSE(open2.value()->recovery_info().torn_tail);  // already repaired
+  EXPECT_EQ(open2.value()->recovery_info().wal_discarded_bytes, 0u);
+  EXPECT_EQ(Image(second), image_before_tear);
+}
+
+// ---------------------------------------------------------------------------
+// Component recovery equivalence.
+
+TEST(DurableComponents, SemanticCacheSurvivesInsertRefreshEvictCompact) {
+  TempDir dir;
+  dir.Track("cache.snap");
+  dir.Track("cache.wal.0");
+  optimize::SemanticCache::Options options;
+  options.capacity = 6;
+  options.num_shards = 2;
+  options.compact_min_dead = 2;  // force compactions into the WAL stream
+  std::string image;
+  size_t live = 0;
+  {
+    optimize::SemanticCache cache(options);
+    auto store = durability::DurableStore::Open(
+        StoreOptions(dir.path(), "cache"), &cache);
+    ASSERT_TRUE(store.ok());
+    cache.AttachDurability(store.value().get());
+    for (size_t i = 0; i < 40; ++i) {
+      // 11 distinct queries over capacity 6: inserts, refreshes (repeats),
+      // evictions, and compactions all hit the WAL.
+      cache.Insert("query " + std::to_string(i % 11),
+                   "answer " + std::to_string(i),
+                   common::Money::FromMicros(100 + static_cast<int64_t>(i)));
+    }
+    image = Image(cache);
+    live = cache.Size();
+  }
+  optimize::SemanticCache recovered(options);
+  auto store = durability::DurableStore::Open(
+      StoreOptions(dir.path(), "cache"), &recovered);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(Image(recovered), image);
+  EXPECT_EQ(recovered.Size(), live);
+  EXPECT_GT(live, 0u);
+  // The recovered cache serves: the final op (op 39 refreshed "query 6")
+  // hits with its latest response.
+  auto hit = recovered.Lookup("query 6", common::Money::FromMicros(500));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->response, "answer 39");
+}
+
+TEST(DurableComponents, SemanticCacheRejectsSnapshotWithWrongShardCount) {
+  TempDir dir;
+  dir.Track("cache.snap");
+  dir.Track("cache.wal.0");
+  dir.Track("cache.wal.1");
+  optimize::SemanticCache::Options options;
+  options.num_shards = 2;
+  {
+    optimize::SemanticCache cache(options);
+    auto store = durability::DurableStore::Open(
+        StoreOptions(dir.path(), "cache"), &cache);
+    ASSERT_TRUE(store.ok());
+    cache.AttachDurability(store.value().get());
+    cache.Insert("q", "r");
+    ASSERT_TRUE(store.value()->Checkpoint().ok());
+  }
+  // A 4-shard cache cannot host a 2-shard image (slot ids shard-relative):
+  // recovery treats it like corruption and starts empty rather than crash.
+  options.num_shards = 4;
+  optimize::SemanticCache reshaped(options);
+  auto store = durability::DurableStore::Open(
+      StoreOptions(dir.path(), "cache"), &reshaped);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store.value()->recovery_info().snapshot_corrupt);
+  EXPECT_EQ(reshaped.Size(), 0u);
+}
+
+TEST(DurableComponents, PromptStoreRecoversUtilityTallies) {
+  TempDir dir;
+  dir.Track("ps.snap");
+  dir.Track("ps.wal.0");
+  optimize::PromptStore::Options options;
+  options.capacity = 4;
+  std::string image;
+  size_t live = 0;
+  {
+    optimize::PromptStore store(options);
+    auto durable = durability::DurableStore::Open(
+        StoreOptions(dir.path(), "ps"), &store);
+    ASSERT_TRUE(durable.ok());
+    store.AttachDurability(durable.value().get());
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 7; ++i) {  // over capacity: evictions logged too
+      ids.push_back(store.Add("example input " + std::to_string(i),
+                              "example output " + std::to_string(i)));
+      // Reward even prompts so retention keeps them over odd ones.
+      store.RecordOutcome(ids.back(), i % 2 == 0);
+      store.RecordOutcome(ids.back(), i % 2 == 0);
+    }
+    image = Image(store);
+    live = store.Size();
+  }
+  optimize::PromptStore recovered(options);
+  auto durable = durability::DurableStore::Open(StoreOptions(dir.path(), "ps"),
+                                                &recovered);
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(Image(recovered), image);
+  EXPECT_EQ(recovered.Size(), live);
+  // The learned tallies came back: prompt 6 earned two successes.
+  auto p = recovered.Get(6);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->uses, 2u);
+  EXPECT_EQ(p->successes, 2u);
+}
+
+TEST(DurableComponents, HnswIndexRecoversTheExactVectorSet) {
+  TempDir dir;
+  dir.Track("hx.snap");
+  dir.Track("hx.wal.0");
+  vectordb::DurableVectorIndex::Options options;
+  options.kind = vectordb::DurableVectorIndex::Kind::kHnsw;
+  std::vector<std::pair<uint64_t, vectordb::Vector>> want;
+  {
+    vectordb::DurableVectorIndex index(options);
+    auto store = durability::DurableStore::Open(
+        StoreOptions(dir.path(), "hx"), &index);
+    ASSERT_TRUE(store.ok());
+    index.AttachDurability(store.value().get());
+    for (uint64_t i = 0; i < 30; ++i) {
+      ASSERT_TRUE(index.Add(i, TestVector(i)).ok());
+    }
+    for (uint64_t i = 0; i < 30; i += 7) {
+      ASSERT_TRUE(index.Remove(i).ok());
+    }
+    index.ForEach([&](uint64_t id, const vectordb::Vector& v) {
+      want.emplace_back(id, v);
+    });
+  }
+  vectordb::DurableVectorIndex recovered(options);
+  auto store = durability::DurableStore::Open(StoreOptions(dir.path(), "hx"),
+                                              &recovered);
+  ASSERT_TRUE(store.ok());
+  // The durable image is the vector *set*: identical ids and floats, even
+  // though the rebuilt HNSW graph may wire them differently.
+  std::vector<std::pair<uint64_t, vectordb::Vector>> got;
+  recovered.ForEach([&](uint64_t id, const vectordb::Vector& v) {
+    got.emplace_back(id, v);
+  });
+  EXPECT_EQ(got, want);
+  // And search works over the rebuilt graph: results name live ids only.
+  auto results = recovered.Search(TestVector(9), 3);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_TRUE(recovered.Contains(r.id));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// serve::Server virtual-time maintenance hook (the checkpoint driver).
+
+TEST(ServeMaintenance, HookFiresOncePerCrossedVirtualBoundary) {
+  llm::ModelSpec spec;
+  spec.name = "sim-maint";
+  spec.capability = 0.9;
+  spec.latency_ms_per_1k_tokens = 100.0;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, 3);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+
+  size_t fires = 0;
+  serve::Server::Options options;
+  options.worker_threads = 2;
+  options.shed_policy = serve::ShedPolicy::kNone;
+  options.maintenance_interval_vms = 10.0;
+  options.maintenance_hook = [&fires] { ++fires; };
+  serve::Server server(model, options);
+
+  // Boundaries at 10, 20, 30, ...: arrival 12 crosses one, 25 crosses 20,
+  // 55 catches up across 30, 40, 50 — deterministic in arrival order, so
+  // the count is a pure function of the arrival times.
+  const double arrivals[] = {0.0, 5.0, 12.0, 25.0, 55.0};
+  uint64_t id = 0;
+  for (double at : arrivals) {
+    serve::Request request;
+    request.id = id++;
+    request.input = "question";
+    request.arrival_vms = at;
+    server.Submit(request);
+  }
+  EXPECT_EQ(fires, 5u);
+  auto responses = server.Drain();
+  EXPECT_EQ(responses.size(), 5u);
+  EXPECT_EQ(fires, 5u);  // Drain adds no phantom boundary crossings
+}
+
+TEST(ServeMaintenance, HookCanCheckpointADurableCacheUnderLoad) {
+  // End-to-end shape of the durability wiring: a CachedLlm populates a
+  // durable SemanticCache from worker threads while the *submitting* thread
+  // periodically checkpoints through the maintenance hook — the commit gate
+  // keeps snapshot and WAL consistent. Afterwards a fresh cache recovered
+  // from disk must byte-match the live one.
+  TempDir dir;
+  dir.Track("mc.snap");
+  for (int e = 0; e < 12; ++e) dir.Track("mc.wal." + std::to_string(e));
+
+  llm::ModelSpec spec;
+  spec.name = "sim-maint";
+  spec.capability = 0.9;
+  spec.latency_ms_per_1k_tokens = 100.0;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, 3);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+
+  optimize::SemanticCache::Options cache_options;
+  cache_options.capacity = 32;
+  optimize::SemanticCache cache(cache_options);
+  auto store = durability::DurableStore::Open(
+      StoreOptions(dir.path(), "mc"), &cache);
+  ASSERT_TRUE(store.ok());
+  cache.AttachDurability(store.value().get());
+  auto cached = std::make_shared<optimize::CachedLlm>(model, &cache);
+
+  serve::Server::Options options;
+  options.worker_threads = 4;
+  options.shed_policy = serve::ShedPolicy::kNone;
+  options.maintenance_interval_vms = 50.0;
+  durability::DurableStore* raw_store = store.value().get();
+  options.maintenance_hook = [raw_store] {
+    ASSERT_TRUE(raw_store->Checkpoint().ok());
+  };
+  serve::Server server(cached, options);
+  for (uint64_t i = 0; i < 60; ++i) {
+    serve::Request request;
+    request.id = i;
+    request.input = "question " + std::to_string(i % 12);
+    request.arrival_vms = static_cast<double>(i) * 7.0;
+    server.Submit(request);
+  }
+  auto responses = server.Drain();
+  ASSERT_EQ(responses.size(), 60u);
+  EXPECT_GT(store.value()->epoch(), 0u);  // checkpoints actually ran
+
+  const std::string image = Image(cache);
+  optimize::SemanticCache recovered(cache_options);
+  auto reopened = durability::DurableStore::Open(
+      StoreOptions(dir.path(), "mc"), &recovered);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(Image(recovered), image);
+}
+
+}  // namespace
+}  // namespace llmdm
