@@ -1,0 +1,61 @@
+// Shared argv parsing for the bench binaries. Every bench takes the same
+// core pair — `--benchmark-smoke` (ctest-friendly sizes, exit status
+// enforces the bench's invariants) and `--metrics-out=PATH` (Prometheus
+// text export of the determinism cell) — and individual benches opt into
+// extras via BenchArgSpec. Centralising the loop keeps flag spelling and
+// usage errors identical across binaries.
+#ifndef LLMDM_BENCH_BENCH_ARGS_H_
+#define LLMDM_BENCH_BENCH_ARGS_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace llmdm::bench {
+
+struct BenchArgs {
+  bool smoke = false;       // --benchmark-smoke
+  bool qos_smoke = false;   // --qos-smoke (when the spec accepts it)
+  std::string out_path;     // --out=PATH (when the spec accepts it)
+  std::string metrics_out;  // --metrics-out=PATH
+};
+
+struct BenchArgSpec {
+  /// Accept `--out=PATH` (JSON results file); `default_out` seeds
+  /// BenchArgs::out_path.
+  bool accepts_out = false;
+  const char* default_out = "";
+  /// Accept `--qos-smoke` (run only the multi-tenant QoS cell).
+  bool accepts_qos_smoke = false;
+};
+
+/// Parses argv into `out`. On an unknown flag, prints a usage line listing
+/// exactly the flags this bench accepts and returns false (callers exit 2).
+inline bool ParseBenchArgs(int argc, char** argv, const BenchArgSpec& spec,
+                           BenchArgs* out) {
+  out->out_path = spec.default_out;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--benchmark-smoke") == 0) {
+      out->smoke = true;
+    } else if (spec.accepts_qos_smoke && std::strcmp(arg, "--qos-smoke") == 0) {
+      out->qos_smoke = true;
+    } else if (spec.accepts_out && std::strncmp(arg, "--out=", 6) == 0) {
+      out->out_path = arg + 6;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      out->metrics_out = arg + 14;
+    } else {
+      std::string usage = "usage: %s [--benchmark-smoke]";
+      if (spec.accepts_qos_smoke) usage += " [--qos-smoke]";
+      if (spec.accepts_out) usage += " [--out=PATH]";
+      usage += " [--metrics-out=PATH]\n";
+      std::fprintf(stderr, usage.c_str(), argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace llmdm::bench
+
+#endif  // LLMDM_BENCH_BENCH_ARGS_H_

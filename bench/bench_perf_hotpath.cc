@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_args.h"
 #include "common/money.h"
 #include "common/string_util.h"
 #include "core/optimize/semantic_cache.h"
@@ -247,23 +248,14 @@ void AppendJson(std::string* out, const BenchResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out_path = "BENCH_perf.json";
-  std::string metrics_out;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--benchmark-smoke") == 0) {
-      smoke = true;
-    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
-      out_path = argv[i] + 6;
-    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
-      metrics_out = argv[i] + 14;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--benchmark-smoke] [--out=PATH] "
-                   "[--metrics-out=PATH]\n", argv[0]);
-      return 2;
-    }
-  }
+  llmdm::bench::BenchArgSpec spec;
+  spec.accepts_out = true;
+  spec.default_out = "BENCH_perf.json";
+  llmdm::bench::BenchArgs args;
+  if (!llmdm::bench::ParseBenchArgs(argc, argv, spec, &args)) return 2;
+  const bool smoke = args.smoke;
+  const std::string out_path = args.out_path;
+  const std::string metrics_out = args.metrics_out;
 
   // Smoke mode trades statistical weight for a ctest-friendly runtime; the
   // scenario set and the JSON shape are identical to the full run.

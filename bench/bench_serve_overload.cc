@@ -11,10 +11,21 @@
 // print byte-identical tables even though real worker threads race over
 // the requests.
 //
-// Flags: `--benchmark-smoke` runs only the registry-reconciliation cell at a
-// ctest-friendly size (the exit status enforces that the registry snapshot
-// matches the legacy ServerStats view and is byte-stable across worker
-// counts); `--metrics-out=PATH` writes the cell's Prometheus text export.
+// The multi-tenant section drives a synthetic tenant population (zipf
+// sizes, diurnal arrivals, bursty hot tenants) through the QoS scheduler
+// and reports per-tenant SLO attainment, spend and Jain's fairness index;
+// its hot-tenant-isolation cell lets one tenant burst to 10x its fair share
+// and *enforces* — by exit status — that every compliant tenant still
+// attains >= 95% SLO with Jain >= 0.9, and that the full per-tenant metrics
+// export is byte-identical across 2/8/8 worker threads.
+//
+// Flags: `--benchmark-smoke` runs the registry-reconciliation and QoS
+// isolation cells at a ctest-friendly size (the exit status enforces that
+// the registry snapshot matches the legacy ServerStats view, that exports
+// are byte-stable across worker counts, and that hot-tenant isolation
+// holds); `--qos-smoke` runs only the QoS cells; `--metrics-out=PATH`
+// writes the cells' Prometheus text export.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -22,11 +33,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_args.h"
 #include "common/string_util.h"
 #include "llm/fault_injection.h"
 #include "llm/resilient.h"
 #include "llm/simulated.h"
 #include "obs/metrics.h"
+#include "serve/qos.h"
 #include "serve/server.h"
 
 namespace {
@@ -182,8 +195,8 @@ bool ReconcileCell(const char* cell_name, const RunCellFn& run_cell,
   return reconciled && stable;
 }
 
-int RunReconciliation(size_t n, const std::string& metrics_out) {
-  std::string prom;
+bool RunReconciliation(size_t n, std::string* prom_out) {
+  std::string& prom = *prom_out;
   // Overload cell: a bounded queue at 2x offered load with distinct queries,
   // so the shed counters and the queue-length high-water mark move.
   bool ok = ReconcileCell(
@@ -241,22 +254,239 @@ int RunReconciliation(size_t n, const std::string& metrics_out) {
            &prom) &&
        ok;
 
-  if (!metrics_out.empty()) {
-    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
-      return 1;
-    }
-    std::fwrite(prom.data(), 1, prom.size(), f);
-    std::fclose(f);
-    std::printf("wrote %s\n", metrics_out.c_str());
-  }
-  return ok ? 0 : 1;
+  return ok;
 }
 
-int main_impl(bool smoke, const std::string& metrics_out) {
+bool WriteMetricsFile(const std::string& metrics_out, const std::string& prom) {
+  if (metrics_out.empty()) return true;
+  std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    return false;
+  }
+  std::fwrite(prom.data(), 1, prom.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", metrics_out.c_str());
+  return true;
+}
+
+// ---- Multi-tenant QoS -------------------------------------------------------
+
+void SortByArrivalAndNumber(std::vector<serve::Request>* requests) {
+  std::stable_sort(requests->begin(), requests->end(),
+                   [](const serve::Request& a, const serve::Request& b) {
+                     return a.arrival_vms < b.arrival_vms;
+                   });
+  for (size_t i = 0; i < requests->size(); ++i) (*requests)[i].id = i;
+}
+
+void PrintTenantHeader() {
+  std::printf("%-8s %6s %6s %7s %7s %6s %8s %9s %9s\n", "tenant", "sub",
+              "adm", "shed_q", "shed_r", "slo%", "p99(vms)", "spend",
+              "coal");
+}
+
+void PrintTenantRow(const serve::TenantStats& t) {
+  std::printf("%-8s %6zu %6zu %7zu %7zu %5.1f%% %8.0f %9s %9zu\n",
+              t.tenant.c_str(), t.submitted, t.admitted, t.shed_queue,
+              t.shed_quota, 100.0 * t.slo_attainment, t.p99_latency_vms,
+              t.spend.ToString(3).c_str(), t.coalesced);
+}
+
+// The population cell: GeneratePopulation's zipf/diurnal/bursty stream
+// through a QoS server with equal weights and a metered head tenant, sized
+// to ~1.2x capacity so the queue-share and quota policies both bite.
+void RunPopulationCell(bool smoke) {
+  serve::PopulationOptions pop;
+  pop.tenants = smoke ? 8 : 16;
+  pop.requests = smoke ? 400 : 2000;
+  pop.mean_gap_vms = 24.0;  // ~1.2x the 4-slot capacity at ~116 vms/request
+  pop.deadline_ms = 1000.0;
+  pop.hot_tenants = 1;
+  pop.burst_every_vms = 4000.0;
+  pop.burst_size = smoke ? 16 : 32;
+  pop.seed = 7;
+  std::vector<serve::Request> requests = serve::GeneratePopulation(pop);
+
+  serve::Server::Options options;
+  options.worker_threads = 8;
+  options.virtual_concurrency = static_cast<size_t>(kSlots);
+  options.queue_depth = 32;
+  for (size_t t = 0; t < pop.tenants; ++t) {
+    serve::TenantConfig cfg;
+    cfg.id = common::StrFormat("t%02zu", t);
+    cfg.weight = 1.0;
+    if (t == 0) {
+      // The zipf head doubles as the burster: meter it at ~60% of its
+      // offered rate, with a queue share wide enough that the bucket — not
+      // the queue — is its binding constraint (queue share is checked
+      // first, so a tight queue would mask the quota entirely).
+      cfg.quota_tokens_per_vs = 700.0;
+      cfg.quota_burst_tokens = 1000.0;
+      cfg.queue_limit = 16;
+    }
+    options.qos.tenants.push_back(cfg);
+  }
+  serve::Server server(MakeEndpoint("sim-endpoint", 2000.0, 3), options);
+  for (const auto& req : requests) server.Submit(req);
+  server.Drain();
+
+  std::printf(
+      "\n== synthetic tenant population (zipf sizes, diurnal arrivals, "
+      "bursty head tenant) ==\n(%zu tenants, %zu requests, head tenant "
+      "quota-metered; queue shares split by weight)\n\n",
+      pop.tenants, requests.size());
+  PrintTenantHeader();
+  std::vector<double> slos;
+  for (const auto& t : server.tenant_stats()) {
+    if (t.submitted == 0) continue;
+    PrintTenantRow(t);
+    slos.push_back(t.slo_attainment);
+  }
+  std::printf("\nJain fairness over per-tenant SLO attainment: %.3f\n",
+              serve::JainFairnessIndex(slos));
+}
+
+struct IsolationOutcome {
+  std::string table;      // serialized per-tenant rows (determinism check)
+  double min_compliant_slo = 0.0;
+  double jain = 0.0;      // over compliant tenants' SLO attainment
+  size_t hot_shed = 0;    // the pressure must be real
+};
+
+// One tenant ("hot") offered 10x its fair share of a 4-slot server shared
+// with 8 compliant tenants; the hot tenant's quota pins it to its share.
+IsolationOutcome RunIsolationCell(size_t workers, double horizon_vms,
+                                  obs::Registry* registry) {
+  std::vector<serve::Request> requests;
+  for (size_t t = 1; t <= 8; ++t) {
+    // Each compliant tenant offers 1 request / 400 vms — together ~60% of
+    // capacity — with staggered phases so arrivals do not align.
+    size_t k = 0;
+    for (double at = static_cast<double>(t) * 13.0; at < horizon_vms;
+         at += 400.0) {
+      serve::Request req;
+      req.tenant = common::StrFormat("c%02zu", t);
+      req.arrival_vms = at;
+      req.deadline_ms = 1000.0;
+      req.input = common::StrFormat("tenant c%02zu steady query %zu", t, k++);
+      requests.push_back(req);
+    }
+  }
+  {
+    // Fair share of 9 equal-weight tenants is ~1/(9 * 116 vms / 4 slots) =
+    // one request per ~260 vms; the hot tenant offers one per 26 vms.
+    size_t k = 0;
+    for (double at = 0.0; at < horizon_vms; at += 26.0) {
+      serve::Request req;
+      req.tenant = "hot";
+      req.arrival_vms = at;
+      req.deadline_ms = 1000.0;
+      req.input = common::StrFormat("hot tenant burst query %zu", k++);
+      requests.push_back(req);
+    }
+  }
+  SortByArrivalAndNumber(&requests);
+
+  serve::Server::Options options;
+  options.worker_threads = workers;
+  options.virtual_concurrency = static_cast<size_t>(kSlots);
+  options.queue_depth = 32;
+  options.registry = registry;
+  for (size_t t = 1; t <= 8; ++t) {
+    serve::TenantConfig cfg;
+    cfg.id = common::StrFormat("c%02zu", t);
+    options.qos.tenants.push_back(cfg);
+  }
+  serve::TenantConfig hot;
+  hot.id = "hot";
+  // ~Fair share in token terms: (4 slots / 9 tenants) * 1000 vms/vs /
+  // 2 vms-per-token ~= 220 tokens/vs.
+  hot.quota_tokens_per_vs = 220.0;
+  hot.quota_burst_tokens = 440.0;
+  options.qos.tenants.push_back(hot);
+
+  serve::Server server(MakeEndpoint("sim-endpoint", 2000.0, 3), options);
+  for (const auto& req : requests) server.Submit(req);
+  server.Drain();
+
+  IsolationOutcome out;
+  std::vector<double> compliant_slos;
+  double min_slo = 1.0;
+  for (const auto& t : server.tenant_stats()) {
+    if (t.submitted == 0) continue;
+    out.table += common::StrFormat(
+        "%s sub=%zu adm=%zu shed_q=%zu shed_r=%zu done=%zu miss=%zu "
+        "spend=%lld slo=%.4f p99=%.3f\n",
+        t.tenant.c_str(), t.submitted, t.admitted, t.shed_queue, t.shed_quota,
+        t.completed, t.deadline_missed, (long long)t.spend.micros(),
+        t.slo_attainment, t.p99_latency_vms);
+    if (t.tenant == "hot") {
+      out.hot_shed = t.shed_quota + t.shed_queue;
+    } else {
+      compliant_slos.push_back(t.slo_attainment);
+      min_slo = std::min(min_slo, t.slo_attainment);
+    }
+  }
+  out.min_compliant_slo = compliant_slos.empty() ? 0.0 : min_slo;
+  out.jain = serve::JainFairnessIndex(compliant_slos);
+  return out;
+}
+
+// The QoS acceptance cell. Exit-status enforced: compliant tenants keep
+// their SLOs while the hot tenant bursts 10x, fairness holds, and the
+// per-tenant export (every {tenant=...} series) is byte-identical across
+// 2/8/8 worker threads.
+bool RunQosIsolation(bool smoke, std::string* prom_out) {
+  const double horizon = smoke ? 8000.0 : 40000.0;
+  obs::Registry reg2, reg8, reg8_again;
+  IsolationOutcome cell = RunIsolationCell(2, horizon, &reg2);
+  IsolationOutcome cell8 = RunIsolationCell(8, horizon, &reg8);
+  IsolationOutcome cell8_again = RunIsolationCell(8, horizon, &reg8_again);
+
+  std::printf(
+      "\n== hot-tenant isolation (one tenant bursting 10x its share) ==\n"
+      "(8 compliant tenants at ~60%% of capacity; \"hot\" quota-pinned to "
+      "its fair share)\n\n");
+  // Print the serialized table itself so what is shown is exactly what the
+  // determinism check compared.
+  std::printf("%s\n", cell.table.c_str());
+  std::printf("min compliant SLO attainment: %.1f%% (require >= 95%%)\n",
+              100.0 * cell.min_compliant_slo);
+  std::printf("Jain fairness over compliant SLOs: %.3f (require >= 0.9)\n",
+              cell.jain);
+  std::printf("hot tenant sheds (quota+queue): %zu (require > 0)\n",
+              cell.hot_shed);
+
+  const std::string prom = reg2.PrometheusText();
+  bool stable = cell.table == cell8.table &&
+                cell.table == cell8_again.table &&
+                prom == reg8.PrometheusText() &&
+                prom == reg8_again.PrometheusText();
+  std::printf("per-tenant export byte-identical across 2/8/8 workers: %s\n",
+              stable ? "yes" : "NO");
+  *prom_out += "# cell: qos hot-tenant isolation\n";
+  *prom_out += prom;
+
+  bool isolated = cell.min_compliant_slo >= 0.95 && cell.jain >= 0.9 &&
+                  cell.hot_shed > 0;
+  if (!isolated) std::printf("HOT-TENANT ISOLATION FAILED\n");
+  return isolated && stable;
+}
+
+int main_impl(bool smoke, bool qos_smoke, const std::string& metrics_out) {
+  std::string prom;
+  if (qos_smoke) {
+    RunPopulationCell(/*smoke=*/true);
+    bool ok = RunQosIsolation(/*smoke=*/true, &prom);
+    ok = WriteMetricsFile(metrics_out, prom) && ok;
+    return ok ? 0 : 1;
+  }
   if (smoke) {
-    return RunReconciliation(/*n=*/160, metrics_out);
+    bool ok = RunReconciliation(/*n=*/160, &prom);
+    ok = RunQosIsolation(/*smoke=*/true, &prom) && ok;
+    ok = WriteMetricsFile(metrics_out, prom) && ok;
+    return ok ? 0 : 1;
   }
   std::printf("== serving under overload: admission policy x offered load ==\n");
   std::printf("(%zu requests, %d virtual slots, queue depth 32, deadlines "
@@ -365,24 +595,20 @@ int main_impl(bool smoke, const std::string& metrics_out) {
       "meter) for the timeout tail; at 30%% faults the resilient stack "
       "under the same\nadmission policy degrades by paying retry/fallback "
       "cost, not by losing requests.\n");
-  return RunReconciliation(kRequests, metrics_out);
+
+  RunPopulationCell(/*smoke=*/false);
+  bool ok = RunQosIsolation(/*smoke=*/false, &prom);
+  ok = RunReconciliation(kRequests, &prom) && ok;
+  ok = WriteMetricsFile(metrics_out, prom) && ok;
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string metrics_out;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--benchmark-smoke") == 0) {
-      smoke = true;
-    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
-      metrics_out = argv[i] + 14;
-    } else {
-      std::fprintf(stderr, "usage: %s [--benchmark-smoke] [--metrics-out=PATH]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  return main_impl(smoke, metrics_out);
+  llmdm::bench::BenchArgSpec spec;
+  spec.accepts_qos_smoke = true;
+  llmdm::bench::BenchArgs args;
+  if (!llmdm::bench::ParseBenchArgs(argc, argv, spec, &args)) return 2;
+  return main_impl(args.smoke, args.qos_smoke, args.metrics_out);
 }

@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench_args.h"
 #include "core/optimize/decomposition.h"
 #include "core/optimize/semantic_cache.h"
 #include "data/nl2sql_workload.h"
@@ -366,19 +367,7 @@ int main_impl(bool smoke, const std::string& metrics_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string metrics_out;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--benchmark-smoke") == 0) {
-      smoke = true;
-    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
-      metrics_out = argv[i] + 14;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--benchmark-smoke] [--metrics-out=PATH]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  return main_impl(smoke, metrics_out);
+  llmdm::bench::BenchArgs args;
+  if (!llmdm::bench::ParseBenchArgs(argc, argv, {}, &args)) return 2;
+  return main_impl(args.smoke, args.metrics_out);
 }

@@ -45,6 +45,11 @@ stage "bench smoke (registry reconciliation)"
   --metrics-out="${build_dir}/BENCH_serve_smoke.prom" >/dev/null
 echo "ok: registry snapshot reconciles and is byte-stable"
 
+stage "bench smoke (multi-tenant QoS isolation)"
+"${build_dir}/bench/bench_serve_overload" --qos-smoke \
+  --metrics-out="${build_dir}/BENCH_serve_qos_smoke.prom" >/dev/null
+echo "ok: hot tenant contained; compliant SLOs hold and exports are byte-stable"
+
 stage "durability crash sweep"
 sweep_dir="$(mktemp -d "${build_dir}/crash-sweep.XXXXXX")"
 "${build_dir}/tests/llmdm_durability_harness" --mode=sweep --unit=cache \

@@ -186,6 +186,7 @@ common::Status DurableStore::Recover() {
     LLMDM_ASSIGN_OR_RETURN(
         writer_, WalWriter::Create(wal_file, epoch_, options_.fsync));
   }
+  writer_->set_group_commit_bytes(options_.group_commit_bytes);
   (void)wal_exists;
   recovery_trace_->SetAttr(wal_span, "records",
                            std::to_string(recovery_.wal_records_replayed));
@@ -269,6 +270,7 @@ common::Status DurableStore::Checkpoint() {
   LLMDM_ASSIGN_OR_RETURN(
       auto next_writer, WalWriter::Create(wal_path(next), next,
                                           options_.fsync));
+  next_writer->set_group_commit_bytes(options_.group_commit_bytes);
   const std::string old_wal = wal_path(epoch_);
   writer_ = std::move(next_writer);
   epoch_ = next;

@@ -54,6 +54,13 @@ struct Prompt {
   /// rendered prompt: it never reaches the (simulated) wire.
   std::shared_ptr<Deadline> deadline;
 
+  /// Tenant on whose behalf this call is made, propagated from the serving
+  /// layer (serve::Request::tenant) so billing/quota layers below the
+  /// scheduler can attribute spend. Like `deadline` and `trace` it is
+  /// request metadata, not prompt content: it never reaches the (simulated)
+  /// wire and does not affect the rendered text or token count.
+  std::string tenant_id;
+
   /// Optional span tree for the request this prompt belongs to, created
   /// where the request enters the system (like `deadline`). Layers that do
   /// interesting work on the way to the model — retries, cache probes,

@@ -61,6 +61,69 @@ Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
       "llmdm_serve_queue_wait_vms", {}, obs::Histogram::LatencyBoundsVms());
   metrics_.latency_vms = registry_->GetHistogram(
       "llmdm_serve_latency_vms", {}, obs::Histogram::LatencyBoundsVms());
+
+  if (options_.qos.enabled()) {
+    // Guarantee a catch-all tenant so a request with an unknown (or empty)
+    // id degrades to a metered default share instead of crashing admission
+    // or silently riding free.
+    QosOptions qos = options_.qos;
+    bool has_default = false;
+    for (const TenantConfig& t : qos.tenants) {
+      if (t.id == "default") has_default = true;
+    }
+    if (!has_default) {
+      TenantConfig fallback;
+      fallback.id = "default";
+      qos.tenants.push_back(fallback);
+    }
+    qos_scheduler_ = std::make_unique<WeightedFairScheduler>(
+        qos, std::max<size_t>(1, options_.virtual_concurrency));
+    double total_weight = 0.0;
+    for (size_t i = 0; i < qos_scheduler_->num_tenants(); ++i) {
+      total_weight += qos_scheduler_->tenant_config(i).weight;
+    }
+    for (size_t i = 0; i < qos_scheduler_->num_tenants(); ++i) {
+      const TenantConfig& cfg = qos_scheduler_->tenant_config(i);
+      auto ts = std::make_unique<TenantState>(cfg.quota_tokens_per_vs,
+                                              cfg.quota_burst_tokens);
+      ts->index = i;
+      ts->queue_limit =
+          cfg.queue_limit > 0
+              ? cfg.queue_limit
+              : std::max<size_t>(
+                    2, static_cast<size_t>(std::llround(
+                           static_cast<double>(options_.queue_depth) *
+                           cfg.weight / total_weight)));
+      const obs::Labels labels = {{"tenant", cfg.id}};
+      ts->submitted =
+          registry_->GetCounter("llmdm_serve_tenant_submitted_total", labels);
+      ts->admitted =
+          registry_->GetCounter("llmdm_serve_tenant_admitted_total", labels);
+      ts->coalesced =
+          registry_->GetCounter("llmdm_serve_tenant_coalesced_total", labels);
+      ts->shed_quota = registry_->GetCounter(
+          "llmdm_serve_tenant_shed_total",
+          {{"tenant", cfg.id}, {"cause", "quota"}});
+      ts->shed_queue = registry_->GetCounter(
+          "llmdm_serve_tenant_shed_total",
+          {{"tenant", cfg.id}, {"cause", "queue"}});
+      ts->completed =
+          registry_->GetCounter("llmdm_serve_tenant_completed_total", labels);
+      ts->failed =
+          registry_->GetCounter("llmdm_serve_tenant_failed_total", labels);
+      ts->deadline_missed = registry_->GetCounter(
+          "llmdm_serve_tenant_deadline_missed_total", labels);
+      ts->spend_micros = registry_->GetCounter(
+          "llmdm_serve_tenant_spend_micros_total", labels);
+      ts->latency_vms =
+          registry_->GetHistogram("llmdm_serve_tenant_latency_vms", labels,
+                                  obs::Histogram::LatencyBoundsVms());
+      tenant_by_id_[cfg.id] = ts.get();
+      if (cfg.id == "default") default_tenant_ = ts.get();
+      tenants_.push_back(std::move(ts));
+    }
+  }
+
   size_t n = std::max<size_t>(1, options_.worker_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -79,14 +142,18 @@ Server::~Server() {
   }
 }
 
-double Server::EstimateServiceVms(const Request& request) const {
+double Server::EstimateTokens(const Request& request) const {
   // The same information a real admission controller has before the call:
-  // the endpoint's advertised latency and the request's size. Token counts
-  // are exact, output length is a configured guess.
+  // exact input token count, configured output-length guess. This is also
+  // the unit tenant quotas are charged in.
   llm::Prompt prompt = llm::MakePrompt(request.skill, request.input);
-  double tokens = static_cast<double>(prompt.CountInputTokens() +
-                                      options_.est_output_tokens);
-  return model_->spec().latency_ms_per_1k_tokens * tokens / 1000.0;
+  return static_cast<double>(prompt.CountInputTokens() +
+                             options_.est_output_tokens);
+}
+
+double Server::EstimateServiceVms(const Request& request) const {
+  return model_->spec().latency_ms_per_1k_tokens * EstimateTokens(request) /
+         1000.0;
 }
 
 void Server::Submit(const Request& request) {
@@ -104,6 +171,11 @@ void Server::Submit(const Request& request) {
       metrics_.maintenance_runs->Add(1);
       next_maintenance_vms_ += options_.maintenance_interval_vms;
     }
+  }
+
+  if (qos_scheduler_ != nullptr) {
+    SubmitQos(request);
+    return;
   }
 
   // Retire virtual work that has started by this arrival; what remains is
@@ -154,6 +226,7 @@ void Server::Submit(const Request& request) {
   double queue_wait = est_start - request.arrival_vms;
 
   bool shed = false;
+  ShedCause shed_cause = ShedCause::kNone;
   std::string shed_reason;
   if (options_.shed_policy != ShedPolicy::kNone) {
     double depth = static_cast<double>(options_.queue_depth);
@@ -170,12 +243,14 @@ void Server::Submit(const Request& request) {
     }
     if (queue_len >= limit) {
       shed = true;
+      shed_cause = ShedCause::kQueue;
       shed_reason = common::StrFormat(
           "queue full (%zu waiting, limit %.0f)", pending_starts_.size(),
           limit);
     } else if (options_.shed_policy == ShedPolicy::kDeadlineAware &&
                request.deadline_ms > 0.0 && queue_wait >= request.deadline_ms) {
       shed = true;
+      shed_cause = ShedCause::kDeadline;
       shed_reason = common::StrFormat(
           "estimated wait %.0fms exceeds %.0fms deadline", queue_wait,
           request.deadline_ms);
@@ -186,7 +261,9 @@ void Server::Submit(const Request& request) {
     metrics_.shed->Add(1);
     Response r;
     r.id = request.id;
+    r.tenant = request.tenant;
     r.shed = true;
+    r.shed_cause = shed_cause;
     r.status = common::Status::ResourceExhausted("shed: " + shed_reason);
     r.retry_after_vms = std::max(0.0, earliest_free - request.arrival_vms);
     PushResponse(std::move(r));
@@ -223,6 +300,143 @@ void Server::Submit(const Request& request) {
   work_cv_.notify_one();
 }
 
+Server::TenantState* Server::ResolveTenant(const TenantId& id) {
+  auto it = tenant_by_id_.find(id);
+  return it != tenant_by_id_.end() ? it->second : default_tenant_;
+}
+
+void Server::SubmitQos(const Request& request) {
+  const double now = request.arrival_vms;
+  // Play the fair dispatcher up to this arrival first: queue lengths and
+  // bucket levels must reflect everything that virtually started before
+  // this request showed up.
+  DispatchReadyQos(now);
+
+  TenantState* ts = ResolveTenant(request.tenant);
+  ts->submitted->Add(1);
+  metrics_.max_queue_len->SetMax(
+      static_cast<int64_t>(qos_scheduler_->TotalQueued()));
+
+  // Single-flight rides are free: they add no load, so they bypass quota
+  // and queue-share checks. Flights register at dispatch time (the leader
+  // is already in the worker queue), so the FIFO no-deadlock argument from
+  // the legacy path carries over unchanged.
+  uint64_t flight_key = 0;
+  if (options_.single_flight) {
+    flight_key = common::Fnv1a(request.input, common::Fnv1a(request.skill));
+    auto it = inflight_.find(flight_key);
+    if (it != inflight_.end() && now < it->second->est_finish_vms) {
+      metrics_.admitted->Add(1);
+      metrics_.coalesced->Add(1);
+      ts->admitted->Add(1);
+      ts->coalesced->Add(1);
+      Work work;
+      work.request = request;
+      work.group = it->second;
+      work.coalesced_follower = true;
+      work.tenant_state = ts;
+      {
+        std::lock_guard<std::mutex> wl(work_mu_);
+        work_queue_.push_back(std::move(work));
+      }
+      work_cv_.notify_one();
+      return;
+    }
+  }
+
+  const double est_tokens = EstimateTokens(request);
+  const double est_service =
+      model_->spec().latency_ms_per_1k_tokens * est_tokens / 1000.0;
+
+  // Queue share first — a full tenant queue refuses before any quota is
+  // spent, so a shed request never burns rate budget it got nothing for.
+  if (qos_scheduler_->QueueLen(ts->index) >= ts->queue_limit) {
+    metrics_.shed->Add(1);
+    ts->shed_queue->Add(1);
+    Response r;
+    r.id = request.id;
+    r.tenant = request.tenant;
+    r.shed = true;
+    r.shed_cause = ShedCause::kQueue;
+    r.status = common::Status::ResourceExhausted(common::StrFormat(
+        "shed: tenant queue share full (%zu waiting, limit %zu)",
+        qos_scheduler_->QueueLen(ts->index), ts->queue_limit));
+    r.retry_after_vms =
+        std::max(0.0, qos_scheduler_->EarliestSlotFreeVms() - now);
+    PushResponse(std::move(r));
+    return;
+  }
+
+  // Quota: the refusal hint comes from this tenant's own bucket — retrying
+  // before it has refilled is guaranteed to be refused again, regardless of
+  // how empty the global queue is.
+  double quota_retry_vms = 0.0;
+  if (!ts->bucket.TryTake(now, est_tokens, &quota_retry_vms)) {
+    metrics_.shed->Add(1);
+    ts->shed_quota->Add(1);
+    Response r;
+    r.id = request.id;
+    r.tenant = request.tenant;
+    r.shed = true;
+    r.shed_cause = ShedCause::kQuota;
+    r.status = common::Status::ResourceExhausted(common::StrFormat(
+        "shed: tenant quota exhausted (%.0f tokens needed, %.0f available)",
+        est_tokens, ts->bucket.level()));
+    r.retry_after_vms = quota_retry_vms;
+    PushResponse(std::move(r));
+    return;
+  }
+
+  metrics_.admitted->Add(1);
+  ts->admitted->Add(1);
+  pending_qos_.emplace(request.id, PendingQos{request, est_service, ts});
+  WeightedFairScheduler::Entry entry;
+  entry.id = request.id;
+  entry.arrival_vms = now;
+  entry.cost_tokens = est_tokens;
+  entry.service_vms = est_service;
+  qos_scheduler_->Enqueue(ts->index, entry);
+  // A free slot at `now` starts the request immediately.
+  DispatchReadyQos(now);
+}
+
+void Server::DispatchReadyQos(double now_vms) {
+  std::vector<WeightedFairScheduler::Dispatch> dispatched;
+  qos_scheduler_->AdvanceTo(now_vms, &dispatched);
+  for (const WeightedFairScheduler::Dispatch& d : dispatched) {
+    auto it = pending_qos_.find(d.id);
+    PendingQos pending = std::move(it->second);
+    pending_qos_.erase(it);
+
+    Work work;
+    work.request = std::move(pending.request);
+    work.est_start_vms = d.start_vms;
+    work.est_service_vms = pending.est_service_vms;
+    work.queue_wait_vms = d.start_vms - work.request.arrival_vms;
+    est_services_.insert(
+        std::upper_bound(est_services_.begin(), est_services_.end(),
+                         pending.est_service_vms),
+        pending.est_service_vms);
+    work.hedge_trigger_vms =
+        Percentile(est_services_, options_.hedge_percentile);
+    work.tenant_state = pending.tenant_state;
+    if (options_.single_flight) {
+      uint64_t key = common::Fnv1a(work.request.input,
+                                   common::Fnv1a(work.request.skill));
+      auto group = std::make_shared<FlightGroup>();
+      group->leader_id = work.request.id;
+      group->est_finish_vms = d.start_vms + pending.est_service_vms;
+      inflight_[key] = group;
+      work.group = group;
+    }
+    {
+      std::lock_guard<std::mutex> wl(work_mu_);
+      work_queue_.push_back(std::move(work));
+    }
+    work_cv_.notify_one();
+  }
+}
+
 void Server::WorkerLoop() {
   for (;;) {
     Work work;
@@ -249,6 +463,7 @@ void Server::Execute(const Work& work) {
   const Request& req = work.request;
   Response r;
   r.id = req.id;
+  r.tenant = req.tenant;
   r.queue_wait_vms = work.queue_wait_vms;
 
   // Span times are anchored in the request's virtual-time frame (arrival,
@@ -259,6 +474,7 @@ void Server::Execute(const Work& work) {
     trace = std::make_shared<obs::TraceContext>("request", req.arrival_vms);
     trace->SetAttr(nullptr, "id", std::to_string(req.id));
     trace->SetAttr(nullptr, "skill", req.skill);
+    if (!req.tenant.empty()) trace->SetAttr(nullptr, "tenant", req.tenant);
     obs::Span* queue_span =
         trace->StartSpan("queue", req.arrival_vms, nullptr);
     trace->EndSpan(queue_span, work.est_start_vms);
@@ -279,7 +495,7 @@ void Server::Execute(const Work& work) {
     }
     clock_.AdvanceTo(work.est_start_vms);
     ResolveFlight(work.group, r, work.est_start_vms);
-    PushResponse(std::move(r));
+    PushResponse(std::move(r), work.tenant_state);
     return;
   }
 
@@ -287,6 +503,7 @@ void Server::Execute(const Work& work) {
   // Per-request salt: two requests with identical text are still
   // independent draws, and reruns of the same id reproduce exactly.
   prompt.sample_salt = req.id * 1000003ull + 7;
+  prompt.tenant_id = req.tenant;
   std::shared_ptr<llm::Deadline> deadline;
   if (req.deadline_ms > 0.0) {
     deadline =
@@ -332,7 +549,7 @@ void Server::Execute(const Work& work) {
     }
     clock_.AdvanceTo(work.est_start_vms + r.service_vms);
     ResolveFlight(work.group, r, work.est_start_vms + r.service_vms);
-    PushResponse(std::move(r));
+    PushResponse(std::move(r), work.tenant_state);
     return;
   }
 
@@ -394,7 +611,7 @@ void Server::Execute(const Work& work) {
   }
   clock_.AdvanceTo(work.est_start_vms + r.service_vms);
   ResolveFlight(work.group, r, work.est_start_vms + r.service_vms);
-  PushResponse(std::move(r));
+  PushResponse(std::move(r), work.tenant_state);
 }
 
 void Server::ResolveFlight(const std::shared_ptr<FlightGroup>& group,
@@ -474,10 +691,10 @@ void Server::ExecuteCoalesced(const Work& work) {
   }
 
   clock_.AdvanceTo(finish_vms);
-  PushResponse(std::move(r));
+  PushResponse(std::move(r), work.tenant_state);
 }
 
-void Server::PushResponse(Response response) {
+void Server::PushResponse(Response response, TenantState* tenant_state) {
   if (!response.shed) {
     if (response.status.ok()) {
       metrics_.completed->Add(1);
@@ -487,6 +704,19 @@ void Server::PushResponse(Response response) {
     if (response.deadline_missed) metrics_.deadline_missed->Add(1);
     metrics_.queue_wait_vms->Observe(response.queue_wait_vms);
     metrics_.latency_vms->Observe(response.latency_vms);
+    if (tenant_state != nullptr) {
+      // Completion-side tenant ledger: commutative adds from worker
+      // threads, exactly like the global counters above.
+      if (response.status.ok()) {
+        tenant_state->completed->Add(1);
+      } else {
+        tenant_state->failed->Add(1);
+      }
+      if (response.deadline_missed) tenant_state->deadline_missed->Add(1);
+      tenant_state->spend_micros->Add(
+          static_cast<uint64_t>(response.cost.micros()));
+      tenant_state->latency_vms->Observe(response.latency_vms);
+    }
   }
   std::lock_guard<std::mutex> lock(results_mu_);
   responses_.push_back(std::move(response));
@@ -496,6 +726,12 @@ std::vector<Response> Server::Drain() {
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
     draining_ = true;
+    // Flush every parked QoS request to the workers before stopping them:
+    // advancing the virtual dispatcher to +infinity plays out the fair
+    // schedule for all remaining queued work.
+    if (qos_scheduler_ != nullptr) {
+      DispatchReadyQos(std::numeric_limits<double>::infinity());
+    }
   }
   {
     std::lock_guard<std::mutex> lock(work_mu_);
@@ -542,6 +778,52 @@ ServerStats Server::stats() const {
   double span_vs = clock_.NowMs() / 1000.0;
   s.goodput_per_vs = span_vs > 0.0 ? static_cast<double>(good) / span_vs : 0.0;
   return s;
+}
+
+std::vector<TenantStats> Server::tenant_stats() const {
+  std::vector<TenantStats> out;
+  if (qos_scheduler_ == nullptr) return out;
+  out.resize(tenants_.size());
+  for (const auto& ts : tenants_) {
+    TenantStats& t = out[ts->index];
+    t.tenant = qos_scheduler_->tenant_config(ts->index).id;
+    t.submitted = ts->submitted->value();
+    t.admitted = ts->admitted->value();
+    t.coalesced = ts->coalesced->value();
+    t.shed_quota = ts->shed_quota->value();
+    t.shed_queue = ts->shed_queue->value();
+    t.completed = ts->completed->value();
+    t.failed = ts->failed->value();
+    t.deadline_missed = ts->deadline_missed->value();
+    t.spend =
+        common::Money::FromMicros(static_cast<int64_t>(ts->spend_micros->value()));
+  }
+  // SLO attainment and percentiles come from the retained responses, like
+  // ServerStats: good = completed OK within deadline, over everything the
+  // tenant submitted (sheds count against attainment — a refused request is
+  // a missed SLO from the tenant's point of view).
+  std::vector<std::vector<double>> latencies(out.size());
+  std::vector<size_t> good(out.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    for (const Response& r : responses_) {
+      auto it = tenant_by_id_.find(r.tenant);
+      TenantState* ts = it != tenant_by_id_.end() ? it->second : default_tenant_;
+      if (ts == nullptr) continue;
+      if (r.shed) continue;
+      latencies[ts->index].push_back(r.latency_vms);
+      if (r.status.ok() && !r.deadline_missed) ++good[ts->index];
+    }
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    std::sort(latencies[i].begin(), latencies[i].end());
+    out[i].p99_latency_vms = Percentile(latencies[i], 0.99);
+    out[i].slo_attainment =
+        out[i].submitted > 0
+            ? static_cast<double>(good[i]) / static_cast<double>(out[i].submitted)
+            : 1.0;
+  }
+  return out;
 }
 
 }  // namespace llmdm::serve

@@ -18,6 +18,7 @@
 #include "llm/usage.h"
 #include "obs/metrics.h"
 #include "serve/clock.h"
+#include "serve/qos.h"
 
 namespace llmdm::obs {
 class TraceContext;  // see obs/trace.h
@@ -46,6 +47,17 @@ enum class ShedPolicy {
 /// reserved headroom above the nominal depth.
 enum class Priority { kBatch, kNormal, kInteractive };
 
+/// Why a request was refused at the door. Distinguishing the causes matters
+/// for the retry hint: a queue-shed request should come back when a slot
+/// frees (global state), a quota-shed request when *its own tenant's* bucket
+/// has refilled — retrying sooner is guaranteed to be refused again.
+enum class ShedCause {
+  kNone,      // not shed
+  kQueue,     // queue (or tenant queue share) full
+  kDeadline,  // kDeadlineAware: estimated wait already exceeds the deadline
+  kQuota,     // tenant token-bucket quota exhausted
+};
+
 /// One unit of offered load. `arrival_vms` is the request's arrival in
 /// simulated time (assigned by the workload generator); Submit() must be
 /// called in non-decreasing arrival order.
@@ -53,6 +65,11 @@ struct Request {
   uint64_t id = 0;
   std::string skill = "freeform";
   std::string input;
+  /// Who is asking. Only consulted when the server has tenants configured
+  /// (Options::qos); unknown or empty ids fall back to the catch-all
+  /// "default" tenant. Propagated onto the prompt (llm::Prompt::tenant_id),
+  /// trace spans, and every per-tenant metric label.
+  TenantId tenant;
   Priority priority = Priority::kNormal;
   /// Request-wide budget in simulated ms (0 = none). Queue wait spends it
   /// first; the remainder rides the prompt as an llm::Deadline.
@@ -64,6 +81,7 @@ struct Request {
 /// too (status kResourceExhausted), so offered load == |responses|.
 struct Response {
   uint64_t id = 0;
+  TenantId tenant;  // copied from the request
   common::Status status;
   std::string text;
   std::string model;
@@ -72,8 +90,11 @@ struct Response {
   double service_vms = 0.0;  // execution (incl. hedge overlap), virtual ms
   double latency_vms = 0.0;  // queue_wait + service
   bool shed = false;
-  /// When shed: simulated ms after arrival at which retrying has a chance
-  /// (the earliest virtual slot becoming free).
+  ShedCause shed_cause = ShedCause::kNone;
+  /// When shed: simulated ms after arrival at which retrying has a chance.
+  /// Cause-specific: for queue sheds, the earliest virtual slot becoming
+  /// free; for quota sheds, when the tenant's own bucket has refilled enough
+  /// to admit a request of this size.
   double retry_after_vms = 0.0;
   bool deadline_missed = false;
   bool hedged = false;     // a hedge attempt was launched
@@ -110,6 +131,29 @@ struct ServerStats {
   double goodput_per_vs = 0.0;
 };
 
+/// Per-tenant serving metrics (QoS mode), valid after Drain(). Like
+/// ServerStats, a read-time view over the registry's {tenant=...} series
+/// plus a per-response scan for the SLO/latency fields.
+struct TenantStats {
+  TenantId tenant;
+  size_t submitted = 0;
+  size_t admitted = 0;   // includes coalesced followers
+  size_t coalesced = 0;
+  size_t shed_quota = 0;
+  size_t shed_queue = 0;
+  size_t completed = 0;
+  size_t failed = 0;
+  size_t deadline_missed = 0;
+  /// Committed spend of this tenant's winning attempts (the ledger a
+  /// per-tenant bill is cut from).
+  common::Money spend;
+  /// OK completions inside their deadline / submitted — the per-tenant SLO
+  /// attainment the overload bench enforces bounds on. Requests without a
+  /// deadline count as attained when they complete OK.
+  double slo_attainment = 0.0;
+  double p99_latency_vms = 0.0;  // over this tenant's non-shed responses
+};
+
 /// A multi-threaded request scheduler in front of one (typically resilient)
 /// LLM endpoint: bounded admission queue, deadline/priority-aware load
 /// shedding, and hedged requests.
@@ -141,6 +185,20 @@ struct ServerStats {
 /// worker counts. Followers wait for the leader's actual result on their
 /// worker thread; FIFO dispatch guarantees a leader is dequeued before any
 /// of its followers, so that wait cannot deadlock the pool.
+///
+/// Multi-tenant QoS (Options::qos, see qos.h): with tenants configured,
+/// Submit() charges the request's tenant token bucket (quota-shed with a
+/// bucket-refill retry hint when empty), bounds the tenant's queue share
+/// (queue-shed with the global slot hint), and parks admitted work in the
+/// tenant's FIFO inside a WeightedFairScheduler. Virtual dispatch — which
+/// request gets the next free virtual slot, DRR over tenant weights with
+/// priority aging — happens inside Submit()/Drain() under the admission
+/// lock, in arrival order, so every scheduling decision is as deterministic
+/// as legacy admission. Real workers only ever execute work whose virtual
+/// start, queue wait and hedge trigger were already fixed at dispatch.
+/// Single-flight composes: flights register at dispatch (not admission), so
+/// a leader is always in the worker queue before any follower that rides
+/// it.
 class Server {
  public:
   struct Options {
@@ -191,6 +249,13 @@ class Server {
     /// admission while it runs.
     double maintenance_interval_vms = 0.0;
     std::function<void()> maintenance_hook;
+    /// Multi-tenant QoS: configuring at least one tenant switches admission
+    /// from the single shared queue to per-tenant token-bucket quotas +
+    /// weighted-fair (deficit-round-robin) queuing with priority aging —
+    /// see qos.h and the class comment. In QoS mode shed_policy's queue
+    /// carve-outs (batch_queue_fraction / interactive_reserve_fraction) are
+    /// superseded by per-tenant queue shares.
+    QosOptions qos;
   };
 
   /// `model` serves primaries; `hedge_model` (defaults to `model`) serves
@@ -215,6 +280,11 @@ class Server {
 
   /// Aggregate metrics; stable only after Drain().
   ServerStats stats() const;
+
+  /// Per-tenant metrics in configuration order (the catch-all "default"
+  /// tenant last when it was synthesized); empty when QoS is off. Stable
+  /// only after Drain().
+  std::vector<TenantStats> tenant_stats() const;
 
   /// Committed usage across all winning attempts (thread-safe itself).
   const llm::UsageMeter& meter() const { return meter_; }
@@ -245,6 +315,28 @@ class Server {
     double finish_vms = 0.0;  // leader's actual virtual finish
   };
 
+  /// Per-tenant instrument handles + admission state (QoS mode). The bucket
+  /// is only touched in Submit() under admission_mu_; the counters are
+  /// written from admission (under the lock) and completion (worker
+  /// threads) sides — commutative integer adds, like the global metrics.
+  struct TenantState {
+    size_t index = 0;  // scheduler tenant index
+    TokenBucket bucket;
+    size_t queue_limit = 0;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* shed_quota = nullptr;
+    obs::Counter* shed_queue = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Counter* spend_micros = nullptr;
+    obs::Histogram* latency_vms = nullptr;
+
+    TenantState(double rate, double burst) : bucket(rate, burst) {}
+  };
+
   struct Work {
     Request request;
     double est_start_vms = 0.0;
@@ -255,6 +347,17 @@ class Server {
     /// or rides (true). Null when coalescing is off or nothing coalesced.
     std::shared_ptr<FlightGroup> group;
     bool coalesced_follower = false;
+    /// QoS mode: the tenant this work bills to (stable pointer, owned by
+    /// tenants_). Null when QoS is off.
+    TenantState* tenant_state = nullptr;
+  };
+
+  /// Admitted-but-not-yet-dispatched request (QoS mode): parked here while
+  /// it waits in its tenant's FIFO inside the scheduler.
+  struct PendingQos {
+    Request request;
+    double est_service_vms = 0.0;
+    TenantState* tenant_state = nullptr;
   };
 
   /// Instrument handles; ServerStats is a read-time view over these (plus
@@ -286,8 +389,17 @@ class Server {
   /// Publishes the leader's outcome to its flight group (no-op if null).
   static void ResolveFlight(const std::shared_ptr<FlightGroup>& group,
                             const Response& response, double finish_vms);
+  double EstimateTokens(const Request& request) const;
   double EstimateServiceVms(const Request& request) const;
-  void PushResponse(Response response);
+  void PushResponse(Response response, TenantState* tenant_state = nullptr);
+
+  /// QoS admission path (admission_mu_ held): quota + queue-share check,
+  /// then park in the tenant FIFO and let the virtual dispatcher run.
+  void SubmitQos(const Request& request);
+  /// Plays virtual dispatch up to now_vms and hands every dispatched
+  /// request to the worker pool (admission_mu_ held).
+  void DispatchReadyQos(double now_vms);
+  TenantState* ResolveTenant(const TenantId& id);
 
   std::shared_ptr<llm::LlmModel> model_;
   std::shared_ptr<llm::LlmModel> hedge_model_;
@@ -317,6 +429,14 @@ class Server {
   /// replaces the old group), so the map holds one entry per distinct key
   /// seen — bounded by the workload's key diversity.
   std::unordered_map<uint64_t, std::shared_ptr<FlightGroup>> inflight_;
+
+  // QoS mode (null/empty when Options::qos has no tenants). All admission
+  // state under admission_mu_, like the legacy fields above.
+  std::unique_ptr<WeightedFairScheduler> qos_scheduler_;
+  std::vector<std::unique_ptr<TenantState>> tenants_;  // scheduler order
+  std::unordered_map<TenantId, TenantState*> tenant_by_id_;
+  TenantState* default_tenant_ = nullptr;  // catch-all for unknown ids
+  std::unordered_map<uint64_t, PendingQos> pending_qos_;  // by request id
 
   // Worker pool.
   std::mutex work_mu_;

@@ -21,6 +21,8 @@
 #include "llm/fault_injection.h"
 #include "llm/resilient.h"
 #include "llm/simulated.h"
+#include "serve/qos.h"
+#include "serve/server.h"
 #include "sql/database.h"
 #include "sql/parser.h"
 
@@ -753,6 +755,204 @@ TEST(DeadlinePropagation, ResilientBackoffDrawsFromTheSameBudget) {
   auto c = resilient.CompleteMetered(prompt, nullptr);
   EXPECT_FALSE(c.ok());
   EXPECT_LT(deadline->remaining_ms(), 5000.0);  // backoff was charged
+}
+
+// ---- Multi-tenant QoS building blocks --------------------------------------
+
+TEST(TokenBucket, RefillsOnTheVirtualClockAndReportsRetryAfter) {
+  // 100 tokens/vs = 0.1 tokens/vms, burst 50. Starts full.
+  serve::TokenBucket bucket(100.0, 50.0);
+  EXPECT_TRUE(bucket.metered());
+  EXPECT_DOUBLE_EQ(bucket.level(), 50.0);
+  EXPECT_TRUE(bucket.TryTake(0.0, 50.0, nullptr));  // drain the burst
+  double retry = 0.0;
+  EXPECT_FALSE(bucket.TryTake(0.0, 20.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 200.0);  // 20 tokens at 0.1/vms
+  // 100 vms later 10 tokens refilled: 8 fits, the next 8 does not.
+  EXPECT_TRUE(bucket.TryTake(100.0, 8.0, nullptr));
+  EXPECT_FALSE(bucket.TryTake(100.0, 8.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 60.0);  // needs 6 more tokens
+  // A cost above burst capacity reports time-to-full, not infinity.
+  EXPECT_FALSE(bucket.TryTake(100.0, 1000.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 480.0);  // 48 missing to reach burst=50
+  // Idle time never overfills past the burst.
+  EXPECT_FALSE(bucket.TryTake(1e9, 50.1, &retry));
+  EXPECT_TRUE(bucket.TryTake(1e9, 50.0, nullptr));
+}
+
+TEST(TokenBucket, UnmeteredAlwaysAdmits) {
+  serve::TokenBucket bucket(0.0, 0.0);
+  EXPECT_FALSE(bucket.metered());
+  double retry = 123.0;
+  EXPECT_TRUE(bucket.TryTake(0.0, 1e18, &retry));
+  EXPECT_DOUBLE_EQ(retry, 123.0);  // untouched
+}
+
+TEST(WeightedFairScheduler, EqualWeightsAlternateAndWeightsBuyShare) {
+  auto run = [](double w0, double w1) {
+    serve::QosOptions qos;
+    qos.tenants = {{.id = "a", .weight = w0}, {.id = "b", .weight = w1}};
+    qos.quantum_tokens = 10.0;
+    qos.aging_threshold_vms = 1e12;  // DRR only
+    serve::WeightedFairScheduler sched(qos, /*num_slots=*/1);
+    // Both tenants deeply backlogged from t=0, every request costs 10
+    // tokens and 10 vms of service.
+    for (uint64_t i = 0; i < 40; ++i) {
+      sched.Enqueue(0, {.id = i, .arrival_vms = 0.0, .cost_tokens = 10.0,
+                        .service_vms = 10.0});
+      sched.Enqueue(1, {.id = 100 + i, .arrival_vms = 0.0,
+                        .cost_tokens = 10.0, .service_vms = 10.0});
+    }
+    std::vector<serve::WeightedFairScheduler::Dispatch> dispatches;
+    sched.AdvanceTo(395.0, &dispatches);  // 40 slots' worth (u=0,10,...,390)
+    size_t first = 0;
+    for (const auto& d : dispatches) {
+      if (d.tenant == 0) ++first;
+    }
+    return std::make_pair(first, dispatches.size());
+  };
+  // Equal weights: a strict 50/50 split (the pre-fix cursor bug made the
+  // first backlogged tenant monopolize the ring).
+  auto [equal_first, equal_total] = run(1.0, 1.0);
+  EXPECT_EQ(equal_total, 40u);
+  EXPECT_EQ(equal_first, 20u);
+  // 3:1 weights: tenant 0 gets ~3/4 of the dispatches.
+  auto [heavy_first, heavy_total] = run(3.0, 1.0);
+  EXPECT_EQ(heavy_total, 40u);
+  EXPECT_NEAR(static_cast<double>(heavy_first) / heavy_total, 0.75, 0.05);
+}
+
+TEST(WeightedFairScheduler, AgedHeadBypassesDeficitOrder) {
+  serve::QosOptions qos;
+  qos.tenants = {{.id = "big", .weight = 100.0}, {.id = "tiny", .weight = 0.01}};
+  qos.quantum_tokens = 10.0;
+  qos.aging_threshold_vms = 50.0;
+  serve::WeightedFairScheduler sched(qos, /*num_slots=*/1);
+  // The tiny tenant's request is strictly the oldest: aged dispatch is
+  // oldest-head-first, so it must cut ahead of the backlog the moment it
+  // crosses the threshold.
+  sched.Enqueue(1, {.id = 999, .arrival_vms = 0.0, .cost_tokens = 10.0,
+                    .service_vms = 10.0});
+  for (uint64_t i = 0; i < 20; ++i) {
+    sched.Enqueue(0, {.id = i, .arrival_vms = 1.0, .cost_tokens = 10.0,
+                      .service_vms = 10.0});
+  }
+  std::vector<serve::WeightedFairScheduler::Dispatch> dispatches;
+  sched.AdvanceTo(200.0, &dispatches);
+  double tiny_start = -1.0;
+  for (const auto& d : dispatches) {
+    if (d.id == 999) tiny_start = d.start_vms;
+  }
+  // Without aging the tiny tenant would wait ~100 ring cycles; with a 50 vms
+  // threshold it dispatches at the first slot boundary past 50.
+  ASSERT_GE(tiny_start, 0.0);
+  EXPECT_LE(tiny_start, 60.0);
+}
+
+TEST(JainFairness, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(serve::JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(serve::JainFairnessIndex({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(serve::JainFairnessIndex({5.0, 5.0, 5.0}), 1.0);
+  // One tenant hogging everything: index collapses to 1/n.
+  EXPECT_DOUBLE_EQ(serve::JainFairnessIndex({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // (1+2+3)^2 / (3 * 14) = 36/42.
+  EXPECT_NEAR(serve::JainFairnessIndex({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(GeneratePopulation, DeterministicSortedAndZipfSkewed) {
+  serve::PopulationOptions pop;
+  pop.tenants = 8;
+  pop.requests = 1200;
+  pop.hot_tenants = 2;
+  pop.seed = 42;
+  auto a = serve::GeneratePopulation(pop);
+  auto b = serve::GeneratePopulation(pop);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), pop.requests);  // bursts landed on top of base traffic
+  std::map<std::string, size_t> per_tenant;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Byte-identical across calls with the same seed.
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].input, b[i].input);
+    EXPECT_DOUBLE_EQ(a[i].arrival_vms, b[i].arrival_vms);
+    // Sorted by arrival, ids dense in arrival order.
+    EXPECT_EQ(a[i].id, i);
+    if (i > 0) EXPECT_GE(a[i].arrival_vms, a[i - 1].arrival_vms);
+    ++per_tenant[a[i].tenant];
+  }
+  // Zipf skew: the head tenant strictly dominates the mid and tail.
+  EXPECT_GT(per_tenant["t00"], per_tenant["t03"]);
+  EXPECT_GT(per_tenant["t03"], 0u);
+  // A different seed reshuffles the stream.
+  pop.seed = 43;
+  auto c = serve::GeneratePopulation(pop);
+  bool any_diff = c.size() != a.size();
+  for (size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a[i].input != c[i].input ||
+               a[i].arrival_vms != c[i].arrival_vms;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ServeQosShed, RetryAfterReflectsTheCause) {
+  // One metered tenant bursting against a wide-open queue: every shed must
+  // be a quota shed, and the hint must be the tenant's own bucket refill
+  // time — not the global queue estimate.
+  llm::ModelSpec spec;
+  spec.name = "sim-shed";
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.002);
+  spec.latency_ms_per_1k_tokens = 100.0;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, 3);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+
+  serve::Server::Options options;
+  options.worker_threads = 2;
+  options.virtual_concurrency = 8;
+  options.queue_depth = 1000;
+  serve::TenantConfig metered;
+  metered.id = "metered";
+  metered.weight = 1.0;
+  metered.quota_tokens_per_vs = 100.0;
+  metered.quota_burst_tokens = 150.0;
+  metered.queue_limit = 1000;
+  options.qos.tenants = {metered};
+  serve::Server server(model, options);
+  for (size_t i = 0; i < 30; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.tenant = "metered";
+    req.arrival_vms = static_cast<double>(i) * 1.0;
+    req.input = common::StrFormat("quota burst %zu", i);
+    server.Submit(req);
+  }
+  size_t quota_sheds = 0;
+  for (const auto& r : server.Drain()) {
+    if (!r.shed) continue;
+    ++quota_sheds;
+    EXPECT_EQ(r.shed_cause, serve::ShedCause::kQuota);
+    EXPECT_EQ(r.status.code(), common::StatusCode::kResourceExhausted);
+    // The bucket refills ~0.1 tokens/vms and a request costs ~50 tokens:
+    // the hint must point hundreds of virtual ms out, and never past the
+    // time to refill a full request from empty.
+    EXPECT_GT(r.retry_after_vms, 0.0);
+    EXPECT_LE(r.retry_after_vms, 60.0 / 0.1);
+  }
+  EXPECT_GT(quota_sheds, 0u);
+  // tenant_stats includes the synthesized catch-all "default" tenant.
+  auto tenants = server.tenant_stats();
+  ASSERT_EQ(tenants.size(), 2u);
+  const serve::TenantStats* metered_stats = nullptr;
+  for (const auto& t : tenants) {
+    if (t.tenant == "metered") metered_stats = &t;
+  }
+  ASSERT_NE(metered_stats, nullptr);
+  EXPECT_EQ(metered_stats->shed_quota, quota_sheds);
+  EXPECT_EQ(metered_stats->shed_queue, 0u);
+  EXPECT_EQ(metered_stats->submitted, 30u);
+  EXPECT_EQ(metered_stats->admitted + quota_sheds, 30u);
+  EXPECT_GT(metered_stats->spend, common::Money::Zero());
 }
 
 }  // namespace
