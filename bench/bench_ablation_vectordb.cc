@@ -1,14 +1,18 @@
-// Ablation A1: vector index trade-offs (flat vs IVF vs HNSW).
+// Ablation A1: vector index trade-offs (flat vs IVF vs HNSW, float32 vs
+// int8+rescore).
 // The vector database is the substrate the paper leans on for prompt
 // selection, caching and multi-modal exploration (Secs. I, III-A/B/C); this
 // bench reports recall@10 vs the exact oracle and per-query latency, using
-// google-benchmark for the timing half.
+// google-benchmark for the timing half. `--benchmark-smoke` shrinks the
+// dataset to ctest scale; unrecognised flags pass through to
+// benchmark::Initialize (--benchmark_filter etc.).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>
 #include <set>
 
+#include "bench_args.h"
 #include "common/rng.h"
 #include "vectordb/flat_index.h"
 #include "vectordb/hnsw_index.h"
@@ -19,10 +23,12 @@ namespace {
 using namespace llmdm;
 using vectordb::Vector;
 
-constexpr size_t kN = 8000;
 constexpr size_t kDim = 128;
 constexpr size_t kClusters = 64;
-constexpr size_t kQueries = 40;
+
+// Sized at startup from --benchmark-smoke, before any lazy dataset build.
+size_t g_n = 8000;
+size_t g_queries = 40;
 
 // Clustered data (mixture of Gaussians around unit-sphere centroids): real
 // embedding collections are clustered, and nearest-neighbour recall is only
@@ -57,8 +63,8 @@ std::vector<Vector>& Dataset() {
   static auto& data = *new std::vector<Vector>([] {
     common::Rng rng(20240704);
     std::vector<Vector> out;
-    out.reserve(kN);
-    for (size_t i = 0; i < kN; ++i) out.push_back(RandomPoint(rng, Centers()));
+    out.reserve(g_n);
+    for (size_t i = 0; i < g_n; ++i) out.push_back(RandomPoint(rng, Centers()));
     return out;
   }());
   return data;
@@ -68,7 +74,7 @@ std::vector<Vector>& Queries() {
   static auto& queries = *new std::vector<Vector>([] {
     common::Rng rng(99);
     std::vector<Vector> out;
-    for (size_t i = 0; i < kQueries; ++i) {
+    for (size_t i = 0; i < g_queries; ++i) {
       out.push_back(RandomPoint(rng, Centers()));
     }
     return out;
@@ -80,6 +86,33 @@ template <typename IndexT>
 IndexT& BuiltIndex() {
   static auto& index = *new IndexT([] {
     IndexT idx;
+    for (size_t i = 0; i < Dataset().size(); ++i) {
+      idx.Add(i, Dataset()[i]).ok();
+    }
+    return idx;
+  }());
+  return index;
+}
+
+/// The int8+rescore variants, built once with quantization on.
+vectordb::FlatIndex& QuantizedFlat() {
+  static auto& index = *new vectordb::FlatIndex([] {
+    vectordb::FlatIndex::Options o;
+    o.quantize = true;
+    vectordb::FlatIndex idx(o);
+    for (size_t i = 0; i < Dataset().size(); ++i) {
+      idx.Add(i, Dataset()[i]).ok();
+    }
+    return idx;
+  }());
+  return index;
+}
+
+vectordb::IvfIndex& QuantizedIvf() {
+  static auto& index = *new vectordb::IvfIndex([] {
+    vectordb::IvfIndex::Options o;
+    o.quantize = true;
+    vectordb::IvfIndex idx(o);
     for (size_t i = 0; i < Dataset().size(); ++i) {
       idx.Add(i, Dataset()[i]).ok();
     }
@@ -105,10 +138,20 @@ void BM_FlatSearch(benchmark::State& state) {
   auto& index = BuiltIndex<vectordb::FlatIndex>();
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Search(Queries()[i++ % kQueries], 10));
+    benchmark::DoNotOptimize(index.Search(Queries()[i++ % g_queries], 10));
   }
 }
 BENCHMARK(BM_FlatSearch);
+
+void BM_FlatSearchInt8(benchmark::State& state) {
+  auto& index = QuantizedFlat();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(Queries()[i++ % g_queries], 10));
+  }
+  state.counters["recall@10"] = RecallAt10(index);
+}
+BENCHMARK(BM_FlatSearchInt8);
 
 void BM_IvfSearch(benchmark::State& state) {
   auto& index = BuiltIndex<vectordb::IvfIndex>();
@@ -116,18 +159,30 @@ void BM_IvfSearch(benchmark::State& state) {
   index.Build();
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Search(Queries()[i++ % kQueries], 10));
+    benchmark::DoNotOptimize(index.Search(Queries()[i++ % g_queries], 10));
   }
   state.counters["recall@10"] = RecallAt10(index);
 }
 BENCHMARK(BM_IvfSearch)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_IvfSearchInt8(benchmark::State& state) {
+  auto& index = QuantizedIvf();
+  index.set_nprobe(size_t(state.range(0)));
+  index.Build();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(Queries()[i++ % g_queries], 10));
+  }
+  state.counters["recall@10"] = RecallAt10(index);
+}
+BENCHMARK(BM_IvfSearchInt8)->Arg(4)->Arg(8);
 
 void BM_HnswSearch(benchmark::State& state) {
   auto& index = BuiltIndex<vectordb::HnswIndex>();
   index.set_ef_search(size_t(state.range(0)));
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(index.Search(Queries()[i++ % kQueries], 10));
+    benchmark::DoNotOptimize(index.Search(Queries()[i++ % g_queries], 10));
   }
   state.counters["recall@10"] = RecallAt10(index);
 }
@@ -136,9 +191,18 @@ BENCHMARK(BM_HnswSearch)->Arg(16)->Arg(64)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  llmdm::bench::BenchArgSpec spec;
+  spec.passthrough_unknown = true;
+  llmdm::bench::BenchArgs args;
+  if (!llmdm::bench::ParseBenchArgs(argc, argv, spec, &args)) return 2;
+  if (args.smoke) {
+    g_n = 1500;
+    g_queries = 12;
+  }
+
   std::printf("Ablation A1: vector index trade-offs "
               "(%zu vectors, d=%zu, recall vs flat oracle)\n",
-              kN, kDim);
+              g_n, kDim);
   {
     vectordb::IvfIndex::Options o;
     o.nlist = 64;
@@ -155,7 +219,12 @@ int main(int argc, char** argv) {
     hnsw.set_ef_search(64);
     std::printf("HNSW(ef=64)            recall@10 = %.3f\n", RecallAt10(hnsw));
   }
-  benchmark::Initialize(&argc, argv);
+  {
+    std::printf("Flat int8+rescore      recall@10 = %.3f\n",
+                RecallAt10(QuantizedFlat()));
+  }
+  int bench_argc = static_cast<int>(args.passthrough.size());
+  benchmark::Initialize(&bench_argc, args.passthrough.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace llmdm::bench {
 
@@ -18,6 +19,11 @@ struct BenchArgs {
   bool qos_smoke = false;   // --qos-smoke (when the spec accepts it)
   std::string out_path;     // --out=PATH (when the spec accepts it)
   std::string metrics_out;  // --metrics-out=PATH
+  /// Flags this parser did not recognise, in order (only populated when the
+  /// spec opts into passthrough_unknown). argv[0] is prepended so the vector
+  /// can be handed straight to a secondary parser like
+  /// benchmark::Initialize(&argc, argv).
+  std::vector<char*> passthrough;
 };
 
 struct BenchArgSpec {
@@ -27,15 +33,24 @@ struct BenchArgSpec {
   const char* default_out = "";
   /// Accept `--qos-smoke` (run only the multi-tenant QoS cell).
   bool accepts_qos_smoke = false;
+  /// Collect unrecognised flags into BenchArgs::passthrough instead of
+  /// failing — for benches that wrap another flag-taking framework
+  /// (google-benchmark's --benchmark_* family).
+  bool passthrough_unknown = false;
 };
 
 /// Parses argv into `out`. On an unknown flag, prints a usage line listing
-/// exactly the flags this bench accepts and returns false (callers exit 2).
+/// exactly the flags this bench accepts and returns false (callers exit 2) —
+/// unless the spec opts into passthrough_unknown, in which case unknown
+/// flags land in BenchArgs::passthrough for a downstream parser.
 inline bool ParseBenchArgs(int argc, char** argv, const BenchArgSpec& spec,
                            BenchArgs* out) {
   out->out_path = spec.default_out;
+  if (spec.passthrough_unknown && argc > 0) {
+    out->passthrough.push_back(argv[0]);
+  }
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
+    char* arg = argv[i];
     if (std::strcmp(arg, "--benchmark-smoke") == 0) {
       out->smoke = true;
     } else if (spec.accepts_qos_smoke && std::strcmp(arg, "--qos-smoke") == 0) {
@@ -44,6 +59,8 @@ inline bool ParseBenchArgs(int argc, char** argv, const BenchArgSpec& spec,
       out->out_path = arg + 6;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       out->metrics_out = arg + 14;
+    } else if (spec.passthrough_unknown) {
+      out->passthrough.push_back(arg);
     } else {
       std::string usage = "usage: %s [--benchmark-smoke]";
       if (spec.accepts_qos_smoke) usage += " [--qos-smoke]";

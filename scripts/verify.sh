@@ -40,6 +40,11 @@ cmake --build "${build_dir}" -j "$(nproc)"
 stage "test"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 
+stage "kernel parity + quantized recall"
+"${build_dir}/tests/llmdm_tests" \
+  --gtest_filter='Kernels*:QuantizedRecall*' >/dev/null
+echo "ok: scalar/SIMD kernels bit-identical; int8+rescore recall >= 0.99"
+
 stage "bench smoke (registry reconciliation)"
 "${build_dir}/bench/bench_serve_overload" --benchmark-smoke \
   --metrics-out="${build_dir}/BENCH_serve_smoke.prom" >/dev/null

@@ -1,0 +1,46 @@
+#include "core/optimize/batch_probe.h"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/money.h"
+#include "core/optimize/semantic_cache.h"
+#include "llm/prompt.h"
+
+namespace llmdm::optimize {
+
+serve::BatchCacheProbe MakeBatchCacheProbe(SemanticCache* cache,
+                                           llm::ModelSpec spec) {
+  return [cache, spec = std::move(spec)](
+             const std::vector<const serve::Request*>& batch)
+             -> std::vector<serve::BatchProbeOutcome> {
+    std::vector<std::string_view> queries;
+    std::vector<common::Money> avoided;
+    queries.reserve(batch.size());
+    avoided.reserve(batch.size());
+    for (const serve::Request* req : batch) {
+      queries.push_back(req->input);
+      // The avoided input cost of a hit, priced exactly as CachedLlm's
+      // per-call probe prices it — so the savings ledger doesn't depend on
+      // whether a request went through the batched or the per-call path.
+      size_t input_tokens =
+          llm::MakePrompt(req->skill, req->input).CountInputTokens();
+      avoided.push_back(common::Money::FromMicros(
+          spec.input_price_per_1k.micros() *
+          static_cast<int64_t>(input_tokens) / 1000));
+    }
+    std::vector<std::optional<SemanticCache::Hit>> hits =
+        cache->LookupBatch(queries, avoided, spec.output_price_per_1k);
+    std::vector<serve::BatchProbeOutcome> out(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!hits[i].has_value()) continue;
+      out[i].hit = true;
+      out[i].response = std::move(hits[i]->response);
+      out[i].model = spec.name + "+cache";
+    }
+    return out;
+  };
+}
+
+}  // namespace llmdm::optimize

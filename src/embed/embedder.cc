@@ -4,40 +4,36 @@
 
 #include "common/hash.h"
 #include "text/tokenizer.h"
+#include "vectordb/kernels.h"
 
 namespace llmdm::embed {
 
+// The three distance functions route through the dispatched kernels
+// (vectordb/kernels.h). The kernels' lane-equivalent reduction contract makes
+// the results bit-identical across scalar/AVX2/NEON, so similarity-threshold
+// decisions (semantic cache, cascade gating) do not depend on the host ISA.
+
 float CosineSimilarity(const Vector& a, const Vector& b) {
-  float dot = 0, na = 0, nb = 0;
   size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
-  for (size_t i = n; i < a.size(); ++i) na += a[i] * a[i];
-  for (size_t i = n; i < b.size(); ++i) nb += b[i] * b[i];
+  float dot = vectordb::kernels::Dot(a.data(), b.data(), n);
+  float na = vectordb::kernels::Dot(a.data(), a.data(), a.size());
+  float nb = vectordb::kernels::Dot(b.data(), b.data(), b.size());
   if (na == 0 || nb == 0) return 0;
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 
 float L2DistanceSquared(const Vector& a, const Vector& b) {
-  float acc = 0;
   size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) {
-    float d = a[i] - b[i];
-    acc += d * d;
-  }
-  for (size_t i = n; i < a.size(); ++i) acc += a[i] * a[i];
-  for (size_t i = n; i < b.size(); ++i) acc += b[i] * b[i];
+  float acc = vectordb::kernels::L2Sq(a.data(), b.data(), n);
+  // Past the shorter vector, the missing elements are implicit zeros.
+  acc += vectordb::kernels::Dot(a.data() + n, a.data() + n, a.size() - n);
+  acc += vectordb::kernels::Dot(b.data() + n, b.data() + n, b.size() - n);
   return acc;
 }
 
 float DotProduct(const Vector& a, const Vector& b) {
-  float acc = 0;
   size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return vectordb::kernels::Dot(a.data(), b.data(), n);
 }
 
 void L2Normalize(Vector* v) {
@@ -55,8 +51,13 @@ Vector HashingEmbedder::Embed(std::string_view text) const {
 }
 
 void HashingEmbedder::EmbedInto(std::string_view text, Vector* out) const {
-  out->assign(options_.dimension, 0.0f);
-  Vector& v = *out;
+  out->resize(options_.dimension);
+  EmbedInto(text, out->data());
+}
+
+void HashingEmbedder::EmbedInto(std::string_view text, float* out) const {
+  float* const v = out;
+  std::fill_n(v, options_.dimension, 0.0f);
   auto bucket_add = [&](uint64_t h, float weight) {
     size_t bucket = h % options_.dimension;
     // One independent bit decides the sign so that colliding features cancel
@@ -101,7 +102,13 @@ void HashingEmbedder::EmbedInto(std::string_view text, Vector* out) const {
       bucket_add(h, 1.0f);
     }
   }
-  L2Normalize(&v);
+  // Normalize in place with the same sequential accumulation L2Normalize
+  // performs, so this path stays bit-identical to Embed().
+  float norm = 0;
+  for (size_t i = 0; i < options_.dimension; ++i) norm += v[i] * v[i];
+  if (norm == 0) return;
+  norm = std::sqrt(norm);
+  for (size_t i = 0; i < options_.dimension; ++i) v[i] /= norm;
 }
 
 float HashingEmbedder::Similarity(std::string_view a, std::string_view b) const {

@@ -42,6 +42,8 @@ Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
   metrics_.admitted = registry_->GetCounter("llmdm_serve_admitted_total");
   metrics_.shed = registry_->GetCounter("llmdm_serve_shed_total");
   metrics_.coalesced = registry_->GetCounter("llmdm_serve_coalesced_total");
+  metrics_.cache_probe_hits =
+      registry_->GetCounter("llmdm_serve_cache_probe_hits_total");
   metrics_.completed = registry_->GetCounter("llmdm_serve_completed_total");
   metrics_.failed = registry_->GetCounter("llmdm_serve_failed_total");
   metrics_.deadline_missed =
@@ -298,6 +300,75 @@ void Server::Submit(const Request& request) {
     work_queue_.push_back(std::move(work));
   }
   work_cv_.notify_one();
+}
+
+void Server::SubmitBatch(const std::vector<Request>& batch) {
+  if (batch.empty()) return;
+  if (!options_.batch_probe) {
+    for (const Request& request : batch) Submit(request);
+    return;
+  }
+
+  // Probe the whole batch once, on the submitting thread, before any
+  // admission decision: hit/miss outcomes are fixed in arrival order, so
+  // the downstream admission sequence (and every virtual-clock decision it
+  // makes) is identical across runs and worker counts. This is also where
+  // the batching pays off — the probe can embed and score the whole batch
+  // through the vector kernels in one pass instead of per request.
+  std::vector<const Request*> ptrs;
+  ptrs.reserve(batch.size());
+  for (const Request& request : batch) ptrs.push_back(&request);
+  const std::vector<BatchProbeOutcome> outcomes = options_.batch_probe(ptrs);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    if (i >= outcomes.size() || !outcomes[i].hit) {
+      Submit(request);
+      continue;
+    }
+
+    // Cache hit: answer on the spot. The request is submitted+admitted for
+    // accounting but never enters the virtual queue — it takes no slot,
+    // adds no load, and costs nothing. Maintenance boundaries still fire
+    // here (before the "admission"), exactly as in Submit(), so a workload
+    // keeps the same maintenance schedule whether its requests hit or miss.
+    TenantState* tenant_state = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      if (draining_) continue;
+      metrics_.submitted->Add(1);
+      if (options_.maintenance_interval_vms > 0 && options_.maintenance_hook) {
+        while (request.arrival_vms >= next_maintenance_vms_) {
+          options_.maintenance_hook();
+          metrics_.maintenance_runs->Add(1);
+          next_maintenance_vms_ += options_.maintenance_interval_vms;
+        }
+      }
+      metrics_.admitted->Add(1);
+      metrics_.cache_probe_hits->Add(1);
+      if (qos_scheduler_ != nullptr) {
+        tenant_state = ResolveTenant(request.tenant);
+        tenant_state->submitted->Add(1);
+        tenant_state->admitted->Add(1);
+      }
+    }
+
+    Response response;
+    response.id = request.id;
+    response.tenant = request.tenant;
+    response.status = common::Status::Ok();
+    response.text = outcomes[i].response;
+    response.model = outcomes[i].model;
+    response.cost = common::Money::Zero();
+    response.queue_wait_vms = 0.0;
+    // One virtual ms of service: a probe hit is near-instant next to a
+    // model call but not free, and a nonzero latency keeps the response
+    // inside every deadline/percentile computation downstream.
+    response.service_vms = 1.0;
+    response.latency_vms = 1.0;
+    clock_.AdvanceTo(request.arrival_vms + response.latency_vms);
+    PushResponse(std::move(response), tenant_state);
+  }
 }
 
 Server::TenantState* Server::ResolveTenant(const TenantId& id) {
@@ -756,6 +827,7 @@ ServerStats Server::stats() const {
   s.admitted = metrics_.admitted->value();
   s.shed = metrics_.shed->value();
   s.coalesced = metrics_.coalesced->value();
+  s.cache_probe_hits = metrics_.cache_probe_hits->value();
   s.max_queue_len = static_cast<double>(metrics_.max_queue_len->value());
   s.hedges_launched = metrics_.hedges_launched->value();
   s.hedge_wins = metrics_.hedge_wins->value();

@@ -108,6 +108,24 @@ struct Response {
   std::shared_ptr<obs::TraceContext> trace;
 };
 
+/// Per-request outcome of a batched admission-time cache probe (see
+/// Server::Options::batch_probe). A hit short-circuits admission entirely:
+/// the request is answered on the submitting thread with `response`/`model`
+/// at zero cost, never touching the virtual queue or the endpoint.
+struct BatchProbeOutcome {
+  bool hit = false;
+  std::string response;
+  std::string model;
+};
+
+/// Batched cache probe: called once per SubmitBatch with the whole batch
+/// (arrival order preserved), returns one outcome per request. Batching lets
+/// the probe amortize embedding + distance evaluation across the batch
+/// (SemanticCache::LookupBatch packs the query embeddings into one arena and
+/// runs the SIMD distance kernels over it). See optimize::MakeBatchCacheProbe.
+using BatchCacheProbe =
+    std::function<std::vector<BatchProbeOutcome>(const std::vector<const Request*>&)>;
+
 /// Aggregate serving metrics, valid after Drain().
 struct ServerStats {
   size_t submitted = 0;
@@ -120,6 +138,10 @@ struct ServerStats {
   size_t hedge_wins = 0;
   /// Requests collapsed onto an identical in-flight call (single-flight).
   size_t coalesced = 0;
+  /// Requests answered by the admission-time batched cache probe
+  /// (Options::batch_probe) — served at zero cost without entering the
+  /// virtual queue. Counted in both submitted and admitted.
+  size_t cache_probe_hits = 0;
   /// Spend of losing hedge attempts: paid to the endpoint, never committed
   /// to the main meter (the virtual cancellation arrived too late).
   common::Money hedge_cancelled_cost;
@@ -249,6 +271,14 @@ class Server {
     /// admission while it runs.
     double maintenance_interval_vms = 0.0;
     std::function<void()> maintenance_hook;
+    /// Admission-time batched cache probe, consulted by SubmitBatch() before
+    /// admission. Runs once per batch on the submitting thread, so hit/miss
+    /// decisions stay in arrival order and are as deterministic as admission
+    /// itself. Hits are answered immediately (status Ok, zero cost, one
+    /// virtual ms of service); misses fall through to the normal Submit()
+    /// path. Null (the default) makes SubmitBatch() a plain loop over
+    /// Submit(). Wire a SemanticCache in with optimize::MakeBatchCacheProbe.
+    BatchCacheProbe batch_probe;
     /// Multi-tenant QoS: configuring at least one tenant switches admission
     /// from the single shared queue to per-tenant token-bucket quotas +
     /// weighted-fair (deficit-round-robin) queuing with priority aging —
@@ -273,6 +303,14 @@ class Server {
   /// Shed requests are answered immediately; admitted ones complete on a
   /// worker thread. Not callable after Drain().
   void Submit(const Request& request);
+
+  /// Batched submission: when Options::batch_probe is set, probes the whole
+  /// batch once (amortizing embedding + distance work across it), answers
+  /// hits immediately at zero cost, and Submit()s the misses in arrival
+  /// order. Without a probe this is exactly a loop over Submit(). The same
+  /// ordering contract applies: batches (and the requests within them) must
+  /// arrive in non-decreasing `arrival_vms` order.
+  void SubmitBatch(const std::vector<Request>& batch);
 
   /// Waits for all admitted work, stops the workers, and returns every
   /// response sorted by request id. Call once.
@@ -368,6 +406,7 @@ class Server {
     obs::Counter* admitted = nullptr;
     obs::Counter* shed = nullptr;
     obs::Counter* coalesced = nullptr;
+    obs::Counter* cache_probe_hits = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* failed = nullptr;
     obs::Counter* deadline_missed = nullptr;

@@ -12,13 +12,15 @@ DurableVectorIndex::DurableVectorIndex(const Options& options)
     : options_(options), inner_(MakeInner()) {}
 
 std::unique_ptr<VectorIndex> DurableVectorIndex::MakeInner() const {
+  // Quantized codes are derived state: recovery re-quantizes from the float
+  // vectors in the durable image, so the snapshot/WAL format is unchanged.
   switch (options_.kind) {
     case Kind::kFlat:
-      return std::make_unique<FlatIndex>();
+      return std::make_unique<FlatIndex>(options_.flat);
     case Kind::kHnsw:
       return std::make_unique<HnswIndex>(options_.hnsw);
   }
-  return std::make_unique<FlatIndex>();
+  return std::make_unique<FlatIndex>(options_.flat);
 }
 
 common::Status DurableVectorIndex::Add(uint64_t id, Vector vector) {

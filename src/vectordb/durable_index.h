@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "durability/durable.h"
+#include "vectordb/flat_index.h"
 #include "vectordb/hnsw_index.h"
 #include "vectordb/index.h"
 
@@ -34,6 +35,7 @@ class DurableVectorIndex : public VectorIndex, public durability::DurableState {
   struct Options {
     Kind kind = Kind::kFlat;
     HnswIndex::Options hnsw;  // used when kind == kHnsw
+    FlatIndex::Options flat;  // used when kind == kFlat
   };
 
   explicit DurableVectorIndex(const Options& options);

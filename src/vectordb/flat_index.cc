@@ -1,47 +1,169 @@
 #include "vectordb/flat_index.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 namespace llmdm::vectordb {
 
+void FlatIndex::GrowDim(size_t new_dim) {
+  const size_t slots = ids_.size();
+  std::vector<float> base(slots * new_dim, 0.0f);
+  for (size_t s = 0; s < slots; ++s) {
+    std::memcpy(base.data() + s * new_dim, base_.data() + s * dim_,
+                dim_ * sizeof(float));
+  }
+  base_.swap(base);
+  if (options_.quantize) {
+    std::vector<int8_t> codes(slots * new_dim, 0);
+    for (size_t s = 0; s < slots; ++s) {
+      std::memcpy(codes.data() + s * new_dim, codes_.data() + s * dim_, dim_);
+    }
+    codes_.swap(codes);
+  }
+  dim_ = new_dim;
+}
+
+void FlatIndex::PackRow(size_t slot, const Vector& v) {
+  float* row = base_.data() + slot * dim_;
+  std::memcpy(row, v.data(), v.size() * sizeof(float));
+  std::fill(row + v.size(), row + dim_, 0.0f);
+  if (options_.quantize) {
+    kernels::QuantizeSymmetric(row, dim_, codes_.data() + slot * dim_,
+                               &scales_[slot]);
+  }
+}
+
 common::Status FlatIndex::Add(uint64_t id, Vector vector) {
-  vectors_[id] = std::move(vector);
+  if (vector.size() > dim_) GrowDim(vector.size());
+  size_t slot;
+  auto it = id_to_slot_.find(id);
+  if (it != id_to_slot_.end()) {
+    slot = it->second;
+  } else if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    id_to_slot_[id] = slot;
+  } else {
+    slot = ids_.size();
+    base_.resize((slot + 1) * dim_, 0.0f);
+    if (options_.quantize) codes_.resize((slot + 1) * dim_, 0);
+    scales_.push_back(0.0f);
+    norms_.push_back(0.0f);
+    lens_.push_back(0);
+    ids_.push_back(0);
+    live_.push_back(0);
+    id_to_slot_[id] = slot;
+  }
+  ids_[slot] = id;
+  live_[slot] = 1;
+  lens_[slot] = static_cast<uint32_t>(vector.size());
+  // Norm over the *original* length: bit-matches what CosineSimilarity
+  // computes for this vector, so arena scores equal the brute-force path.
+  norms_[slot] =
+      std::sqrt(kernels::Dot(vector.data(), vector.data(), vector.size()));
+  PackRow(slot, vector);
   return common::Status::Ok();
 }
 
 common::Status FlatIndex::Remove(uint64_t id) {
-  if (vectors_.erase(id) == 0) {
+  auto it = id_to_slot_.find(id);
+  if (it == id_to_slot_.end()) {
     return common::Status::NotFound("no vector with id " + std::to_string(id));
   }
+  live_[it->second] = 0;
+  free_slots_.push_back(it->second);
+  id_to_slot_.erase(it);
   return common::Status::Ok();
 }
 
-bool FlatIndex::Contains(uint64_t id) const { return vectors_.count(id) > 0; }
+bool FlatIndex::Contains(uint64_t id) const {
+  return id_to_slot_.count(id) > 0;
+}
 
 std::vector<SearchResult> FlatIndex::Search(const Vector& query,
                                             size_t k) const {
-  std::vector<SearchResult> all;
-  all.reserve(vectors_.size());
-  for (const auto& [id, v] : vectors_) {
-    all.push_back(SearchResult{id, embed::CosineSimilarity(query, v)});
+  if (id_to_slot_.empty() || k == 0) return {};
+  const size_t slots = ids_.size();
+  const size_t n = std::min(query.size(), dim_);
+  const float qnorm =
+      std::sqrt(kernels::Dot(query.data(), query.data(), query.size()));
+
+  kernels::TopKSelector selected(k);
+  if (!options_.quantize) {
+    std::vector<float> dots(slots);
+    if (n == dim_) {
+      kernels::DotBatch(query.data(), base_.data(), slots, dim_, dots.data());
+    } else {
+      for (size_t s = 0; s < slots; ++s) {
+        dots[s] = kernels::Dot(query.data(), base_.data() + s * dim_, n);
+      }
+    }
+    for (size_t s = 0; s < slots; ++s) {
+      if (!live_[s]) continue;
+      float score = (norms_[s] == 0.0f || qnorm == 0.0f)
+                        ? 0.0f
+                        : dots[s] / (qnorm * norms_[s]);
+      selected.Offer(score, ids_[s]);
+    }
+  } else {
+    // int8 sweep: exact integer dots against the quantized query, then exact
+    // float32 rescoring of a bounded short list. The short list order is
+    // deterministic (integer dots, id-ascending tie-break), so results are
+    // reproducible across runs and dispatch levels.
+    std::vector<int8_t> qcodes(dim_);
+    float qscale = 0.0f;
+    if (query.size() >= dim_) {
+      kernels::QuantizeSymmetric(query.data(), dim_, qcodes.data(), &qscale);
+    } else {
+      std::vector<float> padded(dim_, 0.0f);
+      std::memcpy(padded.data(), query.data(), query.size() * sizeof(float));
+      kernels::QuantizeSymmetric(padded.data(), dim_, qcodes.data(), &qscale);
+    }
+    std::vector<int32_t> idots(slots);
+    kernels::DotBatchI8(qcodes.data(), codes_.data(), slots, dim_,
+                        idots.data());
+    kernels::TopKSelector shortlist(k * options_.rescore_factor + 8);
+    for (size_t s = 0; s < slots; ++s) {
+      if (!live_[s]) continue;
+      float approx = (norms_[s] == 0.0f || qnorm == 0.0f)
+                         ? 0.0f
+                         : static_cast<float>(idots[s]) *
+                               (scales_[s] * qscale) / (qnorm * norms_[s]);
+      shortlist.Offer(approx, ids_[s]);
+    }
+    for (const kernels::ScoredId& c : shortlist.TakeSorted()) {
+      size_t s = id_to_slot_.at(c.id);
+      float dot = kernels::Dot(query.data(), base_.data() + s * dim_, n);
+      float score = (norms_[s] == 0.0f || qnorm == 0.0f)
+                        ? 0.0f
+                        : dot / (qnorm * norms_[s]);
+      selected.Offer(score, c.id);
+    }
   }
-  size_t take = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + take, all.end(),
-                    [](const SearchResult& a, const SearchResult& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.id < b.id;  // deterministic tie-break
-                    });
-  all.resize(take);
-  return all;
+
+  std::vector<kernels::ScoredId> top = selected.TakeSorted();
+  std::vector<SearchResult> out;
+  out.reserve(top.size());
+  for (const kernels::ScoredId& r : top) {
+    out.push_back(SearchResult{r.id, r.score});
+  }
+  return out;
 }
 
 void FlatIndex::ForEach(
     const std::function<void(uint64_t, const Vector&)>& fn) const {
   std::vector<uint64_t> ids;
-  ids.reserve(vectors_.size());
-  for (const auto& [id, vector] : vectors_) ids.push_back(id);
+  ids.reserve(id_to_slot_.size());
+  for (const auto& [id, slot] : id_to_slot_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
-  for (uint64_t id : ids) fn(id, vectors_.at(id));
+  Vector row;
+  for (uint64_t id : ids) {
+    size_t slot = id_to_slot_.at(id);
+    const float* data = base_.data() + slot * dim_;
+    row.assign(data, data + lens_[slot]);
+    fn(id, row);
+  }
 }
 
 }  // namespace llmdm::vectordb

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "vectordb/kernels.h"
+
 namespace llmdm::vectordb {
 
 int HnswIndex::RandomLevel() {
@@ -14,12 +16,41 @@ int HnswIndex::RandomLevel() {
   return static_cast<int>(-std::log(u) * ml);
 }
 
-float HnswIndex::Sim(const Vector& a, uint32_t node) const {
-  return embed::CosineSimilarity(a, nodes_[node].vector);
+HnswIndex::Probe HnswIndex::MakeProbe(const Vector& v) const {
+  Probe probe;
+  probe.vec = &v;
+  if (options_.quantize) {
+    probe.norm = std::sqrt(kernels::Dot(v.data(), v.data(), v.size()));
+    probe.codes.resize(v.size());
+    kernels::QuantizeSymmetric(v.data(), v.size(), probe.codes.data(),
+                               &probe.scale);
+  }
+  return probe;
+}
+
+float HnswIndex::Sim(const Probe& probe, uint32_t node) const {
+  const Node& nd = nodes_[node];
+  if (!options_.quantize) return embed::CosineSimilarity(*probe.vec, nd.vector);
+  size_t n = std::min(probe.codes.size(), nd.codes.size());
+  int32_t idot = kernels::DotI8(probe.codes.data(), nd.codes.data(), n);
+  if (probe.norm == 0.0f || nd.norm == 0.0f) return 0.0f;
+  return static_cast<float>(idot) * (probe.scale * nd.scale) /
+         (probe.norm * nd.norm);
+}
+
+float HnswIndex::SimNodes(uint32_t a, uint32_t b) const {
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  if (!options_.quantize) return embed::CosineSimilarity(na.vector, nb.vector);
+  size_t n = std::min(na.codes.size(), nb.codes.size());
+  int32_t idot = kernels::DotI8(na.codes.data(), nb.codes.data(), n);
+  if (na.norm == 0.0f || nb.norm == 0.0f) return 0.0f;
+  return static_cast<float>(idot) * (na.scale * nb.scale) /
+         (na.norm * nb.norm);
 }
 
 std::vector<std::pair<float, uint32_t>> HnswIndex::SearchLayer(
-    const Vector& query, uint32_t entry, size_t ef, size_t level) const {
+    const Probe& query, uint32_t entry, size_t ef, size_t level) const {
   // Max-heap of candidates to expand, min-heap of current best `ef`.
   using Scored = std::pair<float, uint32_t>;
   std::priority_queue<Scored> candidates;              // best first
@@ -63,10 +94,9 @@ void HnswIndex::Connect(uint32_t node, uint32_t peer, size_t level) {
   size_t cap = MaxDegree(level);
   if (adj.size() <= cap) return;
   // Prune to the `cap` most similar neighbors (simple selection heuristic).
-  const Vector& base = nodes_[node].vector;
   std::partial_sort(adj.begin(), adj.begin() + cap, adj.end(),
                     [&](uint32_t a, uint32_t b) {
-                      return Sim(base, a) > Sim(base, b);
+                      return SimNodes(node, a) > SimNodes(node, b);
                     });
   adj.resize(cap);
 }
@@ -88,6 +118,13 @@ common::Status HnswIndex::Add(uint64_t id, Vector vector) {
   node.vector = std::move(vector);
   node.external_id = id;
   node.neighbors.resize(static_cast<size_t>(level) + 1);
+  if (options_.quantize) {
+    const Vector& v = node.vector;
+    node.norm = std::sqrt(kernels::Dot(v.data(), v.data(), v.size()));
+    node.codes.resize(v.size());
+    kernels::QuantizeSymmetric(v.data(), v.size(), node.codes.data(),
+                               &node.scale);
+  }
   nodes_.push_back(std::move(node));
   id_to_node_[id] = node_index;
   ++live_count_;
@@ -98,7 +135,7 @@ common::Status HnswIndex::Add(uint64_t id, Vector vector) {
     return common::Status::Ok();
   }
 
-  const Vector& q = nodes_[node_index].vector;
+  const Probe q = MakeProbe(nodes_[node_index].vector);
   uint32_t entry = entry_point_;
   // Greedy descent through levels above the new node's level.
   for (int l = top_level_; l > level; --l) {
@@ -156,6 +193,7 @@ size_t HnswIndex::Size() const { return live_count_; }
 std::vector<SearchResult> HnswIndex::Search(const Vector& query,
                                             size_t k) const {
   if (top_level_ < 0 || live_count_ == 0) return {};
+  const Probe probe = MakeProbe(query);
   uint32_t entry = entry_point_;
   for (int l = top_level_; l > 0; --l) {
     bool improved = true;
@@ -163,7 +201,7 @@ std::vector<SearchResult> HnswIndex::Search(const Vector& query,
       improved = false;
       if (static_cast<size_t>(l) < nodes_[entry].neighbors.size()) {
         for (uint32_t peer : nodes_[entry].neighbors[static_cast<size_t>(l)]) {
-          if (Sim(query, peer) > Sim(query, entry)) {
+          if (Sim(probe, peer) > Sim(probe, entry)) {
             entry = peer;
             improved = true;
           }
@@ -172,12 +210,29 @@ std::vector<SearchResult> HnswIndex::Search(const Vector& query,
     }
   }
   size_t ef = std::max(options_.ef_search, k);
-  auto found = SearchLayer(query, entry, ef, 0);
-  std::vector<SearchResult> out;
+  auto found = SearchLayer(probe, entry, ef, 0);
+  if (!options_.quantize) {
+    std::vector<SearchResult> out;
+    for (const auto& [sim, node] : found) {
+      if (nodes_[node].deleted) continue;
+      out.push_back(SearchResult{nodes_[node].external_id, sim});
+      if (out.size() == k) break;
+    }
+    return out;
+  }
+  // Quantized traversal found the beam; rescore it with exact float32 so the
+  // caller sees exact scores (threshold decisions depend on them).
+  kernels::TopKSelector selected(k);
   for (const auto& [sim, node] : found) {
     if (nodes_[node].deleted) continue;
-    out.push_back(SearchResult{nodes_[node].external_id, sim});
-    if (out.size() == k) break;
+    selected.Offer(embed::CosineSimilarity(query, nodes_[node].vector),
+                   nodes_[node].external_id);
+  }
+  std::vector<kernels::ScoredId> top = selected.TakeSorted();
+  std::vector<SearchResult> out;
+  out.reserve(top.size());
+  for (const kernels::ScoredId& r : top) {
+    out.push_back(SearchResult{r.id, r.score});
   }
   return out;
 }

@@ -24,6 +24,13 @@ class HnswIndex : public VectorIndex {
     size_t ef_construction = 100; // beam width at insert time
     size_t ef_search = 64;        // beam width at query time
     uint64_t seed = 7;            // level assignment seed
+    /// Run graph traversal on int8 codes (exact integer dots, ~4x less
+    /// memory traffic per hop) and rescore the ef-wide level-0 beam with
+    /// exact float32 before returning — result scores are always exact,
+    /// only the routing is approximate. Changes which graph gets built
+    /// (construction sims are quantized too), so flip it at index creation,
+    /// not on a live index.
+    bool quantize = false;
   };
 
   HnswIndex() : HnswIndex(Options{}) {}
@@ -52,12 +59,28 @@ class HnswIndex : public VectorIndex {
     std::vector<std::vector<uint32_t>> neighbors;
     uint64_t external_id = 0;
     bool deleted = false;
+    // Quantized view of `vector` (Options::quantize only).
+    std::vector<int8_t> codes;
+    float scale = 0.0f;
+    float norm = 0.0f;
+  };
+
+  /// A query prepared for traversal: the float vector plus (under
+  /// Options::quantize) its int8 codes, built once per public operation so
+  /// every hop is a code-vs-code integer dot.
+  struct Probe {
+    const Vector* vec = nullptr;
+    std::vector<int8_t> codes;
+    float scale = 0.0f;
+    float norm = 0.0f;
   };
 
   int RandomLevel();
-  float Sim(const Vector& a, uint32_t node) const;
+  Probe MakeProbe(const Vector& v) const;
+  float Sim(const Probe& probe, uint32_t node) const;
+  float SimNodes(uint32_t a, uint32_t b) const;
   // Greedy beam search at one level; returns up to `ef` closest nodes.
-  std::vector<std::pair<float, uint32_t>> SearchLayer(const Vector& query,
+  std::vector<std::pair<float, uint32_t>> SearchLayer(const Probe& query,
                                                       uint32_t entry,
                                                       size_t ef,
                                                       size_t level) const;

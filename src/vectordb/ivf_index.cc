@@ -92,6 +92,40 @@ void IvfIndex::BuildIfStale() const {
   for (size_t i = 0; i < ids.size(); ++i) {
     cells_[assignment[i]].push_back(ids[i]);
   }
+
+  // Pack the cells into contiguous arenas for the batched probe sweep.
+  dim_ = 0;
+  for (const auto& [id, v] : vectors_) dim_ = std::max(dim_, v.size());
+  const size_t rows = ids.size();
+  packed_.assign(rows * dim_, 0.0f);
+  packed_ids_.resize(rows);
+  packed_norms_.resize(rows);
+  cell_begin_.assign(nlist + 1, 0);
+  if (options_.quantize) {
+    packed_codes_.assign(rows * dim_, 0);
+    packed_scales_.resize(rows);
+  }
+  size_t row = 0;
+  for (size_t c = 0; c < nlist; ++c) {
+    cell_begin_[c] = static_cast<uint32_t>(row);
+    for (uint64_t id : cells_[c]) {
+      const Vector& v = vectors_.at(id);
+      float* dst = packed_.data() + row * dim_;
+      std::copy(v.begin(), v.end(), dst);
+      packed_ids_[row] = id;
+      // Norm over the original length: bit-matches CosineSimilarity's norm
+      // for this vector (zero padding adds nothing).
+      packed_norms_[row] =
+          std::sqrt(kernels::Dot(v.data(), v.data(), v.size()));
+      if (options_.quantize) {
+        kernels::QuantizeSymmetric(dst, dim_,
+                                   packed_codes_.data() + row * dim_,
+                                   &packed_scales_[row]);
+      }
+      ++row;
+    }
+  }
+  cell_begin_[nlist] = static_cast<uint32_t>(row);
 }
 
 std::vector<SearchResult> IvfIndex::Search(const Vector& query,
@@ -110,22 +144,89 @@ std::vector<SearchResult> IvfIndex::Search(const Vector& query,
                     cell_scores.end(),
                     [](const auto& a, const auto& b) { return a.first > b.first; });
 
-  std::vector<SearchResult> candidates;
-  for (size_t p = 0; p < probe; ++p) {
-    for (uint64_t id : cells_[cell_scores[p].second]) {
-      candidates.push_back(
-          SearchResult{id, embed::CosineSimilarity(query, vectors_.at(id))});
+  if (k == 0) return {};
+  const size_t n = std::min(query.size(), dim_);
+  const float qnorm =
+      std::sqrt(kernels::Dot(query.data(), query.data(), query.size()));
+
+  auto score_rows = [&](size_t begin, size_t end, kernels::TopKSelector* sel) {
+    std::vector<float> dots(end - begin);
+    if (n == dim_) {
+      kernels::DotBatch(query.data(), packed_.data() + begin * dim_,
+                        end - begin, dim_, dots.data());
+    } else {
+      for (size_t r = begin; r < end; ++r) {
+        dots[r - begin] =
+            kernels::Dot(query.data(), packed_.data() + r * dim_, n);
+      }
+    }
+    for (size_t r = begin; r < end; ++r) {
+      float norm = packed_norms_[r];
+      float score = (norm == 0.0f || qnorm == 0.0f)
+                        ? 0.0f
+                        : dots[r - begin] / (qnorm * norm);
+      sel->Offer(score, packed_ids_[r]);
+    }
+  };
+
+  kernels::TopKSelector selected(k);
+  if (!options_.quantize) {
+    for (size_t p = 0; p < probe; ++p) {
+      size_t c = cell_scores[p].second;
+      score_rows(cell_begin_[c], cell_begin_[c + 1], &selected);
+    }
+  } else {
+    // int8 sweep over the probed cells, exact float32 rescore of the short
+    // list (same contract as FlatIndex).
+    std::vector<int8_t> qcodes(dim_);
+    float qscale = 0.0f;
+    if (query.size() >= dim_) {
+      kernels::QuantizeSymmetric(query.data(), dim_, qcodes.data(), &qscale);
+    } else {
+      std::vector<float> padded(dim_, 0.0f);
+      std::copy(query.begin(), query.end(), padded.begin());
+      kernels::QuantizeSymmetric(padded.data(), dim_, qcodes.data(), &qscale);
+    }
+    // The shortlist is keyed by packed-row index, not vector id: the row
+    // maps straight back to the arena for the rescore (no per-scanned-row
+    // hash insert on the hot loop), and the packed layout is deterministic
+    // for a given build, so tie-breaking on row index is just as
+    // reproducible as id order.
+    kernels::TopKSelector shortlist(k * options_.rescore_factor + 8);
+    std::vector<int32_t> idots;
+    for (size_t p = 0; p < probe; ++p) {
+      size_t c = cell_scores[p].second;
+      size_t begin = cell_begin_[c], end = cell_begin_[c + 1];
+      idots.resize(end - begin);
+      kernels::DotBatchI8(qcodes.data(), packed_codes_.data() + begin * dim_,
+                          end - begin, dim_, idots.data());
+      for (size_t r = begin; r < end; ++r) {
+        float norm = packed_norms_[r];
+        float approx = (norm == 0.0f || qnorm == 0.0f)
+                           ? 0.0f
+                           : static_cast<float>(idots[r - begin]) *
+                                 (packed_scales_[r] * qscale) /
+                                 (qnorm * norm);
+        shortlist.Offer(approx, r);
+      }
+    }
+    for (const kernels::ScoredId& cand : shortlist.TakeSorted()) {
+      size_t r = static_cast<size_t>(cand.id);
+      float dot = kernels::Dot(query.data(), packed_.data() + r * dim_, n);
+      float norm = packed_norms_[r];
+      float score =
+          (norm == 0.0f || qnorm == 0.0f) ? 0.0f : dot / (qnorm * norm);
+      selected.Offer(score, packed_ids_[r]);
     }
   }
-  size_t take = std::min(k, candidates.size());
-  std::partial_sort(candidates.begin(), candidates.begin() + take,
-                    candidates.end(),
-                    [](const SearchResult& a, const SearchResult& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.id < b.id;
-                    });
-  candidates.resize(take);
-  return candidates;
+
+  std::vector<kernels::ScoredId> top = selected.TakeSorted();
+  std::vector<SearchResult> out;
+  out.reserve(top.size());
+  for (const kernels::ScoredId& r : top) {
+    out.push_back(SearchResult{r.id, r.score});
+  }
+  return out;
 }
 
 void IvfIndex::ForEach(

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "vectordb/index.h"
+#include "vectordb/kernels.h"
 
 namespace llmdm::vectordb {
 
@@ -13,7 +14,11 @@ namespace llmdm::vectordb {
 /// are closest. Classic recall/speed dial for mid-size collections.
 ///
 /// The cell assignment is (re)built lazily on the first search after a
-/// mutation, so interleaved add/search workloads stay correct.
+/// mutation, so interleaved add/search workloads stay correct. The build
+/// also packs each cell's members into a contiguous row-major arena (plus
+/// int8 codes under Options::quantize), so the probe loop is a
+/// kernels::DotBatch sweep per cell feeding a bounded top-k selection
+/// instead of per-id hash lookups and a full candidate sort.
 class IvfIndex : public VectorIndex {
  public:
   struct Options {
@@ -21,6 +26,10 @@ class IvfIndex : public VectorIndex {
     size_t nprobe = 4;            // cells scanned per query
     size_t kmeans_iterations = 8;
     uint64_t seed = 42;           // k-means init seed
+    /// Scan int8 codes in the probed cells and rescore the short list in
+    /// float32 (see FlatIndex::Options::quantize for the contract).
+    bool quantize = false;
+    size_t rescore_factor = 3;
   };
 
   IvfIndex() : IvfIndex(Options{}) {}
@@ -53,6 +62,16 @@ class IvfIndex : public VectorIndex {
   mutable bool stale_ = true;
   mutable std::vector<Vector> centroids_;
   mutable std::vector<std::vector<uint64_t>> cells_;
+
+  // Packed per-cell arenas, rebuilt alongside the cells: rows of cell c live
+  // at [cell_begin_[c], cell_begin_[c + 1]) with stride dim_.
+  mutable size_t dim_ = 0;
+  mutable std::vector<float> packed_;
+  mutable std::vector<uint64_t> packed_ids_;
+  mutable std::vector<float> packed_norms_;
+  mutable std::vector<uint32_t> cell_begin_;
+  mutable std::vector<int8_t> packed_codes_;    // quantize only
+  mutable std::vector<float> packed_scales_;    // quantize only
 };
 
 }  // namespace llmdm::vectordb

@@ -1,0 +1,405 @@
+#include "vectordb/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LLMDM_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define LLMDM_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace llmdm::vectordb::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable scalar kernels: the reference implementation of the 16-lane
+// reduction contract. The inner loops carry 16 independent accumulators, so
+// the auto-vectorizer may legally turn them into SIMD without reassociating
+// anything — the result is the same bit pattern either way.
+// ---------------------------------------------------------------------------
+
+float DotScalar(const float* a, const float* b, size_t n) {
+  float s[16] = {0.0f};
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    for (size_t j = 0; j < 16; ++j) s[j] += a[i + j] * b[i + j];
+  }
+  float t[8];
+  for (size_t j = 0; j < 8; ++j) t[j] = s[j] + s[j + 8];
+  float u[4];
+  for (size_t m = 0; m < 4; ++m) u[m] = t[m] + t[m + 4];
+  float total = (u[0] + u[2]) + (u[1] + u[3]);
+  for (size_t i = n16; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+float L2SqScalar(const float* a, const float* b, size_t n) {
+  float s[16] = {0.0f};
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    for (size_t j = 0; j < 16; ++j) {
+      float d = a[i + j] - b[i + j];
+      s[j] += d * d;
+    }
+  }
+  float t[8];
+  for (size_t j = 0; j < 8; ++j) t[j] = s[j] + s[j + 8];
+  float u[4];
+  for (size_t m = 0; m < 4; ++m) u[m] = t[m] + t[m + 4];
+  float total = (u[0] + u[2]) + (u[1] + u[3]);
+  for (size_t i = n16; i < n; ++i) {
+    float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+int32_t DotI8Scalar(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Compiled with a function-level target attribute so the rest
+// of the library keeps the baseline ISA; only ever called after
+// __builtin_cpu_supports("avx2") succeeded. Multiply and add stay separate
+// instructions (no FMA) to preserve the per-lane rounding the scalar
+// fallback performs.
+// ---------------------------------------------------------------------------
+
+#if LLMDM_KERNELS_X86
+
+__attribute__((target("avx2"))) float DotAvx2(const float* a, const float* b,
+                                              size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    acc0 = _mm256_add_ps(
+        acc0, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_loadu_ps(a + i + 8),
+                                             _mm256_loadu_ps(b + i + 8)));
+  }
+  // Reduction tree per the contract: t[j] = s[j] + s[j+8], u[m] = t[m] +
+  // t[m+4], total = (u0+u2) + (u1+u3).
+  __m256 t = _mm256_add_ps(acc0, acc1);
+  __m128 w = _mm_add_ps(_mm256_castps256_ps128(t),
+                        _mm256_extractf128_ps(t, 1));
+  alignas(16) float u[4];
+  _mm_store_ps(u, w);
+  float total = (u[0] + u[2]) + (u[1] + u[3]);
+  for (size_t i = n16; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+__attribute__((target("avx2"))) float L2SqAvx2(const float* a, const float* b,
+                                               size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                              _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(d0, d0));
+    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(d1, d1));
+  }
+  __m256 t = _mm256_add_ps(acc0, acc1);
+  __m128 w = _mm_add_ps(_mm256_castps256_ps128(t),
+                        _mm256_extractf128_ps(t, 1));
+  alignas(16) float u[4];
+  _mm_store_ps(u, w);
+  float total = (u[0] + u[2]) + (u[1] + u[3]);
+  for (size_t i = n16; i < n; ++i) {
+    float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) int32_t DotI8Avx2(const int8_t* a,
+                                                  const int8_t* b, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t total = _mm_cvtsi128_si32(s);
+  for (size_t i = n16; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+#endif  // LLMDM_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64 baseline — no runtime probe needed).
+// ---------------------------------------------------------------------------
+
+#if LLMDM_KERNELS_NEON
+
+float DotNeon(const float* a, const float* b, size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0), acc1 = vdupq_n_f32(0);
+  float32x4_t acc2 = vdupq_n_f32(0), acc3 = vdupq_n_f32(0);
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    acc0 = vaddq_f32(acc0, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+    acc1 = vaddq_f32(acc1,
+                     vmulq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4)));
+    acc2 = vaddq_f32(acc2,
+                     vmulq_f32(vld1q_f32(a + i + 8), vld1q_f32(b + i + 8)));
+    acc3 = vaddq_f32(acc3,
+                     vmulq_f32(vld1q_f32(a + i + 12), vld1q_f32(b + i + 12)));
+  }
+  // acc0 holds lanes s[0..3], acc1 s[4..7], acc2 s[8..11], acc3 s[12..15]:
+  // t[0..3] = acc0+acc2, t[4..7] = acc1+acc3, u = (acc0+acc2)+(acc1+acc3).
+  float32x4_t w = vaddq_f32(vaddq_f32(acc0, acc2), vaddq_f32(acc1, acc3));
+  float u[4];
+  vst1q_f32(u, w);
+  float total = (u[0] + u[2]) + (u[1] + u[3]);
+  for (size_t i = n16; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+float L2SqNeon(const float* a, const float* b, size_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0), acc1 = vdupq_n_f32(0);
+  float32x4_t acc2 = vdupq_n_f32(0), acc3 = vdupq_n_f32(0);
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    float32x4_t d0 = vsubq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    float32x4_t d1 = vsubq_f32(vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    float32x4_t d2 = vsubq_f32(vld1q_f32(a + i + 8), vld1q_f32(b + i + 8));
+    float32x4_t d3 = vsubq_f32(vld1q_f32(a + i + 12), vld1q_f32(b + i + 12));
+    acc0 = vaddq_f32(acc0, vmulq_f32(d0, d0));
+    acc1 = vaddq_f32(acc1, vmulq_f32(d1, d1));
+    acc2 = vaddq_f32(acc2, vmulq_f32(d2, d2));
+    acc3 = vaddq_f32(acc3, vmulq_f32(d3, d3));
+  }
+  float32x4_t w = vaddq_f32(vaddq_f32(acc0, acc2), vaddq_f32(acc1, acc3));
+  float u[4];
+  vst1q_f32(u, w);
+  float total = (u[0] + u[2]) + (u[1] + u[3]);
+  for (size_t i = n16; i < n; ++i) {
+    float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+int32_t DotI8Neon(const int8_t* a, const int8_t* b, size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  const size_t n16 = n & ~static_cast<size_t>(15);
+  for (size_t i = 0; i < n16; i += 16) {
+    int8x16_t va = vld1q_s8(a + i);
+    int8x16_t vb = vld1q_s8(b + i);
+    int16x8_t lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+    int16x8_t hi = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+    acc = vpadalq_s16(acc, lo);
+    acc = vpadalq_s16(acc, hi);
+  }
+  int32_t total = vaddvq_s32(acc);
+  for (size_t i = n16; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
+#endif  // LLMDM_KERNELS_NEON
+
+DispatchLevel DetectDispatch() {
+#if defined(LLMDM_FORCE_SCALAR)
+  return DispatchLevel::kScalar;
+#elif LLMDM_KERNELS_X86
+  return __builtin_cpu_supports("avx2") ? DispatchLevel::kAvx2
+                                        : DispatchLevel::kScalar;
+#elif LLMDM_KERNELS_NEON
+  return DispatchLevel::kNeon;
+#else
+  return DispatchLevel::kScalar;
+#endif
+}
+
+std::atomic<int> g_pinned{-1};
+
+using DotFn = float (*)(const float*, const float*, size_t);
+using L2Fn = float (*)(const float*, const float*, size_t);
+using DotI8Fn = int32_t (*)(const int8_t*, const int8_t*, size_t);
+
+DotFn ResolveDot(DispatchLevel level) {
+  switch (level) {
+#if LLMDM_KERNELS_X86
+    case DispatchLevel::kAvx2:
+      return DotAvx2;
+#endif
+#if LLMDM_KERNELS_NEON
+    case DispatchLevel::kNeon:
+      return DotNeon;
+#endif
+    default:
+      return DotScalar;
+  }
+}
+
+L2Fn ResolveL2(DispatchLevel level) {
+  switch (level) {
+#if LLMDM_KERNELS_X86
+    case DispatchLevel::kAvx2:
+      return L2SqAvx2;
+#endif
+#if LLMDM_KERNELS_NEON
+    case DispatchLevel::kNeon:
+      return L2SqNeon;
+#endif
+    default:
+      return L2SqScalar;
+  }
+}
+
+DotI8Fn ResolveDotI8(DispatchLevel level) {
+  switch (level) {
+#if LLMDM_KERNELS_X86
+    case DispatchLevel::kAvx2:
+      return DotI8Avx2;
+#endif
+#if LLMDM_KERNELS_NEON
+    case DispatchLevel::kNeon:
+      return DotI8Neon;
+#endif
+    default:
+      return DotI8Scalar;
+  }
+}
+
+}  // namespace
+
+DispatchLevel ActiveDispatch() {
+  int pinned = g_pinned.load(std::memory_order_relaxed);
+  if (pinned >= 0) return static_cast<DispatchLevel>(pinned);
+  static const DispatchLevel detected = DetectDispatch();
+  return detected;
+}
+
+bool SupportsDispatch(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return true;
+    case DispatchLevel::kAvx2:
+#if LLMDM_KERNELS_X86
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case DispatchLevel::kNeon:
+#if LLMDM_KERNELS_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const char* DispatchName(DispatchLevel level) {
+  switch (level) {
+    case DispatchLevel::kScalar:
+      return "scalar";
+    case DispatchLevel::kAvx2:
+      return "avx2";
+    case DispatchLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+void PinDispatchForTesting(DispatchLevel level) {
+  if (!SupportsDispatch(level)) return;
+  g_pinned.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void UnpinDispatchForTesting() {
+  g_pinned.store(-1, std::memory_order_relaxed);
+}
+
+void ExportDispatchMetrics(obs::Registry* registry) {
+  const DispatchLevel active = ActiveDispatch();
+  for (DispatchLevel level : {DispatchLevel::kScalar, DispatchLevel::kAvx2,
+                              DispatchLevel::kNeon}) {
+    registry
+        ->GetGauge("llmdm_kernel_dispatch_level",
+                   {{"level", DispatchName(level)}})
+        ->Set(level == active ? 1 : 0);
+  }
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  return ResolveDot(ActiveDispatch())(a, b, n);
+}
+
+float L2Sq(const float* a, const float* b, size_t n) {
+  return ResolveL2(ActiveDispatch())(a, b, n);
+}
+
+void DotBatch(const float* query, const float* base, size_t count, size_t dim,
+              float* out) {
+  DotFn fn = ResolveDot(ActiveDispatch());
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = fn(query, base + r * dim, dim);
+  }
+}
+
+void QuantizeSymmetric(const float* v, size_t n, int8_t* codes, float* scale) {
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    float mag = std::fabs(v[i]);
+    if (mag > max_abs) max_abs = mag;
+  }
+  if (max_abs == 0.0f) {
+    if (n > 0) std::memset(codes, 0, n);
+    *scale = 0.0f;
+    return;
+  }
+  *scale = max_abs / 127.0f;
+  const float inv = 127.0f / max_abs;
+  for (size_t i = 0; i < n; ++i) {
+    // lrintf under the default rounding mode is round-to-nearest-even:
+    // deterministic and identical on every platform we dispatch to.
+    long r = std::lrintf(v[i] * inv);
+    if (r > 127) r = 127;
+    if (r < -127) r = -127;
+    codes[i] = static_cast<int8_t>(r);
+  }
+}
+
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  return ResolveDotI8(ActiveDispatch())(a, b, n);
+}
+
+void DotBatchI8(const int8_t* query, const int8_t* base, size_t count,
+                size_t dim, int32_t* out) {
+  DotI8Fn fn = ResolveDotI8(ActiveDispatch());
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = fn(query, base + r * dim, dim);
+  }
+}
+
+}  // namespace llmdm::vectordb::kernels

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "vectordb/kernels.h"
+
 namespace llmdm::vectordb {
 
 size_t AdaptiveKPredictor::PredictFetchK(size_t want) const {
@@ -80,19 +82,18 @@ std::vector<SearchResult> VectorStore::HybridSearch(
 
   std::vector<SearchResult> out;
   if (strategy == FilterStrategy::kPreFilter) {
+    // Bounded selection: survivors stream through a top-k heap instead of
+    // being materialized and partially sorted (same result order: score
+    // desc, id asc).
+    kernels::TopKSelector selected(k);
     for (const auto& [id, item] : items_) {
       if (!predicate(item.attributes)) continue;
       ++local.candidates_examined;
-      out.push_back(
-          SearchResult{id, embed::CosineSimilarity(query, item.vector)});
+      selected.Offer(embed::CosineSimilarity(query, item.vector), id);
     }
-    size_t take = std::min(k, out.size());
-    std::partial_sort(out.begin(), out.begin() + take, out.end(),
-                      [](const SearchResult& a, const SearchResult& b) {
-                        if (a.score != b.score) return a.score > b.score;
-                        return a.id < b.id;
-                      });
-    out.resize(take);
+    for (const kernels::ScoredId& r : selected.TakeSorted()) {
+      out.push_back(SearchResult{r.id, r.score});
+    }
   } else {
     // Post-filter: over-fetch, filter, grow on shortfall.
     size_t fetch_k = k_predictor_.PredictFetchK(k);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/optimize/batch_probe.h"
 #include "core/optimize/semantic_cache.h"
 #include "llm/deadline.h"
 #include "llm/fault_injection.h"
@@ -800,6 +801,92 @@ TEST(Serve, HedgingCutsTheTailAndBooksCancelledSpend) {
   // ...and without hedging the meter trivially equals the response sum too.
   EXPECT_EQ(plain_meter, plain_sum);
   EXPECT_EQ(plain.hedges_launched, 0u);
+}
+
+TEST(Serve, SubmitBatchWithoutProbeMatchesSubmitLoop) {
+  auto run = [&](bool batched) {
+    serve::Server::Options options;
+    options.worker_threads = 4;
+    options.shed_policy = serve::ShedPolicy::kNone;
+    serve::Server server(MakeModel("sim-serve", 100.0, 3), options);
+    std::vector<serve::Request> batch;
+    for (size_t i = 0; i < 60; ++i) {
+      batch.push_back(MakeRequest(i, static_cast<double>(i) * 2.0,
+                                  common::StrFormat("q %zu", i % 20)));
+    }
+    if (batched) {
+      server.SubmitBatch(batch);
+    } else {
+      for (const auto& req : batch) server.Submit(req);
+    }
+    std::string log;
+    for (const auto& r : server.Drain()) {
+      log += common::StrFormat("%llu %d %.3f %lld %s\n",
+                               (unsigned long long)r.id, r.status.ok() ? 1 : 0,
+                               r.latency_vms, (long long)r.cost.micros(),
+                               r.text.c_str());
+    }
+    return log;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Serve, SubmitBatchProbeAnswersHitsAtZeroCostDeterministically) {
+  // A semantic cache warmed with half the batch's queries, wired in through
+  // the batched probe: hits must be answered at zero cost with the cached
+  // text and "+cache" model label, misses must reach the model — and the
+  // id-sorted outcome must be byte-identical across runs and worker counts.
+  auto run = [&](size_t worker_threads) {
+    auto model = MakeModel("sim-serve", 100.0, 3);
+    optimize::SemanticCache::Options copts;
+    copts.similarity_threshold = 0.99;
+    copts.capacity = 256;
+    copts.quantize = true;  // the int8 shard path under the probe
+    optimize::SemanticCache cache(copts);
+    for (size_t i = 0; i < 30; ++i) {
+      cache.Insert(common::StrFormat("warm query %zu", i), "cached answer",
+                   common::Money::FromDollars(0.001));
+    }
+    serve::Server::Options options;
+    options.worker_threads = worker_threads;
+    options.shed_policy = serve::ShedPolicy::kNone;
+    options.batch_probe = optimize::MakeBatchCacheProbe(&cache, model->spec());
+    serve::Server server(model, options);
+    std::vector<serve::Request> batch;
+    for (size_t i = 0; i < 60; ++i) {
+      // Even ids were pre-cached; odd ids are cold.
+      std::string text = (i % 2 == 0)
+                             ? common::StrFormat("warm query %zu", i / 2)
+                             : common::StrFormat("cold query %zu", i);
+      batch.push_back(MakeRequest(i, static_cast<double>(i) * 2.0, text));
+    }
+    server.SubmitBatch(batch);
+    auto responses = server.Drain();
+    auto stats = server.stats();
+    EXPECT_EQ(stats.submitted, 60u);
+    EXPECT_EQ(stats.admitted, 60u);
+    EXPECT_EQ(stats.cache_probe_hits, 30u);
+    std::string log;
+    for (const auto& r : responses) {
+      EXPECT_TRUE(r.status.ok()) << r.status.message();
+      if (r.id % 2 == 0) {
+        EXPECT_EQ(r.text, "cached answer");
+        EXPECT_EQ(r.model, "sim-serve+cache");
+        EXPECT_EQ(r.cost, common::Money::Zero());
+        EXPECT_EQ(r.latency_vms, 1.0);
+      } else {
+        EXPECT_NE(r.model, "sim-serve+cache");
+      }
+      log += common::StrFormat("%llu %.3f %lld %s %s\n",
+                               (unsigned long long)r.id, r.latency_vms,
+                               (long long)r.cost.micros(), r.model.c_str(),
+                               r.text.c_str());
+    }
+    return log;
+  };
+  std::string one = run(1);
+  EXPECT_EQ(one, run(4));
+  EXPECT_EQ(one, run(8));
 }
 
 }  // namespace
