@@ -1,0 +1,430 @@
+// Load generator for the network front door: drives the llmdm wire protocol
+// over a real loopback socket and reports transport throughput and tail
+// latency — the numbers the in-process benches cannot see (framing, epoll
+// wakeups, kernel buffers, syscalls).
+//
+// Two cells:
+//   net_closed_loop  C connections, each a thread issuing Call() back to
+//                    back — throughput under self-clocking load.
+//   net_open_loop    one connection, a sender thread pacing requests at a
+//                    fixed offered rate while a receiver thread drains —
+//                    latency under load the client does not slow down for.
+//
+// By default the bench stands up its own NetServer + serve::Server in
+// process (shed_policy kNone: every request must be answered) and, after the
+// load, enforces the subsystem's two acceptance criteria via exit status:
+//   - byte-identity: every text/model/cost received over the wire equals a
+//     direct Submit() of the same requests on an identically configured twin;
+//   - clean drain: Shutdown() flushes every response with zero forced closes.
+// With --port=N it drives an externally started llmdm_server instead (the
+// verify.sh net-smoke stage does this) and only checks that every request
+// is answered OK.
+//
+// Results merge into BENCH_perf.json (--out=PATH): existing net_* rows are
+// replaced, everything else is preserved. A missing or foreign file gets a
+// standalone {"meta", "results"} document.
+//
+//   bench_net_loadgen [--benchmark-smoke] [--out=PATH] [--metrics-out=PATH]
+//                     [--port=N] [--connections=N] [--requests=N] [--rate=N]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_args.h"
+#include "llm/simulated.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace llmdm;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double PercentileUs(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  size_t idx = static_cast<size_t>(p * (latencies->size() - 1));
+  return (*latencies)[idx];
+}
+
+struct Echo {
+  uint64_t id;
+  std::string text;
+  std::string model;
+  int64_t cost_micros;
+};
+
+struct CellResult {
+  std::string name;
+  size_t connections = 0;
+  size_t ops = 0;
+  double wall_s = 0.0;
+  double rate_rps = 0.0;  // offered (open loop only)
+  std::vector<double> latencies_us;
+  std::vector<Echo> echoes;
+  bool all_ok = true;
+};
+
+net::WireRequest MakeLoadRequest(uint64_t id, double arrival_vms) {
+  net::WireRequest r;
+  r.id = id;
+  r.input = "loadgen question #" + std::to_string(id);
+  r.arrival_vms = arrival_vms;
+  return r;
+}
+
+// C threads, each its own connection, Call()ing back to back.
+CellResult ClosedLoop(uint16_t port, size_t connections, size_t per_conn) {
+  CellResult cell;
+  cell.name = "net_closed_loop";
+  cell.connections = connections;
+  cell.ops = connections * per_conn;
+
+  std::mutex mu;  // guards the merged latency/echo vectors below
+  std::atomic<uint64_t> arrival{0};
+  std::atomic<bool> ok{true};
+  int64_t start_us = NowUs();
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      net::Client client;
+      net::Client::Options copts;
+      copts.port = port;
+      if (!client.Connect(copts).ok()) {
+        ok.store(false);
+        return;
+      }
+      std::vector<double> lats;
+      std::vector<Echo> echoes;
+      lats.reserve(per_conn);
+      for (size_t i = 0; i < per_conn; ++i) {
+        uint64_t id = (t + 1) * 1000000 + i;
+        double vms = static_cast<double>(arrival.fetch_add(1));
+        int64_t t0 = NowUs();
+        auto result = client.Call(MakeLoadRequest(id, vms));
+        int64_t t1 = NowUs();
+        if (!result.ok() || !result->status.ok()) {
+          ok.store(false);
+          continue;
+        }
+        lats.push_back(static_cast<double>(t1 - t0));
+        echoes.push_back({result->id, result->text, result->model,
+                          result->cost.micros()});
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      cell.latencies_us.insert(cell.latencies_us.end(), lats.begin(),
+                               lats.end());
+      cell.echoes.insert(cell.echoes.end(), echoes.begin(), echoes.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  cell.wall_s = static_cast<double>(NowUs() - start_us) / 1e6;
+  cell.all_ok = ok.load();
+  return cell;
+}
+
+// One connection, sender pacing at `rate` requests/s, receiver draining —
+// the full-duplex split net::Client documents.
+CellResult OpenLoop(uint16_t port, size_t requests, double rate) {
+  CellResult cell;
+  cell.name = "net_open_loop";
+  cell.connections = 1;
+  cell.ops = requests;
+  cell.rate_rps = rate;
+
+  net::Client client;
+  net::Client::Options copts;
+  copts.port = port;
+  if (!client.Connect(copts).ok()) {
+    cell.all_ok = false;
+    return cell;
+  }
+
+  constexpr uint64_t kBase = 9000000;
+  std::vector<std::atomic<int64_t>> sent_us(requests);
+  std::atomic<bool> ok{true};
+  int64_t start_us = NowUs();
+  std::thread sender([&] {
+    const double interval_us = 1e6 / rate;
+    for (size_t i = 0; i < requests; ++i) {
+      int64_t due = start_us + static_cast<int64_t>(interval_us * i);
+      while (NowUs() < due) {
+        std::this_thread::yield();
+      }
+      sent_us[i].store(NowUs(), std::memory_order_relaxed);
+      if (!client.Send(MakeLoadRequest(kBase + i, static_cast<double>(i)))
+               .ok()) {
+        ok.store(false);
+        return;
+      }
+    }
+  });
+  for (size_t i = 0; i < requests; ++i) {
+    auto result = client.Receive();
+    if (!result.ok() || !result->status.ok()) {
+      ok.store(false);
+      break;
+    }
+    int64_t t0 = sent_us[result->id - kBase].load(std::memory_order_relaxed);
+    cell.latencies_us.push_back(static_cast<double>(NowUs() - t0));
+    cell.echoes.push_back(
+        {result->id, result->text, result->model, result->cost.micros()});
+  }
+  sender.join();
+  cell.wall_s = static_cast<double>(NowUs() - start_us) / 1e6;
+  cell.all_ok = ok.load();
+  return cell;
+}
+
+// The byte-identity gate: every echo received over the wire must match a
+// direct Submit() of the same request on an identically configured backend.
+bool EchoesMatchDirectSubmit(const std::vector<CellResult>& cells) {
+  auto models = llm::CreatePaperModelLadder(nullptr, 2024);
+  serve::Server::Options so;
+  so.worker_threads = 8;
+  so.virtual_concurrency = 8;
+  so.shed_policy = serve::ShedPolicy::kNone;
+  serve::Server twin(models[2], so);
+
+  std::map<uint64_t, Echo> by_id;
+  for (const CellResult& cell : cells) {
+    for (const Echo& e : cell.echoes) by_id[e.id] = e;
+  }
+  for (const auto& [id, echo] : by_id) {
+    serve::Request req;
+    req.id = id;
+    req.skill = "freeform";
+    req.input = "loadgen question #" + std::to_string(id);
+    req.arrival_vms = 0.0;  // text/model/cost do not depend on arrival
+    twin.Submit(req);
+  }
+  std::vector<serve::Response> direct = twin.Drain();
+  if (direct.size() != by_id.size()) {
+    std::fprintf(stderr, "byte-identity: %zu direct responses for %zu ids\n",
+                 direct.size(), by_id.size());
+    return false;
+  }
+  for (const serve::Response& r : direct) {
+    const Echo& echo = by_id[r.id];
+    if (echo.text != r.text || echo.model != r.model ||
+        echo.cost_micros != r.cost.micros()) {
+      std::fprintf(stderr,
+                   "byte-identity: id %llu differs over the wire "
+                   "(text %zu vs %zu bytes, model %s vs %s)\n",
+                   static_cast<unsigned long long>(r.id), echo.text.size(),
+                   r.text.size(), echo.model.c_str(), r.model.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RowJson(CellResult* cell) {
+  double p50 = PercentileUs(&cell->latencies_us, 0.50);
+  double p99 = PercentileUs(&cell->latencies_us, 0.99);
+  double rps = cell->wall_s > 0.0
+                   ? static_cast<double>(cell->latencies_us.size()) /
+                         cell->wall_s
+                   : 0.0;
+  std::ostringstream row;
+  row << "    {\"name\": \"" << cell->name << "\", \"connections\": "
+      << cell->connections << ", \"ops\": " << cell->ops;
+  if (cell->rate_rps > 0.0) {
+    row << ", \"offered_rps\": " << static_cast<int64_t>(cell->rate_rps);
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ", \"net_rps\": %.1f, \"net_p50_us\": %.2f, "
+                "\"net_p99_us\": %.2f}",
+                rps, p50, p99);
+  row << buf;
+  return row.str();
+}
+
+// Replace net_* rows in an existing BENCH_perf.json (ours always sit at the
+// head of "results", so removal never leaves a dangling comma), or write a
+// standalone document when the target is missing or foreign.
+bool WriteRows(const std::string& path, const std::vector<std::string>& rows,
+               bool smoke) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  const std::string anchor = "\"results\": [";
+  size_t anchor_pos = existing.find(anchor);
+  if (anchor_pos != std::string::npos) {
+    std::istringstream lines(existing);
+    std::string line;
+    bool inserted = false;
+    while (std::getline(lines, line)) {
+      if (line.find("\"name\": \"net_") != std::string::npos) continue;
+      out += line;
+      out += '\n';
+      if (!inserted && line.find(anchor) != std::string::npos) {
+        for (const std::string& row : rows) {
+          out += row;
+          out += ",\n";
+        }
+        inserted = true;
+      }
+    }
+  } else {
+    out = "{\n  \"meta\": {\"bench\": \"net_loadgen\", \"smoke\": ";
+    out += smoke ? "true" : "false";
+    out += "},\n  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      out += rows[i];
+      out += (i + 1 < rows.size()) ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  f << out;
+  return f.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args;
+  bench::BenchArgSpec spec;
+  spec.accepts_out = true;
+  spec.default_out = "BENCH_net.json";
+  spec.passthrough_unknown = true;
+  if (!bench::ParseBenchArgs(argc, argv, spec, &args)) return 2;
+
+  uint16_t external_port = 0;
+  size_t connections = 4;
+  size_t per_conn = 5000;
+  size_t open_requests = 20000;
+  double open_rate = 20000.0;
+  for (size_t i = 1; i < args.passthrough.size(); ++i) {
+    const char* arg = args.passthrough[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      external_port = static_cast<uint16_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--connections=", 14) == 0) {
+      connections = static_cast<size_t>(std::atoi(arg + 14));
+    } else if (std::strncmp(arg, "--requests=", 11) == 0) {
+      per_conn = static_cast<size_t>(std::atoi(arg + 11));
+      open_requests = per_conn * 4;
+    } else if (std::strncmp(arg, "--rate=", 7) == 0) {
+      open_rate = std::atof(arg + 7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--benchmark-smoke] [--out=PATH] "
+                   "[--metrics-out=PATH] [--port=N] [--connections=N] "
+                   "[--requests=N] [--rate=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (args.smoke) {
+    connections = 2;
+    per_conn = 200;
+    open_requests = 400;
+    open_rate = 5000.0;
+  }
+
+  // In-process front door unless --port points at an external llmdm_server.
+  obs::Registry registry;
+  std::vector<std::shared_ptr<llm::LlmModel>> models;
+  std::unique_ptr<serve::Server> backend;
+  std::unique_ptr<net::NetServer> server;
+  uint16_t port = external_port;
+  if (external_port == 0) {
+    models = llm::CreatePaperModelLadder(nullptr, 2024);
+    serve::Server::Options so;
+    so.worker_threads = 8;
+    so.virtual_concurrency = 8;
+    so.shed_policy = serve::ShedPolicy::kNone;
+    so.retain_responses = false;
+    so.registry = &registry;
+    backend = std::make_unique<serve::Server>(models[2], so);
+    net::NetServer::Options no;
+    no.port = 0;
+    no.registry = &registry;
+    server = std::make_unique<net::NetServer>(backend.get(), no);
+    common::Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+  }
+
+  std::vector<CellResult> cells;
+  cells.push_back(ClosedLoop(port, connections, per_conn));
+  cells.push_back(OpenLoop(port, open_requests, open_rate));
+
+  bool failed = false;
+  for (CellResult& cell : cells) {
+    if (!cell.all_ok || cell.latencies_us.size() != cell.ops) {
+      std::fprintf(stderr, "%s: %zu/%zu requests answered OK\n",
+                   cell.name.c_str(), cell.latencies_us.size(), cell.ops);
+      failed = true;
+    }
+  }
+
+  if (server != nullptr) {
+    server->Shutdown();
+    net::NetStats stats = server->stats();
+    const uint64_t expected = connections * per_conn + open_requests;
+    if (stats.drain_forced_closes != 0 || stats.responses_tx != expected) {
+      std::fprintf(stderr,
+                   "drain: %llu responses for %llu requests, %llu forced "
+                   "closes\n",
+                   static_cast<unsigned long long>(stats.responses_tx),
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(stats.drain_forced_closes));
+      failed = true;
+    }
+    (void)backend->Drain();
+    if (!EchoesMatchDirectSubmit(cells)) failed = true;
+  }
+
+  std::vector<std::string> rows;
+  for (CellResult& cell : cells) {
+    rows.push_back(RowJson(&cell));
+    std::printf("%s\n", rows.back().c_str());
+  }
+  if (!WriteRows(args.out_path, rows, args.smoke)) failed = true;
+  std::printf("wrote %s\n", args.out_path.c_str());
+
+  if (!args.metrics_out.empty()) {
+    std::ofstream mf(args.metrics_out, std::ios::trunc);
+    if (mf) {
+      mf << registry.PrometheusText();
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

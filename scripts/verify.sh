@@ -55,6 +55,32 @@ stage "bench smoke (multi-tenant QoS isolation)"
   --metrics-out="${build_dir}/BENCH_serve_qos_smoke.prom" >/dev/null
 echo "ok: hot tenant contained; compliant SLOs hold and exports are byte-stable"
 
+stage "net loopback smoke (wire protocol end to end)"
+# Start the real server binary on an ephemeral-ish port, drive it with the
+# loadgen over loopback, then SIGTERM it and require a clean graceful drain
+# (exit 0). The loadgen's own exit status enforces every request is answered.
+net_port=$((20000 + RANDOM % 20000))
+# shed-policy=none: the loadgen requires every request answered, and its
+# virtual-time burst would overwhelm any bounded queue by design.
+"${build_dir}/tools/llmdm_server" --port="${net_port}" --shed-policy=none \
+  --metrics-out="${build_dir}/llmdm_server_smoke.prom" &
+net_server_pid=$!
+for _ in $(seq 1 50); do
+  if "${build_dir}/bench/bench_net_loadgen" --benchmark-smoke \
+      --port="${net_port}" --out="${build_dir}/BENCH_net_verify.json" \
+      >/dev/null 2>&1; then
+    net_ok=1
+    break
+  fi
+  net_ok=0
+  sleep 0.1
+done
+[ "${net_ok}" = 1 ]
+kill -TERM "${net_server_pid}"
+wait "${net_server_pid}"
+grep -q llmdm_net_requests_rx_total "${build_dir}/llmdm_server_smoke.prom"
+echo "ok: llmdm_server answered a loopback load and drained cleanly on SIGTERM"
+
 stage "durability crash sweep"
 sweep_dir="$(mktemp -d "${build_dir}/crash-sweep.XXXXXX")"
 "${build_dir}/tests/llmdm_durability_harness" --mode=sweep --unit=cache \

@@ -31,6 +31,12 @@ void AppendI64(std::string* out, int64_t v) {
   AppendU64(out, static_cast<uint64_t>(v));
 }
 
+void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
 void AppendString(std::string* out, std::string_view s) {
   AppendU32(out, static_cast<uint32_t>(s.size()));
   out->append(s.data(), s.size());
@@ -90,6 +96,13 @@ common::Status ByteReader::ReadI64(int64_t* v) {
   uint64_t u = 0;
   LLMDM_RETURN_IF_ERROR(ReadU64(&u));
   *v = static_cast<int64_t>(u);
+  return common::Status::Ok();
+}
+
+common::Status ByteReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  LLMDM_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
   return common::Status::Ok();
 }
 

@@ -21,6 +21,8 @@ void AppendU8(std::string* out, uint8_t v);
 void AppendU32(std::string* out, uint32_t v);
 void AppendU64(std::string* out, uint64_t v);
 void AppendI64(std::string* out, int64_t v);
+/// Raw IEEE-754 double bit pattern (bit-stable, like AppendFloats).
+void AppendF64(std::string* out, double v);
 /// u32 length prefix + raw bytes.
 void AppendString(std::string* out, std::string_view s);
 /// u32 count prefix + raw 4-byte IEEE-754 floats.
@@ -38,6 +40,7 @@ class ByteReader {
   common::Status ReadU32(uint32_t* v);
   common::Status ReadU64(uint64_t* v);
   common::Status ReadI64(int64_t* v);
+  common::Status ReadF64(double* v);
   common::Status ReadString(std::string* s);
   common::Status ReadFloats(std::vector<float>* v);
 

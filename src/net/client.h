@@ -1,0 +1,149 @@
+#ifndef LLMDM_NET_CLIENT_H_
+#define LLMDM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/wire.h"
+#include "serve/server.h"
+
+namespace llmdm::net {
+
+/// One request's outcome as seen by a network client: the serve::Response
+/// fields that survive the wire, plus the shed/refusal metadata from error
+/// frames. `status` is reconstructed from the frame's code + message, so a
+/// remote caller branches on exactly the codes an in-process caller would.
+struct ClientResult {
+  uint64_t id = 0;
+  common::Status status;
+  std::string text;
+  std::string model;
+  common::Money cost;
+  double queue_wait_vms = 0.0;
+  double service_vms = 0.0;
+  double latency_vms = 0.0;
+  bool shed = false;
+  serve::ShedCause shed_cause = serve::ShedCause::kNone;
+  /// When shed: the server's cause-specific retry hint (virtual ms after
+  /// this request's arrival at which retrying has a chance).
+  double retry_after_vms = 0.0;
+  bool deadline_missed = false;
+  bool hedged = false;
+  bool hedge_won = false;
+  bool coalesced = false;
+  bool streamed = false;  // text was reassembled from stream chunks
+  size_t chunks = 0;      // chunk frames that carried it
+};
+
+/// Blocking client for the llmdm wire protocol.
+///
+/// Three usage levels, from convenient to manual:
+///   - Call(request): one round trip, returns the result (streaming
+///     requests are reassembled transparently).
+///   - CallBatch(requests): writes the whole batch pipelined, then collects
+///     every result; returned in request order.
+///   - Send()/Receive(): raw pipelining for loadgen-style callers. Send()
+///     and Receive() touch disjoint state, so one thread may Send while
+///     another Receives on the same connection (full-duplex open-loop
+///     driving); neither call is itself safe to race with a same-direction
+///     call.
+///
+/// Streaming: pass stream_chunk_bytes > 0 on the request and either let
+/// Call()/Receive() reassemble, or use CallStreaming() to observe chunks as
+/// they arrive through StreamHandle::Next().
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Receive timeout (SO_RCVTIMEO) in ms; 0 blocks forever.
+    int recv_timeout_ms = 30000;
+    size_t max_frame_bytes = 64u << 20;
+  };
+
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  common::Status Connect(const Options& options);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one request frame. Does not wait for the response.
+  common::Status Send(const WireRequest& request);
+
+  /// Blocks for the next completed result in server completion order,
+  /// reassembling any stream chunks that precede it. Interleaved chunk
+  /// frames for other ids (pipelined streaming) are accumulated and
+  /// attached to their own results when those arrive.
+  common::Result<ClientResult> Receive();
+
+  /// Send + Receive-until-this-id. With no pipelining in flight, this is
+  /// one round trip.
+  common::Result<ClientResult> Call(const WireRequest& request);
+
+  /// Pipelined batch: every request frame is written back to back, then
+  /// results are collected (they arrive in completion order) and returned
+  /// in request order. Partial failure is total failure: any transport
+  /// error aborts the batch.
+  common::Result<std::vector<ClientResult>> CallBatch(
+      const std::vector<WireRequest>& requests);
+
+  /// Incremental view of one streamed call. Next() yields each chunk as it
+  /// arrives; Finish() returns the final result (with the reassembled
+  /// text). Only valid while no other Receive()-side call interleaves.
+  class StreamHandle {
+   public:
+    /// True and fills `chunk` while chunks keep arriving; false once the
+    /// final response (or an error frame) has been consumed.
+    bool Next(std::string* chunk);
+    /// The final result; call after Next() returns false.
+    common::Result<ClientResult> Finish();
+
+   private:
+    friend class Client;
+    explicit StreamHandle(Client* client, uint64_t id)
+        : client_(client), id_(id) {}
+    Client* client_;
+    uint64_t id_;
+    bool done_ = false;
+    std::string text_;
+    size_t chunks_ = 0;
+    ClientResult final_;
+    common::Status error_;
+  };
+
+  /// Sends `request` (stream_chunk_bytes must be > 0 for chunks to appear)
+  /// and returns a handle iterating the response stream.
+  common::Result<StreamHandle> CallStreaming(const WireRequest& request);
+
+ private:
+  /// Reads frames until one *final* frame (response or error) is decoded;
+  /// chunk frames feed the per-id reassembly buffers.
+  common::Result<ClientResult> ReceiveFromWire();
+  /// Blocks for the next whole frame (reads more bytes as needed).
+  common::Status NextFrame(Frame* out);
+  common::Status ReadMore();
+  /// Builds a ClientResult from a final (response/error) frame, consuming
+  /// any reassembly buffer accumulated for its id.
+  common::Result<ClientResult> MakeResult(const Frame& frame);
+  void AccumulateChunk(const WireChunk& chunk);
+
+  int fd_ = -1;
+  Options options_;
+  // Receive-side state (owned by whichever single thread is receiving).
+  FrameDecoder decoder_;
+  std::map<uint64_t, std::pair<std::string, size_t>> partial_;  // id -> text
+  std::vector<ClientResult> completed_;  // decoded while awaiting another id
+};
+
+}  // namespace llmdm::net
+
+#endif  // LLMDM_NET_CLIENT_H_

@@ -1,0 +1,469 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace llmdm::net {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Wall-clock service bounds (µs): the socket path is measured in real
+/// microseconds, unlike the virtual-ms ladders everywhere else.
+std::vector<double> RequestWallBoundsUs() {
+  return {50,    100,   250,    500,    1000,   2500,    5000,
+          10000, 25000, 50000, 100000, 250000, 1000000};
+}
+
+}  // namespace
+
+NetServer::NetServer(serve::Server* backend, const Options& options)
+    : backend_(backend), options_(options) {
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  metrics_.connections_accepted =
+      registry_->GetCounter("llmdm_net_connections_accepted_total");
+  metrics_.connections_closed =
+      registry_->GetCounter("llmdm_net_connections_closed_total");
+  metrics_.frames_rx = registry_->GetCounter("llmdm_net_frames_rx_total");
+  metrics_.frames_tx = registry_->GetCounter("llmdm_net_frames_tx_total");
+  metrics_.bytes_rx = registry_->GetCounter("llmdm_net_bytes_rx_total");
+  metrics_.bytes_tx = registry_->GetCounter("llmdm_net_bytes_tx_total");
+  metrics_.requests_rx = registry_->GetCounter("llmdm_net_requests_rx_total");
+  metrics_.responses_tx = registry_->GetCounter("llmdm_net_responses_tx_total");
+  metrics_.chunks_tx =
+      registry_->GetCounter("llmdm_net_stream_chunks_tx_total");
+  metrics_.errors_tx = registry_->GetCounter("llmdm_net_errors_tx_total");
+  metrics_.shed_tx = registry_->GetCounter("llmdm_net_shed_tx_total");
+  metrics_.protocol_errors =
+      registry_->GetCounter("llmdm_net_protocol_errors_total");
+  metrics_.responses_dropped =
+      registry_->GetCounter("llmdm_net_responses_dropped_total");
+  metrics_.backpressure_pauses =
+      registry_->GetCounter("llmdm_net_backpressure_pauses_total");
+  metrics_.drain_forced_closes =
+      registry_->GetCounter("llmdm_net_drain_forced_closes_total");
+  metrics_.open_connections =
+      registry_->GetGauge("llmdm_net_open_connections");
+  metrics_.inflight_requests =
+      registry_->GetGauge("llmdm_net_inflight_requests");
+  metrics_.request_wall_us = registry_->GetHistogram(
+      "llmdm_net_request_wall_us", {}, RequestWallBoundsUs());
+}
+
+NetServer::~NetServer() { Shutdown(); }
+
+common::Status NetServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return common::Status::FailedPrecondition("already started");
+  LLMDM_RETURN_IF_ERROR(loop_.status());
+  LLMDM_RETURN_IF_ERROR(listener_.Open(options_.bind_address, options_.port));
+  LLMDM_RETURN_IF_ERROR(loop_.Add(listener_.fd(), EPOLLIN, [this](uint32_t) {
+    listener_.AcceptAll([this](int fd) { OnAccept(fd); });
+  }));
+  loop_.set_wakeup_handler([this] { DrainCompletions(); });
+  // The sink runs on serve worker threads (or the loop thread itself for
+  // synchronous sheds): copy into the queue, kick the loop, nothing else.
+  backend_->set_response_sink([this](const serve::Response& response) {
+    {
+      std::lock_guard<std::mutex> l(completions_mu_);
+      completions_.push_back(response);
+    }
+    loop_.Wakeup();
+  });
+  started_ = true;
+  thread_ = std::thread([this] { LoopThread(); });
+  return common::Status::Ok();
+}
+
+void NetServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  shutdown_requested_.store(true, std::memory_order_release);
+  loop_.Wakeup();
+  if (thread_.joinable()) thread_.join();
+  // Detach the sink so late completions (only possible after a forced
+  // drain) stop referencing this object.
+  backend_->set_response_sink(nullptr);
+  stopped_ = true;
+}
+
+void NetServer::LoopThread() {
+  for (;;) {
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
+      drain_deadline_us_ =
+          NowUs() + static_cast<int64_t>(options_.drain_deadline_ms * 1000.0);
+      loop_.Remove(listener_.fd());
+      listener_.Close();
+    }
+    DrainCompletions();
+    if (draining_) {
+      if (DrainComplete()) break;
+      int64_t remain_us = drain_deadline_us_ - NowUs();
+      if (remain_us <= 0) {
+        // Deadline: give up on wedged peers. Every connection still holding
+        // unflushed bytes (or awaiting a response) is force-closed.
+        uint64_t forced = routes_.empty() ? 0 : 1;
+        for (const auto& [fd, conn] : conns_) {
+          if (conn->pending() > 0) ++forced;
+        }
+        if (forced > 0) metrics_.drain_forced_closes->Add(forced);
+        break;
+      }
+      loop_.Poll(static_cast<int>(
+          std::min<int64_t>(remain_us / 1000 + 1, 100)));
+    } else {
+      // 200ms heartbeat: Wakeup() covers the common paths; the timeout is a
+      // belt-and-braces bound on noticing a shutdown request.
+      loop_.Poll(200);
+    }
+  }
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (int fd : fds) CloseConn(fd);
+  listener_.Close();
+}
+
+void NetServer::OnAccept(int fd) {
+  if (options_.sndbuf_bytes > 0) {
+    setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+               sizeof(options_.sndbuf_bytes));
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->conn_id = next_conn_id_++;
+  conn->interest = EPOLLIN;
+  FrameDecoder::Options dec;
+  dec.max_frame_bytes = options_.max_frame_bytes;
+  conn->decoder = FrameDecoder(dec);
+  Conn* raw = conn.get();
+  common::Status added =
+      loop_.Add(fd, EPOLLIN, [this, fd](uint32_t ev) { OnConnEvent(fd, ev); });
+  if (!added.ok()) {
+    close(fd);
+    return;
+  }
+  conn_by_id_[raw->conn_id] = raw;
+  conns_[fd] = std::move(conn);
+  metrics_.connections_accepted->Add(1);
+  metrics_.open_connections->Set(static_cast<int64_t>(conns_.size()));
+}
+
+void NetServer::OnConnEvent(int fd, uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    CloseConn(fd);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    FlushConn(conn);
+    it = conns_.find(fd);
+    if (it == conns_.end()) return;  // flush hit a dead peer
+    UpdateInterest(conn);
+  }
+  if ((events & EPOLLIN) == 0) return;
+
+  char buf[65536];
+  for (;;) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      metrics_.bytes_rx->Add(static_cast<uint64_t>(n));
+      common::Status fed =
+          conn->decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (!fed.ok()) {
+        // A corrupted stream cannot be trusted for framing any more: tell
+        // the peer once (best effort) and hang up.
+        metrics_.protocol_errors->Add(1);
+        WireError err;
+        err.status_code = static_cast<uint8_t>(fed.code());
+        err.message = fed.message();
+        SendError(conn, err);
+        CloseConn(fd);
+        return;
+      }
+      Frame frame;
+      while (conn->decoder.Next(&frame)) {
+        metrics_.frames_rx->Add(1);
+        HandleFrame(conn, frame);
+        if (conns_.find(fd) == conns_.end()) return;  // frame closed us
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      CloseConn(fd);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(fd);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void NetServer::HandleFrame(Conn* conn, const Frame& frame) {
+  if (frame.type != FrameType::kRequest) {
+    // Clients only send requests; anything else is a protocol violation.
+    metrics_.protocol_errors->Add(1);
+    WireError err;
+    err.status_code =
+        static_cast<uint8_t>(common::StatusCode::kInvalidArgument);
+    err.message = "unexpected frame type from client";
+    SendError(conn, err);
+    CloseConn(conn->fd);
+    return;
+  }
+  auto request = DecodeRequest(frame.payload);
+  if (!request.ok()) {
+    metrics_.protocol_errors->Add(1);
+    WireError err;
+    err.status_code = static_cast<uint8_t>(request.status().code());
+    err.message = request.status().message();
+    SendError(conn, err);
+    CloseConn(conn->fd);
+    return;
+  }
+  HandleRequest(conn, *request);
+}
+
+void NetServer::HandleRequest(Conn* conn, const WireRequest& request) {
+  if (draining_) {
+    WireError err;
+    err.id = request.id;
+    err.status_code = static_cast<uint8_t>(common::StatusCode::kUnavailable);
+    err.message = "server draining";
+    SendError(conn, err);
+    return;
+  }
+  if (routes_.count(request.id) != 0) {
+    WireError err;
+    err.id = request.id;
+    err.status_code =
+        static_cast<uint8_t>(common::StatusCode::kInvalidArgument);
+    err.message = "request id already in flight";
+    SendError(conn, err);
+    return;
+  }
+
+  metrics_.requests_rx->Add(1);
+  Route route;
+  route.conn_id = conn->conn_id;
+  route.stream_chunk_bytes = request.stream_chunk_bytes;
+  route.accepted_us = NowUs();
+  routes_.emplace(request.id, route);
+  metrics_.inflight_requests->Set(static_cast<int64_t>(routes_.size()));
+
+  serve::Request req;
+  req.id = request.id;
+  req.tenant = request.tenant;
+  req.skill = request.skill;
+  req.input = request.input;
+  req.priority = static_cast<serve::Priority>(request.priority);
+  req.deadline_ms = request.deadline_ms;
+  // The wire carries the workload's virtual clock; the serve layer requires
+  // a non-decreasing submission order, so clock skew between connections is
+  // clamped forward rather than rejected.
+  last_arrival_vms_ = std::max(last_arrival_vms_, request.arrival_vms);
+  req.arrival_vms = last_arrival_vms_;
+  backend_->Submit(req);
+}
+
+void NetServer::DeliverResponse(const serve::Response& response) {
+  auto rit = routes_.find(response.id);
+  if (rit == routes_.end()) {
+    metrics_.responses_dropped->Add(1);
+    return;
+  }
+  Route route = rit->second;
+  routes_.erase(rit);
+  metrics_.inflight_requests->Set(static_cast<int64_t>(routes_.size()));
+  metrics_.request_wall_us->Observe(
+      static_cast<double>(NowUs() - route.accepted_us));
+
+  auto cit = conn_by_id_.find(route.conn_id);
+  if (cit == conn_by_id_.end()) {
+    metrics_.responses_dropped->Add(1);
+    return;
+  }
+  Conn* conn = cit->second;
+
+  if (response.shed) {
+    // The QoS hint survives the wire: cause + cause-specific retry-after
+    // ride the error frame so a remote client can back off exactly as an
+    // in-process caller would.
+    WireError err;
+    err.id = response.id;
+    err.status_code = static_cast<uint8_t>(response.status.code());
+    err.shed_cause = static_cast<uint8_t>(response.shed_cause);
+    err.retry_after_vms = response.retry_after_vms;
+    err.message = response.status.message();
+    metrics_.shed_tx->Add(1);
+    SendError(conn, err);
+    return;
+  }
+
+  WireResponse wire;
+  wire.id = response.id;
+  wire.status_code = static_cast<uint8_t>(response.status.code());
+  wire.status_message = response.status.message();
+  wire.model = response.model;
+  wire.cost_micros = response.cost.micros();
+  wire.queue_wait_vms = response.queue_wait_vms;
+  wire.service_vms = response.service_vms;
+  wire.latency_vms = response.latency_vms;
+  wire.deadline_missed = response.deadline_missed;
+  wire.hedged = response.hedged;
+  wire.hedge_won = response.hedge_won;
+  wire.coalesced = response.coalesced;
+
+  const bool stream = route.stream_chunk_bytes > 0 && response.status.ok() &&
+                      !response.text.empty();
+  if (stream) {
+    uint32_t seq = 0;
+    for (size_t off = 0; off < response.text.size();
+         off += route.stream_chunk_bytes) {
+      WireChunk chunk;
+      chunk.id = response.id;
+      chunk.seq = seq++;
+      chunk.data =
+          response.text.substr(off, route.stream_chunk_bytes);
+      metrics_.chunks_tx->Add(1);
+      AppendFrame(conn, EncodeChunkFrame(chunk));
+      // AppendFrame may close a dead peer; stop touching the conn then.
+      if (conn_by_id_.find(route.conn_id) == conn_by_id_.end()) return;
+    }
+  } else {
+    wire.text = response.text;
+  }
+  metrics_.responses_tx->Add(1);
+  AppendFrame(conn, EncodeResponseFrame(wire, stream));
+}
+
+void NetServer::SendError(Conn* conn, const WireError& error) {
+  metrics_.errors_tx->Add(1);
+  AppendFrame(conn, EncodeErrorFrame(error));
+}
+
+void NetServer::AppendFrame(Conn* conn, std::string frame) {
+  metrics_.frames_tx->Add(1);
+  conn->outbuf.append(frame);
+  int fd = conn->fd;
+  FlushConn(conn);
+  if (conns_.find(fd) == conns_.end()) return;  // flush closed it
+  UpdateInterest(conn);
+}
+
+void NetServer::FlushConn(Conn* conn) {
+  while (conn->pending() > 0) {
+    ssize_t n = write(conn->fd, conn->outbuf.data() + conn->out_off,
+                      conn->pending());
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      metrics_.bytes_tx->Add(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseConn(conn->fd);  // EPIPE/ECONNRESET: the peer is gone
+    return;
+  }
+  if (conn->out_off == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > (1u << 20)) {
+    conn->outbuf.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+}
+
+void NetServer::UpdateInterest(Conn* conn) {
+  // Watermark backpressure: past the high mark, stop reading this
+  // connection — requests queue in the kernel and push back on the peer's
+  // send() — until the buffer drains below the low mark.
+  if (!conn->read_paused && conn->pending() > options_.high_watermark) {
+    conn->read_paused = true;
+    metrics_.backpressure_pauses->Add(1);
+  } else if (conn->read_paused && conn->pending() < options_.low_watermark) {
+    conn->read_paused = false;
+  }
+  uint32_t desired = 0;
+  if (!conn->read_paused) desired |= EPOLLIN;
+  if (conn->pending() > 0) desired |= EPOLLOUT;
+  if (desired != conn->interest) {
+    if (loop_.Modify(conn->fd, desired).ok()) conn->interest = desired;
+  }
+}
+
+void NetServer::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  conn_by_id_.erase(it->second->conn_id);
+  loop_.Remove(fd);
+  close(fd);
+  conns_.erase(it);
+  metrics_.connections_closed->Add(1);
+  metrics_.open_connections->Set(static_cast<int64_t>(conns_.size()));
+}
+
+void NetServer::DrainCompletions() {
+  std::vector<serve::Response> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (const serve::Response& response : batch) DeliverResponse(response);
+}
+
+bool NetServer::DrainComplete() const {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    if (!completions_.empty()) return false;
+  }
+  if (!routes_.empty()) return false;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->pending() > 0) return false;
+  }
+  return true;
+}
+
+NetStats NetServer::stats() const {
+  NetStats s;
+  s.connections_accepted = metrics_.connections_accepted->value();
+  s.connections_closed = metrics_.connections_closed->value();
+  s.frames_rx = metrics_.frames_rx->value();
+  s.frames_tx = metrics_.frames_tx->value();
+  s.bytes_rx = metrics_.bytes_rx->value();
+  s.bytes_tx = metrics_.bytes_tx->value();
+  s.requests_rx = metrics_.requests_rx->value();
+  s.responses_tx = metrics_.responses_tx->value();
+  s.chunks_tx = metrics_.chunks_tx->value();
+  s.errors_tx = metrics_.errors_tx->value();
+  s.shed_tx = metrics_.shed_tx->value();
+  s.protocol_errors = metrics_.protocol_errors->value();
+  s.responses_dropped = metrics_.responses_dropped->value();
+  s.backpressure_pauses = metrics_.backpressure_pauses->value();
+  s.drain_forced_closes = metrics_.drain_forced_closes->value();
+  return s;
+}
+
+}  // namespace llmdm::net

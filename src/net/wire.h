@@ -1,0 +1,196 @@
+#ifndef LLMDM_NET_WIRE_H_
+#define LLMDM_NET_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace llmdm::net {
+
+/// The llmdm wire protocol: length-prefixed binary frames over a byte
+/// stream. Every frame is
+///
+///   offset  size  field
+///   0       4     magic    "LDMN" (little-endian u32)
+///   4       1     version  kWireVersion
+///   5       1     type     FrameType
+///   6       2     flags    FrameFlags bitset
+///   8       4     length   payload bytes (u32, little-endian)
+///   12      8     checksum FNV-1a over the payload, seeded with the FNV-1a
+///                          of header bytes [0, 12) — one checksum covers
+///                          both header and payload, so a corrupted length
+///                          or type fails the same check a corrupted body
+///                          does
+///   20      len   payload  explicit little-endian fields (durability codec)
+///
+/// The payload encoding reuses the durability byte codec (fixed-width
+/// little-endian, u32-length-prefixed strings, IEEE-754 bit patterns for
+/// doubles), so two encodings of the same message are byte-identical on
+/// every platform — the property the loopback byte-identity tests and the
+/// torn-frame sweep rest on.
+///
+/// A conversation is: client writes kRequest frames (pipelining allowed);
+/// the server answers each with either
+///   - zero or more kStreamChunk frames followed by one kResponse frame
+///     carrying kFlagStreamed and an empty text (the client reassembles), or
+///   - one kResponse frame with the full completion text, or
+///   - one kError frame (shed, draining, or protocol violation) carrying the
+///     shed cause and the QoS retry_after_vms hint.
+/// Responses come back in completion order, not request order; the `id`
+/// field is the correlation key. Chunk frames for one id are contiguous.
+
+inline constexpr uint32_t kWireMagic = 0x4E4D444Cu;  // "LDMN" on the wire
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kStreamChunk = 3,
+  kError = 4,
+};
+
+/// Frame-level flags (u16 on the wire).
+enum FrameFlags : uint16_t {
+  /// On a kResponse: the completion text travelled as kStreamChunk frames
+  /// and the response's own text field is empty.
+  kFlagStreamed = 1u << 0,
+};
+
+/// One submitted request. Mirrors serve::Request plus the client's streaming
+/// preference. `arrival_vms` rides the wire so a network workload replays
+/// the exact admission sequence a direct Submit() of the same requests
+/// would — the virtual clock is the workload's, not the transport's.
+struct WireRequest {
+  uint64_t id = 0;
+  std::string tenant;
+  std::string skill = "freeform";
+  std::string input;
+  uint8_t priority = 1;  // serve::Priority, kNormal
+  double deadline_ms = 0.0;
+  double arrival_vms = 0.0;
+  /// 0 = whole completion in the kResponse frame; >0 = stream the text back
+  /// as kStreamChunk frames of at most this many bytes.
+  uint32_t stream_chunk_bytes = 0;
+
+  bool operator==(const WireRequest&) const = default;
+};
+
+/// One completed request. Mirrors the non-shed serve::Response fields; shed
+/// outcomes travel as WireError frames instead so the error path carries
+/// exactly the refusal metadata (cause + retry hint) and nothing else.
+struct WireResponse {
+  uint64_t id = 0;
+  uint8_t status_code = 0;  // common::StatusCode
+  std::string status_message;
+  std::string text;
+  std::string model;
+  int64_t cost_micros = 0;
+  double queue_wait_vms = 0.0;
+  double service_vms = 0.0;
+  double latency_vms = 0.0;
+  bool deadline_missed = false;
+  bool hedged = false;
+  bool hedge_won = false;
+  bool coalesced = false;
+
+  bool operator==(const WireResponse&) const = default;
+};
+
+/// One piece of a streamed completion text. Chunks for an id arrive in
+/// `seq` order, contiguously, and are followed by the final kResponse frame.
+struct WireChunk {
+  uint64_t id = 0;
+  uint32_t seq = 0;
+  std::string data;
+
+  bool operator==(const WireChunk&) const = default;
+};
+
+/// A refusal: admission shed (kResourceExhausted + shed cause + the
+/// cause-specific retry_after_vms hint from serve), server draining
+/// (kUnavailable), or a protocol violation (kInvalidArgument). id = 0 when
+/// the error is not attributable to a specific request.
+struct WireError {
+  uint64_t id = 0;
+  uint8_t status_code = 0;  // common::StatusCode
+  uint8_t shed_cause = 0;   // serve::ShedCause
+  double retry_after_vms = 0.0;
+  std::string message;
+
+  bool operator==(const WireError&) const = default;
+};
+
+/// A decoded frame: type + flags + raw payload bytes (checksum already
+/// verified by the decoder).
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint16_t flags = 0;
+  std::string payload;
+};
+
+// ---- Frame encoding (header + checksum + payload) ----
+
+/// Wraps `payload` in a checksummed frame header. The only way bytes reach
+/// the wire.
+std::string EncodeFrame(FrameType type, uint16_t flags,
+                        std::string_view payload);
+
+std::string EncodeRequestFrame(const WireRequest& request);
+std::string EncodeResponseFrame(const WireResponse& response, bool streamed);
+std::string EncodeChunkFrame(const WireChunk& chunk);
+std::string EncodeErrorFrame(const WireError& error);
+
+// ---- Payload decoding (bounds-checked; kOutOfRange on truncation,
+//      kInvalidArgument on trailing garbage) ----
+
+common::Result<WireRequest> DecodeRequest(std::string_view payload);
+common::Result<WireResponse> DecodeResponse(std::string_view payload);
+common::Result<WireChunk> DecodeChunk(std::string_view payload);
+common::Result<WireError> DecodeError(std::string_view payload);
+
+/// Incremental frame decoder over an arbitrary chunking of the byte stream.
+/// Feed() whatever read(2) produced — a frame torn at any byte boundary
+/// across any number of reads reassembles to exactly the frames a one-shot
+/// decode would yield (the torn-frame sweep asserts this at every split
+/// point). A malformed header (bad magic / version / unknown type /
+/// oversized length) or checksum mismatch poisons the decoder: Feed()
+/// returns the error, keeps returning it, and Next() yields nothing more —
+/// a corrupted stream is rejected cleanly, never resynchronized into
+/// garbage frames. The transport should close the connection.
+class FrameDecoder {
+ public:
+  struct Options {
+    /// A single corrupted length prefix must not become a multi-gigabyte
+    /// buffered allocation.
+    size_t max_frame_bytes = 64u << 20;
+  };
+
+  FrameDecoder() : FrameDecoder(Options{}) {}
+  explicit FrameDecoder(const Options& options) : options_(options) {}
+
+  /// Buffers `data` and decodes every complete frame in it onto the ready
+  /// queue. Returns the first protocol error encountered (sticky).
+  common::Status Feed(std::string_view data);
+
+  /// Pops the next fully decoded frame; false when none is ready.
+  bool Next(Frame* frame);
+
+  /// Bytes buffered waiting for the rest of a frame (flow-control input).
+  size_t buffered_bytes() const { return buffer_.size(); }
+  const common::Status& error() const { return error_; }
+
+ private:
+  Options options_;
+  std::string buffer_;
+  std::deque<Frame> ready_;
+  common::Status error_;
+};
+
+}  // namespace llmdm::net
+
+#endif  // LLMDM_NET_WIRE_H_

@@ -32,6 +32,7 @@ Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
       hedge_model_(hedge_model != nullptr ? std::move(hedge_model) : model_),
       options_(options),
       slot_free_vms_(std::max<size_t>(1, options.virtual_concurrency), 0.0) {
+  response_sink_ = options_.response_sink;
   if (options_.registry != nullptr) {
     registry_ = options_.registry;
   } else {
@@ -790,7 +791,13 @@ void Server::PushResponse(Response response, TenantState* tenant_state) {
     }
   }
   std::lock_guard<std::mutex> lock(results_mu_);
-  responses_.push_back(std::move(response));
+  if (response_sink_) response_sink_(response);
+  if (options_.retain_responses) responses_.push_back(std::move(response));
+}
+
+void Server::set_response_sink(std::function<void(const Response&)> sink) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  response_sink_ = std::move(sink);
 }
 
 std::vector<Response> Server::Drain() {

@@ -279,6 +279,21 @@ class Server {
     /// path. Null (the default) makes SubmitBatch() a plain loop over
     /// Submit(). Wire a SemanticCache in with optimize::MakeBatchCacheProbe.
     BatchCacheProbe batch_probe;
+    /// Completion sink for push-style consumers (the network front door):
+    /// called exactly once per response — shed refusals included, so offered
+    /// load == sink calls — after the response's metrics are recorded.
+    /// Sheds and cache-probe hits invoke it on the submitting thread (for
+    /// sheds: under the admission lock), completions on a worker thread, so
+    /// the sink must be thread-safe, bounded, and must never call back into
+    /// Submit()/Drain(). Also settable after construction via
+    /// set_response_sink() (e.g. by net::NetServer, which outlives neither).
+    std::function<void(const Response&)> response_sink;
+    /// Retain every response for Drain(). A long-running server draining
+    /// responses through response_sink instead sets this false so memory
+    /// stays bounded by in-flight work; Drain() then returns only what was
+    /// retained (nothing) and percentile stats come from the registry
+    /// histograms alone.
+    bool retain_responses = true;
     /// Multi-tenant QoS: configuring at least one tenant switches admission
     /// from the single shared queue to per-tenant token-bucket quotas +
     /// weighted-fair (deficit-round-robin) queuing with priority aging —
@@ -315,6 +330,11 @@ class Server {
   /// Waits for all admitted work, stops the workers, and returns every
   /// response sorted by request id. Call once.
   std::vector<Response> Drain();
+
+  /// Installs (or replaces) the completion sink after construction. Must be
+  /// called before the first Submit(); the sink is read under the results
+  /// lock, so a quiesced server may also swap it between workloads.
+  void set_response_sink(std::function<void(const Response&)> sink);
 
   /// Aggregate metrics; stable only after Drain().
   ServerStats stats() const;
@@ -487,6 +507,7 @@ class Server {
   // Results + execution-side stats (hedge counters live in metrics_).
   mutable std::mutex results_mu_;
   std::vector<Response> responses_;
+  std::function<void(const Response&)> response_sink_;  // under results_mu_
 
   llm::UsageMeter meter_;
   SimulatedClock clock_;

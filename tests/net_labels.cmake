@@ -1,0 +1,10 @@
+# Runs at ctest time, after gtest test discovery (appended to
+# TEST_INCLUDE_FILES behind the generated discovery include). The net suite
+# carries both labels — `net` for the loopback suite on its own, and
+# `concurrency` so the TSan job (`ctest -L concurrency` under
+# -DLLMDM_TSAN=ON) exercises the epoll loop thread, serve workers, and
+# client threads together. gtest_discover_tests flattens list-valued
+# PROPERTIES, so the pair cannot be set directly there.
+foreach(t IN LISTS llmdm_net_test_names)
+  set_tests_properties(${t} PROPERTIES LABELS "net;concurrency")
+endforeach()
