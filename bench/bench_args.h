@@ -17,6 +17,7 @@ namespace llmdm::bench {
 struct BenchArgs {
   bool smoke = false;       // --benchmark-smoke
   bool qos_smoke = false;   // --qos-smoke (when the spec accepts it)
+  bool batch_smoke = false; // --batch-smoke (when the spec accepts it)
   std::string out_path;     // --out=PATH (when the spec accepts it)
   std::string metrics_out;  // --metrics-out=PATH
   /// Flags this parser did not recognise, in order (only populated when the
@@ -33,6 +34,8 @@ struct BenchArgSpec {
   const char* default_out = "";
   /// Accept `--qos-smoke` (run only the multi-tenant QoS cell).
   bool accepts_qos_smoke = false;
+  /// Accept `--batch-smoke` (run only the continuous-batching cell).
+  bool accepts_batch_smoke = false;
   /// Collect unrecognised flags into BenchArgs::passthrough instead of
   /// failing — for benches that wrap another flag-taking framework
   /// (google-benchmark's --benchmark_* family).
@@ -55,6 +58,9 @@ inline bool ParseBenchArgs(int argc, char** argv, const BenchArgSpec& spec,
       out->smoke = true;
     } else if (spec.accepts_qos_smoke && std::strcmp(arg, "--qos-smoke") == 0) {
       out->qos_smoke = true;
+    } else if (spec.accepts_batch_smoke &&
+               std::strcmp(arg, "--batch-smoke") == 0) {
+      out->batch_smoke = true;
     } else if (spec.accepts_out && std::strncmp(arg, "--out=", 6) == 0) {
       out->out_path = arg + 6;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
@@ -64,6 +70,7 @@ inline bool ParseBenchArgs(int argc, char** argv, const BenchArgSpec& spec,
     } else {
       std::string usage = "usage: %s [--benchmark-smoke]";
       if (spec.accepts_qos_smoke) usage += " [--qos-smoke]";
+      if (spec.accepts_batch_smoke) usage += " [--batch-smoke]";
       if (spec.accepts_out) usage += " [--out=PATH]";
       usage += " [--metrics-out=PATH]\n";
       std::fprintf(stderr, usage.c_str(), argv[0]);

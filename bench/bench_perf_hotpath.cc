@@ -248,11 +248,16 @@ BenchResult AnnLookup(optimize::CacheIndexKind kind, size_t entries,
 // obs::Registry and appends its Prometheus export (one commented section per
 // cell) for the --metrics-out file.
 BenchResult ServeQps(bool single_flight, size_t requests,
-                     std::string* metrics_text) {
+                     std::string* metrics_text, bool batching = false) {
   llm::ModelSpec spec;
   spec.name = "sim-serve";
   spec.capability = 0.9;
   spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  if (batching) {
+    // The cached input tier the batch scheduler's prefix trie prices the
+    // shared prompt head at; absent (the default) batching is billing-inert.
+    spec.cached_input_price_per_1k = common::Money::FromDollars(0.0001);
+  }
   spec.output_price_per_1k = common::Money::FromDollars(0.002);
   spec.latency_ms_per_1k_tokens = 100.0;
   auto model = std::make_shared<llm::SimulatedLlm>(spec, 17);
@@ -263,6 +268,7 @@ BenchResult ServeQps(bool single_flight, size_t requests,
   options.worker_threads = 4;
   options.shed_policy = serve::ShedPolicy::kNone;
   options.single_flight = single_flight;
+  options.batching = batching;
   if (metrics_text != nullptr) options.registry = &registry;
   serve::Server server(model, options);
 
@@ -281,7 +287,9 @@ BenchResult ServeQps(bool single_flight, size_t requests,
 
   auto stats = server.stats();
   BenchResult r;
-  r.name = single_flight ? "serve_qps_single_flight" : "serve_qps_baseline";
+  r.name = batching ? "serve_qps_batched"
+           : single_flight ? "serve_qps_single_flight"
+                           : "serve_qps_baseline";
   r.threads = options.worker_threads;
   r.ops = responses.size();
   r.ops_per_sec = wall_sec > 0.0 ? static_cast<double>(r.ops) / wall_sec : 0.0;
@@ -289,6 +297,14 @@ BenchResult ServeQps(bool single_flight, size_t requests,
       ", \"coalesced\": %zu, \"meter_calls\": %zu, \"meter_cost_micros\": %lld",
       stats.coalesced, server.meter().calls(),
       (long long)server.meter().cost().micros());
+  if (batching) {
+    r.extra_json += common::StrFormat(
+        ", \"batch_closes\": %zu, \"batch_requests\": %zu, "
+        "\"batch_prefix_cached_tokens\": %zu, "
+        "\"batch_prefix_saved_micros\": %lld",
+        stats.batches_closed, stats.batched_requests,
+        stats.prefix_cached_tokens, (long long)stats.prefix_saved.micros());
+  }
   if (metrics_text != nullptr) {
     *metrics_text += common::StrFormat("# cell: %s\n", r.name.c_str());
     *metrics_text += registry.PrometheusText();
@@ -378,6 +394,8 @@ int main(int argc, char** argv) {
       ServeQps(/*single_flight=*/false, kServeReqs, metrics_collector));
   results.push_back(
       ServeQps(/*single_flight=*/true, kServeReqs, metrics_collector));
+  results.push_back(ServeQps(/*single_flight=*/false, kServeReqs,
+                             metrics_collector, /*batching=*/true));
 
   std::printf("%-26s %7s %6s %10s %12s %10s %10s\n", "scenario", "threads",
               "shards", "ops", "ops/sec", "p50_us", "p99_us");

@@ -19,12 +19,21 @@
 // attains >= 95% SLO with Jain >= 0.9, and that the full per-tenant metrics
 // export is byte-identical across 2/8/8 worker threads.
 //
+// The continuous-batching section drives the Table II near-duplicate
+// workload (shared clause heads, varying tails) through the per-model batch
+// scheduler and *enforces* — by exit status — that batching changes
+// billing, never answers: id-sorted texts are byte-identical to an
+// unbatched run, prefix-cache savings are strictly positive, and the
+// batched spend plus the itemized savings reconstructs the unbatched spend
+// to the micro, byte-identically across 1/4/8 worker threads.
+//
 // Flags: `--benchmark-smoke` runs the registry-reconciliation and QoS
 // isolation cells at a ctest-friendly size (the exit status enforces that
 // the registry snapshot matches the legacy ServerStats view, that exports
 // are byte-stable across worker counts, and that hot-tenant isolation
-// holds); `--qos-smoke` runs only the QoS cells; `--metrics-out=PATH`
-// writes the cells' Prometheus text export.
+// holds); `--qos-smoke` runs only the QoS cells; `--batch-smoke` runs only
+// the continuous-batching cell; `--metrics-out=PATH` writes the cells'
+// Prometheus text export.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -474,8 +483,137 @@ bool RunQosIsolation(bool smoke, std::string* prom_out) {
   return isolated && stable;
 }
 
-int main_impl(bool smoke, bool qos_smoke, const std::string& metrics_out) {
+// ---- Continuous batching ----------------------------------------------------
+
+std::shared_ptr<llm::SimulatedLlm> MakeBatchEndpoint(double latency_ms_per_1k,
+                                                     uint64_t seed) {
+  llm::ModelSpec spec;
+  spec.name = "sim-batch";
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.cached_input_price_per_1k = common::Money::FromDollars(0.0001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.002);
+  spec.latency_ms_per_1k_tokens = latency_ms_per_1k;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, seed);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+  return model;
+}
+
+struct BatchRunOutcome {
+  std::string texts;  // id-sorted response texts (answer-equality check)
+  std::string table;  // texts + billing ledger (determinism check)
+  serve::ServerStats stats;
+  common::Money cost;
+  llm::UsageMeter::BatchStats ledger;
+};
+
+// Drives the Table II near-duplicate workload (a shared clause head with a
+// varying tail — the shape the prefix trie amortizes) through one server.
+BatchRunOutcome RunBatchCell(size_t workers, bool batching, size_t n,
+                             obs::Registry* registry) {
+  serve::Server::Options options;
+  options.worker_threads = workers;
+  options.virtual_concurrency = static_cast<size_t>(kSlots);
+  options.shed_policy = serve::ShedPolicy::kNone;
+  options.batching = batching;
+  options.max_batch = 8;
+  options.batch_window_vms = 10.0;
+  options.registry = registry;
+  serve::Server server(MakeBatchEndpoint(2000.0, 3), options);
+  for (size_t i = 0; i < n; ++i) {
+    serve::Request req;
+    req.id = i;
+    req.arrival_vms = static_cast<double>(i) * 2.0;
+    req.input = common::StrFormat(
+        "translate condition group %zu variant %zu into sql", i % 8, i % 3);
+    server.Submit(req);
+  }
+  BatchRunOutcome out;
+  for (const auto& r : server.Drain()) {
+    out.texts += common::StrFormat("%llu %s\n", (unsigned long long)r.id,
+                                   r.text.c_str());
+    out.table += common::StrFormat(
+        "%llu ok=%d lat=%.3f cost=%lld %s\n", (unsigned long long)r.id,
+        r.status.ok() ? 1 : 0, r.latency_vms, (long long)r.cost.micros(),
+        r.text.c_str());
+  }
+  out.stats = server.stats();
+  out.cost = server.meter().cost();
+  out.ledger = server.meter().batch_stats();
+  out.table += common::StrFormat(
+      "ledger batches=%zu calls=%zu cached=%zu saved=%lld cost=%lld\n",
+      out.ledger.batches, out.ledger.batched_calls,
+      out.ledger.prefix_cached_tokens,
+      (long long)out.ledger.prefix_saved.micros(),
+      (long long)out.cost.micros());
+  return out;
+}
+
+// The batching acceptance cell. Exit-status enforced: batching amortizes
+// the shared prompt head (savings > 0, spend strictly down) without
+// changing a single answer byte, and the whole outcome — texts, per-request
+// billing, the batch ledger — is byte-identical across 1/4/8 workers.
+bool RunBatchSmoke(bool smoke, std::string* prom_out) {
+  const size_t n = smoke ? 160 : 400;
+  obs::Registry reg1, reg4, reg8;
+  BatchRunOutcome plain = RunBatchCell(4, /*batching=*/false, n, nullptr);
+  BatchRunOutcome b1 = RunBatchCell(1, /*batching=*/true, n, &reg1);
+  BatchRunOutcome b4 = RunBatchCell(4, /*batching=*/true, n, &reg4);
+  BatchRunOutcome b8 = RunBatchCell(8, /*batching=*/true, n, &reg8);
+
+  std::printf(
+      "\n== continuous batching (max_batch=8, window=10 vms, near-duplicate "
+      "Table II workload) ==\n\n");
+  std::printf("%-12s %8s %10s %12s %12s %10s\n", "mode", "done", "batches",
+              "cached_tok", "saved", "cost");
+  std::printf("%-12s %8zu %10s %12s %12s %10s\n", "unbatched",
+              plain.stats.completed, "-", "-", "-",
+              plain.cost.ToString(4).c_str());
+  std::printf("%-12s %8zu %10zu %12zu %12s %10s\n", "batched",
+              b4.stats.completed, b4.stats.batches_closed,
+              b4.stats.prefix_cached_tokens,
+              b4.stats.prefix_saved.ToString(4).c_str(),
+              b4.cost.ToString(4).c_str());
+
+  bool texts_equal = b4.texts == plain.texts;
+  bool savings = b4.stats.prefix_cached_tokens > 0 &&
+                 b4.cost.micros() < plain.cost.micros();
+  // Exactness: the itemized savings must reconstruct the unbatched ledger.
+  bool conserved =
+      b4.cost.micros() + b4.ledger.prefix_saved.micros() ==
+      plain.cost.micros();
+  bool deterministic = b1.table == b4.table && b1.table == b8.table;
+  const std::string prom = reg1.PrometheusText();
+  bool export_stable =
+      prom == reg4.PrometheusText() && prom == reg8.PrometheusText();
+
+  std::printf("\nanswers byte-identical to unbatched run: %s\n",
+              texts_equal ? "yes" : "NO");
+  std::printf("prefix savings > 0 and spend strictly down: %s\n",
+              savings ? "yes" : "NO");
+  std::printf("batched spend + itemized savings == unbatched spend: %s\n",
+              conserved ? "yes" : "NO");
+  std::printf("outcome byte-identical across 1/4/8 workers: %s\n",
+              deterministic ? "yes" : "NO");
+  std::printf("batch metrics export byte-identical across workers: %s\n",
+              export_stable ? "yes" : "NO");
+  *prom_out += "# cell: continuous batching\n";
+  *prom_out += prom;
+
+  bool ok =
+      texts_equal && savings && conserved && deterministic && export_stable;
+  if (!ok) std::printf("BATCH SMOKE FAILED\n");
+  return ok;
+}
+
+int main_impl(bool smoke, bool qos_smoke, bool batch_smoke,
+              const std::string& metrics_out) {
   std::string prom;
+  if (batch_smoke) {
+    bool ok = RunBatchSmoke(/*smoke=*/true, &prom);
+    ok = WriteMetricsFile(metrics_out, prom) && ok;
+    return ok ? 0 : 1;
+  }
   if (qos_smoke) {
     RunPopulationCell(/*smoke=*/true);
     bool ok = RunQosIsolation(/*smoke=*/true, &prom);
@@ -598,6 +736,7 @@ int main_impl(bool smoke, bool qos_smoke, const std::string& metrics_out) {
 
   RunPopulationCell(/*smoke=*/false);
   bool ok = RunQosIsolation(/*smoke=*/false, &prom);
+  ok = RunBatchSmoke(/*smoke=*/false, &prom) && ok;
   ok = RunReconciliation(kRequests, &prom) && ok;
   ok = WriteMetricsFile(metrics_out, prom) && ok;
   return ok ? 0 : 1;
@@ -608,7 +747,9 @@ int main_impl(bool smoke, bool qos_smoke, const std::string& metrics_out) {
 int main(int argc, char** argv) {
   llmdm::bench::BenchArgSpec spec;
   spec.accepts_qos_smoke = true;
+  spec.accepts_batch_smoke = true;
   llmdm::bench::BenchArgs args;
   if (!llmdm::bench::ParseBenchArgs(argc, argv, spec, &args)) return 2;
-  return main_impl(args.smoke, args.qos_smoke, args.metrics_out);
+  return main_impl(args.smoke, args.qos_smoke, args.batch_smoke,
+                   args.metrics_out);
 }

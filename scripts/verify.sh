@@ -55,6 +55,11 @@ stage "bench smoke (multi-tenant QoS isolation)"
   --metrics-out="${build_dir}/BENCH_serve_qos_smoke.prom" >/dev/null
 echo "ok: hot tenant contained; compliant SLOs hold and exports are byte-stable"
 
+stage "bench smoke (continuous batching)"
+"${build_dir}/bench/bench_serve_overload" --batch-smoke \
+  --metrics-out="${build_dir}/BENCH_batch_smoke.prom" >/dev/null
+echo "ok: batching saves spend without changing answers, byte-stable across workers"
+
 stage "net loopback smoke (wire protocol end to end)"
 # Start the real server binary on an ephemeral-ish port, drive it with the
 # loadgen over loopback, then SIGTERM it and require a clean graceful drain

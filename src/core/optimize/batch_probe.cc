@@ -11,8 +11,16 @@
 namespace llmdm::optimize {
 
 serve::BatchCacheProbe MakeBatchCacheProbe(SemanticCache* cache,
-                                           llm::ModelSpec spec) {
-  return [cache, spec = std::move(spec)](
+                                           llm::ModelSpec spec,
+                                           bool price_at_cached_tier) {
+  // The effective price a hit's avoided call would have paid for input:
+  // list for per-call serving, the cached tier when the deployment batches
+  // (an exact-duplicate prompt in a batch bills its whole input cached).
+  const common::Money input_price =
+      price_at_cached_tier && spec.cached_input_price_per_1k.micros() > 0
+          ? spec.cached_input_price_per_1k
+          : spec.input_price_per_1k;
+  return [cache, spec = std::move(spec), input_price](
              const std::vector<const serve::Request*>& batch)
              -> std::vector<serve::BatchProbeOutcome> {
     std::vector<std::string_view> queries;
@@ -27,7 +35,7 @@ serve::BatchCacheProbe MakeBatchCacheProbe(SemanticCache* cache,
       size_t input_tokens =
           llm::MakePrompt(req->skill, req->input).CountInputTokens();
       avoided.push_back(common::Money::FromMicros(
-          spec.input_price_per_1k.micros() *
+          input_price.micros() *
           static_cast<int64_t>(input_tokens) / 1000));
     }
     std::vector<std::optional<SemanticCache::Hit>> hits =

@@ -20,8 +20,17 @@ class SemanticCache;
 /// its Options). This lives in optimize/ rather than serve/ so the server
 /// keeps no dependency on the caching layer: it only ever sees the
 /// std::function.
+///
+/// `price_at_cached_tier`: credit each hit's avoided input spend at
+/// `spec.cached_input_price_per_1k` instead of list. Set this when the
+/// server runs with continuous batching on — the call a hit avoided would
+/// have ridden a batch, and an exact-duplicate prompt in a batch bills its
+/// whole input at the cached tier, so crediting list price would overstate
+/// the savings. Defaults off, preserving the historical (list-price)
+/// ledger for unbatched deployments.
 serve::BatchCacheProbe MakeBatchCacheProbe(SemanticCache* cache,
-                                           llm::ModelSpec spec);
+                                           llm::ModelSpec spec,
+                                           bool price_at_cached_tier = false);
 
 }  // namespace llmdm::optimize
 

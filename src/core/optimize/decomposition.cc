@@ -182,4 +182,62 @@ common::Result<BatchExecution> QueryBatchOptimizer::Execute(
   return exec;
 }
 
+common::Result<BatchExecution> QueryBatchOptimizer::ExecuteBatched(
+    const BatchPlan& plan, llm::LlmModel& model,
+    llm::UsageMeter* meter) const {
+  BatchExecution exec;
+
+  std::vector<llm::Prompt> prompts;
+  prompts.reserve(plan.unique_units.size());
+  for (const std::string& unit : plan.unique_units) {
+    prompts.push_back(MakeUnitPrompt(unit));
+  }
+  std::vector<common::Result<llm::Completion>> results =
+      model.CompleteBatch(prompts);
+
+  const llm::ModelSpec& spec = model.spec();
+  auto price = [](common::Money per_1k, size_t tokens) {
+    return common::Money::FromMicros(per_1k.micros() *
+                                     static_cast<int64_t>(tokens) / 1000);
+  };
+
+  std::map<std::string, std::string> unit_sql;
+  if (meter != nullptr && !plan.unique_units.empty()) {
+    meter->RecordBatchClose(spec.name, plan.unique_units.size());
+  }
+  for (size_t i = 0; i < plan.unique_units.size(); ++i) {
+    LLMDM_ASSIGN_OR_RETURN(llm::Completion c, std::move(results[i]));
+    unit_sql[plan.unique_units[i]] = c.text;
+    if (meter != nullptr) {
+      meter->Record(c.model, c.input_tokens, c.output_tokens, c.cost,
+                    c.latency_ms);
+    }
+    if (c.prefix_cached_tokens > 0) {
+      // Exact savings: what the cached-tier tokens would have cost at list
+      // price, recovered from the discounted bill.
+      common::Money saved = price(spec.input_price_per_1k, c.input_tokens) +
+                            price(spec.output_price_per_1k, c.output_tokens) -
+                            c.cost;
+      exec.prefix_cached_tokens += c.prefix_cached_tokens;
+      exec.prefix_saved += saved;
+      if (meter != nullptr) {
+        meter->RecordPrefixReuse(c.model, c.prefix_cached_tokens, saved);
+      }
+    }
+    exec.cost += c.cost;
+  }
+  exec.llm_calls = plan.unique_units.size();
+
+  exec.sql.resize(plan.items.size());
+  for (const BatchPlan::Item& item : plan.items) {
+    std::vector<std::string> parts;
+    for (const std::string& unit : item.units) {
+      parts.push_back(unit_sql.at(unit));
+    }
+    exec.sql[item.query_index] =
+        item.decomposed ? RecombineSql(parts, item.combiner) : parts[0];
+  }
+  return exec;
+}
+
 }  // namespace llmdm::optimize

@@ -57,6 +57,11 @@ struct BatchExecution {
   std::vector<std::string> sql;
   size_t llm_calls = 0;
   common::Money cost;
+  /// ExecuteBatched only: input tokens billed at the provider's cached tier
+  /// (the shared prompt head the prefix cache amortized) and the list-price
+  /// spend those tokens avoided.
+  size_t prefix_cached_tokens = 0;
+  common::Money prefix_saved;
 };
 
 /// Plans and executes batched NL2SQL translation with sub-query
@@ -90,6 +95,18 @@ class QueryBatchOptimizer {
   /// unique unit, then client-side recombination. Usage is metered exactly:
   /// combined prompts bill their shared prefix once.
   common::Result<BatchExecution> Execute(
+      const BatchPlan& plan, llm::LlmModel& model,
+      llm::UsageMeter* meter = nullptr) const;
+
+  /// Executes the plan as ONE LlmModel::CompleteBatch call over the unique
+  /// units. Every unit prompt shares instructions + examples, so a model
+  /// with a cached input tier (ModelSpec::cached_input_price_per_1k > 0)
+  /// bills that shared head once at list price and every repetition at the
+  /// cached tier — the serving-side analogue of the Table II combination
+  /// column, without rewriting the prompts. Answers are identical to
+  /// Execute()'s; only billing and latency change. The meter's batch ledger
+  /// itemizes the savings against list price.
+  common::Result<BatchExecution> ExecuteBatched(
       const BatchPlan& plan, llm::LlmModel& model,
       llm::UsageMeter* meter = nullptr) const;
 

@@ -24,24 +24,43 @@ common::Result<Completion> LlmModel::CompleteMetered(const Prompt& prompt,
   return result;
 }
 
+std::vector<common::Result<Completion>> LlmModel::CompleteBatch(
+    const std::vector<Prompt>& prompts) {
+  // Base endpoints have no prefix sharing to exploit: a batch is the same
+  // calls back to back, with the same per-prompt deadline enforcement as
+  // CompleteMetered (metering stays with the caller — see header).
+  std::vector<common::Result<Completion>> out;
+  out.reserve(prompts.size());
+  for (const Prompt& prompt : prompts) {
+    out.push_back(CompleteMetered(prompt, nullptr));
+  }
+  return out;
+}
+
 std::vector<ModelSpec> PaperModelSpecs() {
+  // Cached-input (KV-hit prefix) tokens bill at 10% of the list input price,
+  // the discount tier providers quote for prompt caching. Only the batched
+  // path consults it, so the single-call tables are unaffected.
   std::vector<ModelSpec> specs(3);
   specs[0].name = "sim-babbage-002";
   specs[0].capability = 0.35;
   specs[0].input_price_per_1k = common::Money::FromDollars(0.0004);
   specs[0].output_price_per_1k = common::Money::FromDollars(0.0004);
+  specs[0].cached_input_price_per_1k = common::Money::FromDollars(0.00004);
   specs[0].latency_ms_per_1k_tokens = 150.0;
 
   specs[1].name = "sim-gpt-3.5-turbo";
   specs[1].capability = 0.72;
   specs[1].input_price_per_1k = common::Money::FromDollars(0.001);
   specs[1].output_price_per_1k = common::Money::FromDollars(0.002);
+  specs[1].cached_input_price_per_1k = common::Money::FromDollars(0.0001);
   specs[1].latency_ms_per_1k_tokens = 400.0;
 
   specs[2].name = "sim-gpt-4";
   specs[2].capability = 0.95;
   specs[2].input_price_per_1k = common::Money::FromDollars(0.03);
   specs[2].output_price_per_1k = common::Money::FromDollars(0.06);
+  specs[2].cached_input_price_per_1k = common::Money::FromDollars(0.003);
   specs[2].latency_ms_per_1k_tokens = 1200.0;
   return specs;
 }

@@ -2,6 +2,7 @@
 #define LLMDM_LLM_MODEL_H_
 
 #include <string>
+#include <vector>
 
 #include "common/money.h"
 #include "common/result.h"
@@ -21,6 +22,14 @@ struct ModelSpec {
   double capability = 0.5;
   common::Money input_price_per_1k;
   common::Money output_price_per_1k;
+  /// Discounted input price for prompt-prefix tokens already resident in the
+  /// serving engine's KV cache (the "cached input" tier real providers bill
+  /// at ~10% of list). Only consulted on the batched path
+  /// (LlmModel::CompleteBatch), where a prefix trie identifies tokens an
+  /// earlier batch member has already prefilled. Zero (the default) disables
+  /// the discount: cached tokens bill at the list input price and the
+  /// single-call cost model is unchanged.
+  common::Money cached_input_price_per_1k;
   /// Simulated wall-clock per 1k tokens processed (bigger models are slower).
   double latency_ms_per_1k_tokens = 500.0;
 };
@@ -33,6 +42,10 @@ struct Completion {
   double confidence = 0.5;
   size_t input_tokens = 0;
   size_t output_tokens = 0;
+  /// Of input_tokens, how many were served from a shared-prefix KV cache and
+  /// billed at ModelSpec::cached_input_price_per_1k instead of list. Only
+  /// nonzero on the batched path; `cost` already reflects the discount.
+  size_t prefix_cached_tokens = 0;
   common::Money cost;
   double latency_ms = 0.0;
   std::string model;
@@ -58,6 +71,20 @@ class LlmModel {
   /// (retries, fallbacks) can meter every attempt into the same ledger.
   virtual common::Result<Completion> CompleteMetered(const Prompt& prompt,
                                                      UsageMeter* meter);
+
+  /// One model invocation per prompt, executed as a batch: endpoints that
+  /// model KV-cache prefix reuse (SimulatedLlm) price the longest prompt
+  /// prefix shared with an earlier batch member once, at
+  /// ModelSpec::cached_input_price_per_1k, and skip its prefill latency —
+  /// setting Completion::prefix_cached_tokens and discounting
+  /// Completion::cost accordingly. The base implementation is a plain loop
+  /// (no sharing). Per-prompt deadlines are checked before and charged after
+  /// each member's call, exactly as in CompleteMetered; results are
+  /// positionally aligned with `prompts`. Deliberately unmetered: the serve
+  /// layer meters each member into its own scratch ledger so hedging's
+  /// winner-commit accounting keeps working per request.
+  virtual std::vector<common::Result<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts);
 };
 
 /// The three model tiers the paper benchmarks (Table I): sim-babbage-002,

@@ -1,0 +1,33 @@
+#include "llm/prefix_trie.h"
+
+#include <algorithm>
+
+namespace llmdm::llm {
+
+namespace {
+size_t CommonPrefixLen(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+}  // namespace
+
+size_t PrefixTrie::Insert(std::string_view s) {
+  // lower_bound gives the first member >= s: the successor. Its predecessor
+  // is the greatest member < s. The longest shared prefix over the whole set
+  // is attained at one of these two neighbours (see class comment).
+  auto succ = strings_.lower_bound(s);
+  size_t shared = 0;
+  if (succ != strings_.end()) {
+    shared = CommonPrefixLen(s, *succ);
+    if (*succ == s) return s.size();  // exact duplicate: full prefix reuse
+  }
+  if (succ != strings_.begin()) {
+    shared = std::max(shared, CommonPrefixLen(s, *std::prev(succ)));
+  }
+  strings_.emplace_hint(succ, s);
+  return shared;
+}
+
+}  // namespace llmdm::llm

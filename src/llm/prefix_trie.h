@@ -1,0 +1,41 @@
+#ifndef LLMDM_LLM_PREFIX_TRIE_H_
+#define LLMDM_LLM_PREFIX_TRIE_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace llmdm::llm {
+
+/// Prefix index over the rendered prompts of one batch: Insert() returns how
+/// many leading characters the new prompt shares with the batch so far —
+/// the KV-cache prefill a serving engine would skip because an earlier batch
+/// member already computed it.
+///
+/// Represented as a sorted string set rather than an explicit node trie: the
+/// longest prefix `s` shares with *any* member of a set equals the longer of
+/// its common prefixes with its two lexicographic neighbours. (Any other
+/// member m with a longer common prefix p would sort inside [p..., p~...],
+/// an interval that also contains s — so walking from m toward s in sorted
+/// order never leaves strings sharing p, and the adjacent neighbour shares
+/// at least as much.) One ordered set + two neighbour comparisons per insert
+/// gives the exact trie answer without node bookkeeping.
+///
+/// Not thread-safe; a batch is priced by the one worker executing it.
+class PrefixTrie {
+ public:
+  /// Inserts `s`; returns the length in characters of the longest prefix of
+  /// `s` shared with any *previously* inserted string (0 for the first
+  /// insert or a duplicate-free miss; s.size() for an exact duplicate).
+  size_t Insert(std::string_view s);
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::set<std::string, std::less<>> strings_;
+};
+
+}  // namespace llmdm::llm
+
+#endif  // LLMDM_LLM_PREFIX_TRIE_H_

@@ -1,6 +1,10 @@
 #include "llm/simulated.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
+#include "llm/deadline.h"
+#include "llm/prefix_trie.h"
 #include "text/tokenizer.h"
 
 namespace llmdm::llm {
@@ -54,6 +58,61 @@ common::Result<Completion> SimulatedLlm::Complete(const Prompt& prompt) {
       static_cast<double>(completion.input_tokens + completion.output_tokens) /
       1000.0;
   return completion;
+}
+
+std::vector<common::Result<Completion>> SimulatedLlm::CompleteBatch(
+    const std::vector<Prompt>& prompts) {
+  auto price = [](common::Money per_1k, size_t tokens) {
+    return common::Money::FromMicros(per_1k.micros() *
+                                     static_cast<int64_t>(tokens) / 1000);
+  };
+  const bool discount = spec_.cached_input_price_per_1k.micros() > 0;
+  PrefixTrie trie;
+  std::vector<common::Result<Completion>> out;
+  out.reserve(prompts.size());
+  for (const Prompt& prompt : prompts) {
+    // Same per-member deadline contract as CompleteMetered: fail fast before
+    // the call, charge the (discounted) latency after. A member that dies
+    // here never ran prefill, so its prompt does not enter the trie.
+    if (prompt.deadline != nullptr && prompt.deadline->Exhausted()) {
+      out.push_back(common::Status::Timeout(
+          "request deadline exhausted before call to " + spec_.name));
+      continue;
+    }
+    auto result = Complete(prompt);
+    if (!result.ok()) {
+      out.push_back(result.status());
+      continue;
+    }
+    Completion completion = std::move(*result);
+    if (discount) {
+      const std::string rendered = prompt.Render();
+      const size_t shared_chars = trie.Insert(rendered);
+      // The shared character prefix re-tokenized: the batch-order trie walk
+      // is deterministic, so so is this count. Clamped — a sub-word
+      // tokenizer can split a truncated prefix into more pieces than the
+      // full render bills for.
+      const size_t cached = std::min(
+          text::CountTokens(std::string_view(rendered).substr(0, shared_chars)),
+          completion.input_tokens);
+      const size_t fresh = completion.input_tokens - cached;
+      completion.prefix_cached_tokens = cached;
+      completion.cost = price(spec_.input_price_per_1k, fresh) +
+                        price(spec_.cached_input_price_per_1k, cached) +
+                        price(spec_.output_price_per_1k,
+                              completion.output_tokens);
+      // Prefill for the cached prefix is skipped: only fresh input + decode
+      // spend time in the slot.
+      completion.latency_ms =
+          spec_.latency_ms_per_1k_tokens *
+          static_cast<double>(fresh + completion.output_tokens) / 1000.0;
+    }
+    if (prompt.deadline != nullptr) {
+      prompt.deadline->Charge(completion.latency_ms);
+    }
+    out.push_back(std::move(completion));
+  }
+  return out;
 }
 
 std::vector<std::shared_ptr<LlmModel>> CreatePaperModelLadder(

@@ -34,6 +34,16 @@ class SimulatedLlm : public LlmModel {
 
   common::Result<Completion> Complete(const Prompt& prompt) override;
 
+  /// Batched completion with a KV-cache cost model: a prefix trie over the
+  /// rendered prompts (in batch order) finds, per member, the longest prefix
+  /// an earlier member already prefilled. Those tokens bill at
+  /// spec().cached_input_price_per_1k and skip prefill latency — text,
+  /// confidence and token counts are byte-identical to per-call Complete();
+  /// only cost/latency/prefix_cached_tokens change. With the cached price
+  /// unset (zero) this degrades to the base loop's pricing exactly.
+  std::vector<common::Result<Completion>> CompleteBatch(
+      const std::vector<Prompt>& prompts) override;
+
  private:
   ModelSpec spec_;
   uint64_t seed_;

@@ -65,6 +65,39 @@ void UsageMeter::RecordCoalesced(const std::string& model,
   m.saved += saved_estimate;
 }
 
+void UsageMeter::BatchStats::Merge(const BatchStats& other) {
+  batches += other.batches;
+  batched_calls += other.batched_calls;
+  prefix_cached_tokens += other.prefix_cached_tokens;
+  prefix_saved += other.prefix_saved;
+}
+
+std::string UsageMeter::BatchStats::ToString() const {
+  return common::StrFormat("batches=%zu calls=%zu cached_tokens=%zu saved=%s",
+                           batches, batched_calls, prefix_cached_tokens,
+                           prefix_saved.ToString(4).c_str());
+}
+
+void UsageMeter::RecordBatchClose(const std::string& model,
+                                  size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batch_stats_.batches;
+  batch_stats_.batched_calls += batch_size;
+  BatchStats& m = batch_by_model_[model];
+  ++m.batches;
+  m.batched_calls += batch_size;
+}
+
+void UsageMeter::RecordPrefixReuse(const std::string& model,
+                                   size_t cached_tokens, common::Money saved) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_stats_.prefix_cached_tokens += cached_tokens;
+  batch_stats_.prefix_saved += saved;
+  BatchStats& m = batch_by_model_[model];
+  m.prefix_cached_tokens += cached_tokens;
+  m.prefix_saved += saved;
+}
+
 void UsageMeter::MergeFrom(const UsageMeter& other) {
   // Snapshot `other` under its own lock, then merge under ours; taking both
   // locks at once would invite deadlock for no benefit (the donor is a
@@ -75,6 +108,8 @@ void UsageMeter::MergeFrom(const UsageMeter& other) {
   std::map<std::string, RetryStats> other_retry_by_model;
   CoalesceStats other_coalesce;
   std::map<std::string, CoalesceStats> other_coalesce_by_model;
+  BatchStats other_batch;
+  std::map<std::string, BatchStats> other_batch_by_model;
   {
     std::lock_guard<std::mutex> lock(other.mu_);
     other_totals = other.totals_;
@@ -83,6 +118,8 @@ void UsageMeter::MergeFrom(const UsageMeter& other) {
     other_retry_by_model = other.retry_by_model_;
     other_coalesce = other.coalesce_stats_;
     other_coalesce_by_model = other.coalesce_by_model_;
+    other_batch = other.batch_stats_;
+    other_batch_by_model = other.batch_by_model_;
   }
   std::lock_guard<std::mutex> lock(mu_);
   totals_.calls += other_totals.calls;
@@ -106,6 +143,10 @@ void UsageMeter::MergeFrom(const UsageMeter& other) {
   for (const auto& [model, c] : other_coalesce_by_model) {
     coalesce_by_model_[model].Merge(c);
   }
+  batch_stats_.Merge(other_batch);
+  for (const auto& [model, b] : other_batch_by_model) {
+    batch_by_model_[model].Merge(b);
+  }
 }
 
 UsageMeter::RetryStats UsageMeter::retry_stats() const {
@@ -128,6 +169,17 @@ std::map<std::string, UsageMeter::CoalesceStats> UsageMeter::coalesce_by_model()
     const {
   std::lock_guard<std::mutex> lock(mu_);
   return coalesce_by_model_;
+}
+
+UsageMeter::BatchStats UsageMeter::batch_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_stats_;
+}
+
+std::map<std::string, UsageMeter::BatchStats> UsageMeter::batch_by_model()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_by_model_;
 }
 
 UsageMeter::Totals UsageMeter::totals() const {
@@ -158,6 +210,8 @@ void UsageMeter::Reset() {
   retry_by_model_.clear();
   coalesce_stats_ = CoalesceStats{};
   coalesce_by_model_.clear();
+  batch_stats_ = BatchStats{};
+  batch_by_model_.clear();
 }
 
 std::string UsageMeter::ToString() const {

@@ -57,6 +57,22 @@ class UsageMeter {
     std::string ToString() const;
   };
 
+  /// Continuous-batching accounting: how many model-boundary batches closed
+  /// and how much input spend the shared-prefix (KV-cache) discount avoided.
+  /// Like CoalesceStats, kept out of Totals — Totals.cost already reflects
+  /// the discounted spend; `prefix_saved` itemizes what list-price billing
+  /// would have added, so discounted + saved reconstructs the undiscounted
+  /// bill exactly.
+  struct BatchStats {
+    size_t batches = 0;        // batch closes (size/window/drain)
+    size_t batched_calls = 0;  // completions served through a batch
+    size_t prefix_cached_tokens = 0;  // input tokens billed at the cached tier
+    common::Money prefix_saved;       // list-price spend those tokens avoided
+    void Merge(const BatchStats& other);
+    /// "batches=3 calls=17 cached_tokens=412 saved=$0.0321".
+    std::string ToString() const;
+  };
+
   UsageMeter() = default;
   UsageMeter(const UsageMeter&) = delete;
   UsageMeter& operator=(const UsageMeter&) = delete;
@@ -71,6 +87,20 @@ class UsageMeter {
   /// in-flight leader call, avoiding an estimated `saved_estimate` of spend.
   void RecordCoalesced(const std::string& model, common::Money saved_estimate);
 
+  /// Books one batch close on `model` with `batch_size` member calls.
+  /// Called once per batch by whoever executed it (not per member, and not
+  /// in a hedge scratch meter — the batch closed regardless of which
+  /// attempt wins any member's race).
+  void RecordBatchClose(const std::string& model, size_t batch_size);
+
+  /// Books one member's shared-prefix reuse: `cached_tokens` input tokens
+  /// billed at the cached tier instead of list, avoiding exactly `saved`.
+  /// Recorded into the member's scratch meter alongside Record(), so
+  /// winner-commit hedging claims the discount only when the batched
+  /// (primary) attempt actually won.
+  void RecordPrefixReuse(const std::string& model, size_t cached_tokens,
+                         common::Money saved);
+
   /// Folds another meter's whole ledger into this one. The serve layer
   /// meters each hedge attempt into its own scratch meter and commits only
   /// the winning attempt's meter — this is the commit.
@@ -81,6 +111,9 @@ class UsageMeter {
 
   CoalesceStats coalesce_stats() const;
   std::map<std::string, CoalesceStats> coalesce_by_model() const;
+
+  BatchStats batch_stats() const;
+  std::map<std::string, BatchStats> batch_by_model() const;
 
   Totals totals() const;
   common::Money cost() const;
@@ -102,6 +135,8 @@ class UsageMeter {
   std::map<std::string, RetryStats> retry_by_model_;
   CoalesceStats coalesce_stats_;
   std::map<std::string, CoalesceStats> coalesce_by_model_;
+  BatchStats batch_stats_;
+  std::map<std::string, BatchStats> batch_by_model_;
 };
 
 }  // namespace llmdm::llm

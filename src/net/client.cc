@@ -202,6 +202,30 @@ common::Result<ClientResult> Client::Call(const WireRequest& request) {
   }
 }
 
+common::Result<ClientResult> Client::CallWithRetry(
+    WireRequest request, const RetryOptions& options) {
+  // Strictly-after margin: the server's hint is the instant the bucket
+  // refills / the slot frees, so arriving exactly then can still lose to
+  // floating-point rounding at the admission boundary.
+  constexpr double kEpsilonVms = 1e-3;
+  const size_t max_attempts = std::max<size_t>(1, options.max_attempts);
+  for (size_t attempt = 1;; ++attempt) {
+    auto result = Call(request);
+    if (!result.ok()) return result.status();
+    result->attempts = attempt;
+    const bool retryable =
+        result->shed && (result->shed_cause == serve::ShedCause::kQueue ||
+                         result->shed_cause == serve::ShedCause::kQuota);
+    if (!retryable || attempt >= max_attempts) return result;
+    const double wait = result->retry_after_vms > 0.0
+                            ? result->retry_after_vms
+                            : options.backoff_without_hint_vms;
+    // The hint is relative to the shed attempt's arrival, so advance from
+    // the arrival the server just judged, not from zero.
+    request.arrival_vms += wait + kEpsilonVms;
+  }
+}
+
 common::Result<std::vector<ClientResult>> Client::CallBatch(
     const std::vector<WireRequest>& requests) {
   for (const WireRequest& request : requests) {

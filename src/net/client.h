@@ -38,6 +38,9 @@ struct ClientResult {
   bool coalesced = false;
   bool streamed = false;  // text was reassembled from stream chunks
   size_t chunks = 0;      // chunk frames that carried it
+  /// Wire round trips this result took (1 = no retry). Only CallWithRetry
+  /// ever sets it above 1.
+  size_t attempts = 1;
 };
 
 /// Blocking client for the llmdm wire protocol.
@@ -88,6 +91,29 @@ class Client {
   /// Send + Receive-until-this-id. With no pipelining in flight, this is
   /// one round trip.
   common::Result<ClientResult> Call(const WireRequest& request);
+
+  struct RetryOptions {
+    /// Total wire attempts, first try included. 1 degenerates to Call().
+    size_t max_attempts = 3;
+    /// Virtual-ms backoff when a shed carries no usable hint
+    /// (retry_after_vms <= 0).
+    double backoff_without_hint_vms = 1.0;
+  };
+
+  /// Call() that honors the server's shed metadata: a refusal whose cause
+  /// is retryable (queue full, quota exhausted) is re-sent with
+  /// `arrival_vms` advanced just past the shed's `retry_after_vms` hint —
+  /// in virtual time the client waits exactly as long as the server said a
+  /// retry needs (bucket refilled / queue slot free), instead of hammering
+  /// an exhausted quota and burning admission work. Deadline sheds are
+  /// terminal (the estimated wait already exceeded the request's own
+  /// budget; arriving later cannot help), as is any transport error.
+  /// `attempts` on the returned result counts the round trips taken.
+  common::Result<ClientResult> CallWithRetry(WireRequest request,
+                                             const RetryOptions& options);
+  common::Result<ClientResult> CallWithRetry(WireRequest request) {
+    return CallWithRetry(std::move(request), RetryOptions());
+  }
 
   /// Pipelined batch: every request frame is written back to back, then
   /// results are collected (they arrive in completion order) and returned

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/hash.h"
@@ -58,12 +59,28 @@ Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
       registry_->GetCounter("llmdm_serve_coalesce_saved_micros_total");
   metrics_.maintenance_runs =
       registry_->GetCounter("llmdm_serve_maintenance_runs_total");
+  metrics_.batch_closed_size =
+      registry_->GetCounter("llmdm_batch_closed_total", {{"cause", "size"}});
+  metrics_.batch_closed_window =
+      registry_->GetCounter("llmdm_batch_closed_total", {{"cause", "window"}});
+  metrics_.batch_closed_drain =
+      registry_->GetCounter("llmdm_batch_closed_total", {{"cause", "drain"}});
+  metrics_.batch_requests =
+      registry_->GetCounter("llmdm_batch_requests_total");
+  metrics_.batch_prefix_cached_tokens =
+      registry_->GetCounter("llmdm_batch_prefix_cached_tokens_total");
+  metrics_.batch_prefix_saved_micros =
+      registry_->GetCounter("llmdm_batch_prefix_saved_micros_total");
   metrics_.max_queue_len = registry_->GetGauge("llmdm_serve_max_queue_len");
   next_maintenance_vms_ = options_.maintenance_interval_vms;
   metrics_.queue_wait_vms = registry_->GetHistogram(
       "llmdm_serve_queue_wait_vms", {}, obs::Histogram::LatencyBoundsVms());
   metrics_.latency_vms = registry_->GetHistogram(
       "llmdm_serve_latency_vms", {}, obs::Histogram::LatencyBoundsVms());
+  // Occupancy buckets stop at max_batch's default scale; the +Inf bucket
+  // catches configurations beyond it.
+  metrics_.batch_occupancy = registry_->GetHistogram(
+      "llmdm_batch_occupancy", {}, {1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
 
   if (options_.qos.enabled()) {
     // Guarantee a catch-all tenant so a request with an unknown (or empty)
@@ -104,6 +121,8 @@ Server::Server(std::shared_ptr<llm::LlmModel> model, const Options& options,
           registry_->GetCounter("llmdm_serve_tenant_admitted_total", labels);
       ts->coalesced =
           registry_->GetCounter("llmdm_serve_tenant_coalesced_total", labels);
+      ts->cache_probe_hits = registry_->GetCounter(
+          "llmdm_serve_tenant_cache_probe_hits_total", labels);
       ts->shed_quota = registry_->GetCounter(
           "llmdm_serve_tenant_shed_total",
           {{"tenant", cfg.id}, {"cause", "quota"}});
@@ -176,6 +195,12 @@ void Server::Submit(const Request& request) {
     }
   }
 
+  // Continuous batching: this arrival is the only thing that advances the
+  // virtual clock, so it is also the event that observes (and closes) an
+  // open batch whose window deadline has passed — before its own admission,
+  // so batch membership is fixed in arrival order.
+  MaybeCloseBatch(request.arrival_vms);
+
   if (qos_scheduler_ != nullptr) {
     SubmitQos(request);
     return;
@@ -207,11 +232,7 @@ void Server::Submit(const Request& request) {
       work.request = request;
       work.group = it->second;
       work.coalesced_follower = true;
-      {
-        std::lock_guard<std::mutex> wl(work_mu_);
-        work_queue_.push_back(std::move(work));
-      }
-      work_cv_.notify_one();
+      EnqueueWork(std::move(work));
       return;
     }
   }
@@ -296,11 +317,7 @@ void Server::Submit(const Request& request) {
     inflight_[flight_key] = group;
     work.group = group;
   }
-  {
-    std::lock_guard<std::mutex> wl(work_mu_);
-    work_queue_.push_back(std::move(work));
-  }
-  work_cv_.notify_one();
+  EnqueueWork(std::move(work));
 }
 
 void Server::SubmitBatch(const std::vector<Request>& batch) {
@@ -334,6 +351,10 @@ void Server::SubmitBatch(const std::vector<Request>& batch) {
     // here (before the "admission"), exactly as in Submit(), so a workload
     // keeps the same maintenance schedule whether its requests hit or miss.
     TenantState* tenant_state = nullptr;
+    bool quota_shed = false;
+    double quota_retry_vms = 0.0;
+    double quota_level = 0.0;
+    double est_tokens = 0.0;
     {
       std::lock_guard<std::mutex> lock(admission_mu_);
       if (draining_) continue;
@@ -345,13 +366,52 @@ void Server::SubmitBatch(const std::vector<Request>& batch) {
           next_maintenance_vms_ += options_.maintenance_interval_vms;
         }
       }
-      metrics_.admitted->Add(1);
-      metrics_.cache_probe_hits->Add(1);
+      MaybeCloseBatch(request.arrival_vms);
       if (qos_scheduler_ != nullptr) {
+        // The hit shares the full QoS admission contract with Submit():
+        // play the dispatcher up to this arrival (bucket refill and queue
+        // state must reflect everything that virtually started first), then
+        // charge the tenant's token bucket the same admission estimate a
+        // miss would pay. A hit is still a consumed admission — answering
+        // it free of quota would let a cache-hot tenant burst unmetered
+        // past its rate, and would make SubmitBatch and an equivalent
+        // Submit() loop disagree on every tenant ledger.
+        DispatchReadyQos(request.arrival_vms);
         tenant_state = ResolveTenant(request.tenant);
         tenant_state->submitted->Add(1);
-        tenant_state->admitted->Add(1);
+        est_tokens = EstimateTokens(request);
+        if (!tenant_state->bucket.TryTake(request.arrival_vms, est_tokens,
+                                          &quota_retry_vms)) {
+          quota_shed = true;
+          quota_level = tenant_state->bucket.level();
+          metrics_.shed->Add(1);
+          tenant_state->shed_quota->Add(1);
+        } else {
+          metrics_.admitted->Add(1);
+          metrics_.cache_probe_hits->Add(1);
+          tenant_state->admitted->Add(1);
+          tenant_state->cache_probe_hits->Add(1);
+        }
+      } else {
+        metrics_.admitted->Add(1);
+        metrics_.cache_probe_hits->Add(1);
       }
+    }
+
+    if (quota_shed) {
+      // Refused exactly like a Submit()-path quota shed, cached answer or
+      // not: the hint comes from this tenant's own bucket.
+      Response r;
+      r.id = request.id;
+      r.tenant = request.tenant;
+      r.shed = true;
+      r.shed_cause = ShedCause::kQuota;
+      r.status = common::Status::ResourceExhausted(common::StrFormat(
+          "shed: tenant quota exhausted (%.0f tokens needed, %.0f available)",
+          est_tokens, quota_level));
+      r.retry_after_vms = quota_retry_vms;
+      PushResponse(std::move(r));
+      continue;
     }
 
     Response response;
@@ -407,11 +467,7 @@ void Server::SubmitQos(const Request& request) {
       work.group = it->second;
       work.coalesced_follower = true;
       work.tenant_state = ts;
-      {
-        std::lock_guard<std::mutex> wl(work_mu_);
-        work_queue_.push_back(std::move(work));
-      }
-      work_cv_.notify_one();
+      EnqueueWork(std::move(work));
       return;
     }
   }
@@ -501,12 +557,81 @@ void Server::DispatchReadyQos(double now_vms) {
       inflight_[key] = group;
       work.group = group;
     }
+    EnqueueWork(std::move(work));
+  }
+}
+
+void Server::EnqueueWork(Work work) {
+  if (!options_.batching) {
     {
       std::lock_guard<std::mutex> wl(work_mu_);
       work_queue_.push_back(std::move(work));
     }
     work_cv_.notify_one();
+    return;
   }
+  if (work.coalesced_follower) {
+    // A follower whose leader is parked in the open batch must not reach a
+    // worker before the batch does: it would block its worker on a flight
+    // nobody is executing yet (with one worker, a deadlock). Park it with
+    // the batch; FlushOpenBatch releases it right after the batch entry,
+    // restoring the leader-before-follower FIFO order.
+    if (open_batch_ != nullptr) {
+      for (const Work& member : open_batch_->members) {
+        if (member.group != nullptr && member.group == work.group) {
+          open_batch_->followers.push_back(std::move(work));
+          return;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> wl(work_mu_);
+      work_queue_.push_back(std::move(work));
+    }
+    work_cv_.notify_one();
+    return;
+  }
+  if (open_batch_ == nullptr) {
+    open_batch_ = std::make_unique<OpenBatch>();
+    open_batch_->close_vms =
+        work.request.arrival_vms + options_.batch_window_vms;
+  }
+  open_batch_->members.push_back(std::move(work));
+  if (open_batch_->members.size() >= std::max<size_t>(1, options_.max_batch)) {
+    FlushOpenBatch("size");
+  }
+}
+
+void Server::MaybeCloseBatch(double now_vms) {
+  if (open_batch_ != nullptr && now_vms >= open_batch_->close_vms) {
+    FlushOpenBatch("window");
+  }
+}
+
+void Server::FlushOpenBatch(const char* cause) {
+  if (open_batch_ == nullptr) return;
+  std::unique_ptr<OpenBatch> batch = std::move(open_batch_);
+  if (std::strcmp(cause, "size") == 0) {
+    metrics_.batch_closed_size->Add(1);
+  } else if (std::strcmp(cause, "window") == 0) {
+    metrics_.batch_closed_window->Add(1);
+  } else {
+    metrics_.batch_closed_drain->Add(1);
+  }
+  metrics_.batch_requests->Add(batch->members.size());
+  metrics_.batch_occupancy->Observe(
+      static_cast<double>(batch->members.size()));
+  Work carrier;
+  carrier.batch = std::make_shared<std::vector<Work>>(
+      std::move(batch->members));
+  {
+    std::lock_guard<std::mutex> wl(work_mu_);
+    work_queue_.push_back(std::move(carrier));
+    for (Work& follower : batch->followers) {
+      work_queue_.push_back(std::move(follower));
+    }
+  }
+  work_cv_.notify_all();
 }
 
 void Server::WorkerLoop() {
@@ -528,6 +653,10 @@ void Server::WorkerLoop() {
 }
 
 void Server::Execute(const Work& work) {
+  if (work.batch != nullptr) {
+    ExecuteBatch(*work.batch);
+    return;
+  }
   if (work.coalesced_follower) {
     ExecuteCoalesced(work);
     return;
@@ -597,11 +726,22 @@ void Server::Execute(const Work& work) {
     trace->SetAttr(attempt_span, "result", primary.ok() ? "ok" : "error");
     trace->EndSpan(attempt_span, work.est_start_vms + primary_finish);
   }
+  FinishExecute(work, std::move(r), trace, prompt, std::move(primary),
+                primary_finish, primary_meter);
+}
 
+void Server::FinishExecute(const Work& work, Response r,
+                           const std::shared_ptr<obs::TraceContext>& trace,
+                           const llm::Prompt& prompt,
+                           common::Result<llm::Completion> primary,
+                           double primary_finish,
+                           llm::UsageMeter& primary_meter) {
+  const Request& req = work.request;
   bool hedge = options_.hedging &&
                (!primary.ok() || primary_finish > work.hedge_trigger_vms);
   if (!hedge) {
     meter_.MergeFrom(primary_meter);
+    if (primary.ok()) BookPrefixReuse(*primary);
     r.service_vms = primary_finish;
     r.latency_vms = work.queue_wait_vms + r.service_vms;
     if (primary.ok()) {
@@ -659,6 +799,7 @@ void Server::Execute(const Work& work) {
   const llm::UsageMeter& loser_meter = r.hedge_won ? primary_meter : hedge_meter;
 
   meter_.MergeFrom(winner_meter);
+  if (!r.hedge_won && primary.ok()) BookPrefixReuse(*primary);
   if (any_ok) {
     r.status = common::Status::Ok();
     r.text = winner->text;
@@ -684,6 +825,143 @@ void Server::Execute(const Work& work) {
   clock_.AdvanceTo(work.est_start_vms + r.service_vms);
   ResolveFlight(work.group, r, work.est_start_vms + r.service_vms);
   PushResponse(std::move(r), work.tenant_state);
+}
+
+void Server::BookPrefixReuse(const llm::Completion& completion) {
+  if (completion.prefix_cached_tokens == 0) return;
+  auto price = [](common::Money per_1k, size_t tokens) {
+    return common::Money::FromMicros(per_1k.micros() *
+                                     static_cast<int64_t>(tokens) / 1000);
+  };
+  common::Money saved =
+      price(model_->spec().input_price_per_1k, completion.input_tokens) +
+      price(model_->spec().output_price_per_1k, completion.output_tokens) -
+      completion.cost;
+  metrics_.batch_prefix_cached_tokens->Add(completion.prefix_cached_tokens);
+  metrics_.batch_prefix_saved_micros->Add(
+      static_cast<uint64_t>(saved.micros()));
+}
+
+void Server::ExecuteBatch(const std::vector<Work>& members) {
+  // Per-member admission-time setup first, so queue-deadline deaths drop
+  // out before the model sees the batch — a dead request never ran prefill,
+  // so it must not seed the prefix trie for later members either.
+  struct Member {
+    const Work* work = nullptr;
+    Response r;
+    std::shared_ptr<obs::TraceContext> trace;
+    obs::Span* attempt_span = nullptr;
+    llm::Prompt prompt;
+  };
+  std::vector<Member> live;
+  live.reserve(members.size());
+  for (const Work& work : members) {
+    const Request& req = work.request;
+    Response r;
+    r.id = req.id;
+    r.tenant = req.tenant;
+    r.queue_wait_vms = work.queue_wait_vms;
+
+    std::shared_ptr<obs::TraceContext> trace;
+    if (options_.tracing) {
+      trace = std::make_shared<obs::TraceContext>("request", req.arrival_vms);
+      trace->SetAttr(nullptr, "id", std::to_string(req.id));
+      trace->SetAttr(nullptr, "skill", req.skill);
+      if (!req.tenant.empty()) trace->SetAttr(nullptr, "tenant", req.tenant);
+      obs::Span* queue_span =
+          trace->StartSpan("queue", req.arrival_vms, nullptr);
+      trace->EndSpan(queue_span, work.est_start_vms);
+    }
+
+    if (req.deadline_ms > 0.0 && work.queue_wait_vms >= req.deadline_ms) {
+      r.status = common::Status::Timeout(common::StrFormat(
+          "deadline %.0fms expired after %.0fms in queue", req.deadline_ms,
+          work.queue_wait_vms));
+      r.deadline_missed = true;
+      r.latency_vms = work.queue_wait_vms;
+      if (trace != nullptr) {
+        trace->SetAttr(nullptr, "outcome", "queue_deadline");
+        trace->EndSpan(nullptr, work.est_start_vms);
+        r.trace = trace;
+      }
+      clock_.AdvanceTo(work.est_start_vms);
+      ResolveFlight(work.group, r, work.est_start_vms);
+      PushResponse(std::move(r), work.tenant_state);
+      continue;
+    }
+
+    Member m;
+    m.work = &work;
+    m.r = std::move(r);
+    m.trace = std::move(trace);
+    m.prompt = llm::MakePrompt(req.skill, req.input);
+    m.prompt.sample_salt = req.id * 1000003ull + 7;
+    m.prompt.tenant_id = req.tenant;
+    if (req.deadline_ms > 0.0) {
+      m.prompt.deadline = std::make_shared<llm::Deadline>(req.deadline_ms -
+                                                          work.queue_wait_vms);
+    }
+    if (m.trace != nullptr) {
+      m.attempt_span =
+          m.trace->StartSpan("attempt", work.est_start_vms, nullptr);
+      m.prompt.trace = m.trace;
+      m.prompt.trace_parent = m.attempt_span;
+    }
+    live.push_back(std::move(m));
+  }
+
+  // One model invocation for the whole batch: the endpoint prices each
+  // member's shared prompt prefix at the cached tier (SimulatedLlm), or
+  // degrades to per-call behaviour (base LlmModel).
+  std::vector<llm::Prompt> prompts;
+  prompts.reserve(live.size());
+  for (const Member& m : live) prompts.push_back(m.prompt);
+  std::vector<common::Result<llm::Completion>> results =
+      model_->CompleteBatch(prompts);
+  meter_.RecordBatchClose(model_->spec().name, live.size());
+
+  auto price = [](common::Money per_1k, size_t tokens) {
+    return common::Money::FromMicros(per_1k.micros() *
+                                     static_cast<int64_t>(tokens) / 1000);
+  };
+  for (size_t i = 0; i < live.size(); ++i) {
+    Member& m = live[i];
+    common::Result<llm::Completion> primary =
+        i < results.size()
+            ? std::move(results[i])
+            : common::Result<llm::Completion>(
+                  common::Status::Internal("batch result missing"));
+    double primary_finish = primary.ok() ? primary->latency_ms
+                                         : options_.failed_attempt_penalty_ms;
+    if (m.attempt_span != nullptr) {
+      m.trace->SetAttr(m.attempt_span, "result", primary.ok() ? "ok" : "error");
+      m.trace->EndSpan(m.attempt_span, m.work->est_start_vms + primary_finish);
+    }
+    // Batched calls come back unmetered (see LlmModel::CompleteBatch): meter
+    // this member into its own scratch ledger, prefix discount itemized, so
+    // the winner-commit hedge accounting in FinishExecute stays per request.
+    llm::UsageMeter primary_meter;
+    if (primary.ok()) {
+      primary_meter.Record(primary->model, primary->input_tokens,
+                           primary->output_tokens, primary->cost,
+                           primary->latency_ms);
+      if (primary->prefix_cached_tokens > 0) {
+        // Exact by construction: re-pricing the same token counts at list
+        // makes discounted cost + saved == the unbatched call's cost. Goes
+        // into the scratch meter only — the registry counters are bumped at
+        // commit time (BookPrefixReuse), so ledger and counters agree even
+        // when a hedge steals this member's win.
+        common::Money undiscounted =
+            price(model_->spec().input_price_per_1k, primary->input_tokens) +
+            price(model_->spec().output_price_per_1k, primary->output_tokens);
+        common::Money saved = undiscounted - primary->cost;
+        primary_meter.RecordPrefixReuse(
+            primary->model, primary->prefix_cached_tokens, saved);
+      }
+    }
+    FinishExecute(*m.work, std::move(m.r), m.trace, m.prompt,
+                  std::move(primary), primary_finish, primary_meter);
+  }
 }
 
 void Server::ResolveFlight(const std::shared_ptr<FlightGroup>& group,
@@ -734,12 +1012,20 @@ void Server::ExecuteCoalesced(const Work& work) {
   r.deadline_missed = req.deadline_ms > 0.0 && r.latency_vms > req.deadline_ms;
 
   // Itemize the avoided call in the meter. The input side mirrors what
-  // admission knew (input tokens at the primary model's input price); the
-  // output side prices the answer the follower got for free — the leader's
-  // actual text, so the credit is exact and deterministic, not a guess.
+  // admission knew (input tokens at the primary model's *effective* input
+  // price — under batching the avoided call would have been an exact
+  // duplicate of the leader's prompt in a batch, so its whole input would
+  // have billed at the cached tier, not list); the output side prices the
+  // answer the follower got for free — the leader's actual text, so the
+  // credit is exact and deterministic, not a guess.
   llm::Prompt prompt = llm::MakePrompt(req.skill, req.input);
+  const common::Money effective_input_price =
+      options_.batching &&
+              model_->spec().cached_input_price_per_1k.micros() > 0
+          ? model_->spec().cached_input_price_per_1k
+          : model_->spec().input_price_per_1k;
   common::Money saved = common::Money::FromMicros(
-      model_->spec().input_price_per_1k.micros() *
+      effective_input_price.micros() *
       static_cast<int64_t>(prompt.CountInputTokens()) / 1000);
   if (status.ok()) {
     saved += common::Money::FromMicros(
@@ -810,6 +1096,10 @@ std::vector<Response> Server::Drain() {
     if (qos_scheduler_ != nullptr) {
       DispatchReadyQos(std::numeric_limits<double>::infinity());
     }
+    // Whatever is still accumulating goes out as the final (possibly
+    // partial) batch — after the QoS flush above, so late-dispatched work
+    // rides it instead of being stranded.
+    FlushOpenBatch("drain");
   }
   {
     std::lock_guard<std::mutex> lock(work_mu_);
@@ -835,6 +1125,13 @@ ServerStats Server::stats() const {
   s.shed = metrics_.shed->value();
   s.coalesced = metrics_.coalesced->value();
   s.cache_probe_hits = metrics_.cache_probe_hits->value();
+  s.batches_closed = metrics_.batch_closed_size->value() +
+                     metrics_.batch_closed_window->value() +
+                     metrics_.batch_closed_drain->value();
+  s.batched_requests = metrics_.batch_requests->value();
+  s.prefix_cached_tokens = metrics_.batch_prefix_cached_tokens->value();
+  s.prefix_saved = common::Money::FromMicros(
+      static_cast<int64_t>(metrics_.batch_prefix_saved_micros->value()));
   s.max_queue_len = static_cast<double>(metrics_.max_queue_len->value());
   s.hedges_launched = metrics_.hedges_launched->value();
   s.hedge_wins = metrics_.hedge_wins->value();
@@ -869,6 +1166,7 @@ std::vector<TenantStats> Server::tenant_stats() const {
     t.submitted = ts->submitted->value();
     t.admitted = ts->admitted->value();
     t.coalesced = ts->coalesced->value();
+    t.cache_probe_hits = ts->cache_probe_hits->value();
     t.shed_quota = ts->shed_quota->value();
     t.shed_queue = ts->shed_queue->value();
     t.completed = ts->completed->value();

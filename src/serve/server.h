@@ -142,6 +142,15 @@ struct ServerStats {
   /// (Options::batch_probe) — served at zero cost without entering the
   /// virtual queue. Counted in both submitted and admitted.
   size_t cache_probe_hits = 0;
+  /// Continuous batching (Options::batching): model-boundary batches closed
+  /// and the requests they carried.
+  size_t batches_closed = 0;
+  size_t batched_requests = 0;
+  /// Input tokens the batches served from the shared-prefix KV cache, and
+  /// the list-price spend that avoided (views over the llmdm_batch_*
+  /// counters; the meter's BatchStats ledger itemizes the same per model).
+  size_t prefix_cached_tokens = 0;
+  common::Money prefix_saved;
   /// Spend of losing hedge attempts: paid to the endpoint, never committed
   /// to the main meter (the virtual cancellation arrived too late).
   common::Money hedge_cancelled_cost;
@@ -161,6 +170,9 @@ struct TenantStats {
   size_t submitted = 0;
   size_t admitted = 0;   // includes coalesced followers
   size_t coalesced = 0;
+  /// Requests answered by the admission-time batch cache probe on this
+  /// tenant's behalf (counted in admitted, charged against its quota).
+  size_t cache_probe_hits = 0;
   size_t shed_quota = 0;
   size_t shed_queue = 0;
   size_t completed = 0;
@@ -252,6 +264,29 @@ class Server {
     /// Note followers deliberately lose per-request sampling independence:
     /// identical concurrent queries get byte-identical answers.
     bool single_flight = false;
+    /// Continuous batching at the model boundary: admitted work accumulates
+    /// in a per-model open batch that closes on size (max_batch), when a
+    /// later arrival crosses the batch's virtual-time window deadline
+    /// (first member's arrival + batch_window_vms), or at Drain(). A closed
+    /// batch executes as one LlmModel::CompleteBatch call, so an endpoint
+    /// with a KV-cache cost model (SimulatedLlm +
+    /// ModelSpec::cached_input_price_per_1k) prices each member's longest
+    /// prompt prefix shared with an earlier member once, at the cached
+    /// tier, and skips its prefill latency. Membership is decided at
+    /// admission time on the virtual clock — the same contract as
+    /// single-flight — so which requests share a batch (and therefore every
+    /// cost/latency) is byte-stable across runs and worker counts. Note the
+    /// window deadline is *observed* at the next arrival (or Drain): virtual
+    /// time only advances when something arrives, so a lone tail request
+    /// waits for the next event, not a wall-clock timer. Completion text is
+    /// unchanged by batching; only cost, latency and the batch/prefix
+    /// ledgers differ.
+    bool batching = false;
+    /// Batch size at which the open batch closes immediately.
+    size_t max_batch = 8;
+    /// Virtual ms after the open batch's first member during which later
+    /// admissions join it.
+    double batch_window_vms = 20.0;
     /// Attach an obs::TraceContext to every executed request (published on
     /// Response::trace). Costs one small allocation tree per request; off by
     /// default.
@@ -384,6 +419,7 @@ class Server {
     obs::Counter* submitted = nullptr;
     obs::Counter* admitted = nullptr;
     obs::Counter* coalesced = nullptr;
+    obs::Counter* cache_probe_hits = nullptr;
     obs::Counter* shed_quota = nullptr;
     obs::Counter* shed_queue = nullptr;
     obs::Counter* completed = nullptr;
@@ -408,6 +444,21 @@ class Server {
     /// QoS mode: the tenant this work bills to (stable pointer, owned by
     /// tenants_). Null when QoS is off.
     TenantState* tenant_state = nullptr;
+    /// Continuous batching: when set, this queue entry is a whole closed
+    /// batch (members in admission order, executed by one worker through a
+    /// single CompleteBatch call) and the per-request fields above are
+    /// unused.
+    std::shared_ptr<std::vector<Work>> batch;
+  };
+
+  /// The open (accumulating) batch, under admission_mu_. Followers whose
+  /// leader is parked here are parked alongside and released right after
+  /// the batch, preserving the leader-before-follower FIFO ordering the
+  /// no-deadlock argument needs.
+  struct OpenBatch {
+    double close_vms = 0.0;  // first member's arrival + batch_window_vms
+    std::vector<Work> members;
+    std::vector<Work> followers;
   };
 
   /// Admitted-but-not-yet-dispatched request (QoS mode): parked here while
@@ -435,13 +486,49 @@ class Server {
     obs::Counter* hedge_cancelled_cost_micros = nullptr;
     obs::Counter* coalesce_saved_micros = nullptr;
     obs::Counter* maintenance_runs = nullptr;
+    obs::Counter* batch_closed_size = nullptr;    // llmdm_batch_closed_total
+    obs::Counter* batch_closed_window = nullptr;  //   {cause=...}
+    obs::Counter* batch_closed_drain = nullptr;
+    obs::Counter* batch_requests = nullptr;
+    obs::Counter* batch_prefix_cached_tokens = nullptr;
+    obs::Counter* batch_prefix_saved_micros = nullptr;
     obs::Gauge* max_queue_len = nullptr;
     obs::Histogram* queue_wait_vms = nullptr;
     obs::Histogram* latency_vms = nullptr;
+    obs::Histogram* batch_occupancy = nullptr;
   };
 
   void WorkerLoop();
   void Execute(const Work& work);
+  /// Executes one closed batch: per-member trace/queue-deadline/prompt
+  /// setup, one CompleteBatch over the surviving members, then the shared
+  /// per-member tail (FinishExecute) with the batch's discounted
+  /// completions.
+  void ExecuteBatch(const std::vector<Work>& members);
+  /// Shared post-model-call tail of Execute/ExecuteBatch: hedge race,
+  /// winner-commit metering, response assembly and publication. `r` arrives
+  /// with id/tenant/queue_wait filled; `primary_finish` is the primary
+  /// attempt's virtual service time.
+  void FinishExecute(const Work& work, Response r,
+                     const std::shared_ptr<obs::TraceContext>& trace,
+                     const llm::Prompt& prompt,
+                     common::Result<llm::Completion> primary,
+                     double primary_finish, llm::UsageMeter& primary_meter);
+  /// Bumps the llmdm_batch_prefix_* counters for a committed batched
+  /// completion. Called at commit time (FinishExecute), not batch-execution
+  /// time, so the counters equal the meter's winner-committed BatchStats
+  /// ledger even when a hedge steals the member's win.
+  void BookPrefixReuse(const llm::Completion& completion);
+  /// Routes admitted work to the worker queue, or parks it in the open
+  /// batch when batching is on (admission_mu_ held).
+  void EnqueueWork(Work work);
+  /// Closes the open batch if `now_vms` crossed its window deadline
+  /// (admission_mu_ held; called before each admission decision).
+  void MaybeCloseBatch(double now_vms);
+  /// Pushes the open batch (if any) to the workers as one queue entry,
+  /// followed by its parked followers (admission_mu_ held). `cause` is
+  /// "size", "window" or "drain".
+  void FlushOpenBatch(const char* cause);
   /// Follower path: wait for the leader's published result and answer with
   /// it (zero cost, virtual latency = leader finish - own arrival).
   void ExecuteCoalesced(const Work& work);
@@ -488,6 +575,8 @@ class Server {
   /// replaces the old group), so the map holds one entry per distinct key
   /// seen — bounded by the workload's key diversity.
   std::unordered_map<uint64_t, std::shared_ptr<FlightGroup>> inflight_;
+  /// Continuous batching: the accumulating batch (null when none is open).
+  std::unique_ptr<OpenBatch> open_batch_;
 
   // QoS mode (null/empty when Options::qos has no tenants). All admission
   // state under admission_mu_, like the legacy fields above.

@@ -831,6 +831,271 @@ TEST(Serve, SubmitBatchWithoutProbeMatchesSubmitLoop) {
   EXPECT_EQ(run(true), run(false));
 }
 
+// ---- Continuous batching ----------------------------------------------------
+
+std::shared_ptr<llm::SimulatedLlm> MakeBatchModel(const std::string& name,
+                                                  double latency_ms_per_1k,
+                                                  uint64_t seed) {
+  llm::ModelSpec spec;
+  spec.name = name;
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.cached_input_price_per_1k = common::Money::FromDollars(0.0001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.002);
+  spec.latency_ms_per_1k_tokens = latency_ms_per_1k;
+  auto model = std::make_shared<llm::SimulatedLlm>(spec, seed);
+  model->RegisterSkill(std::make_unique<llm::FreeformSkill>());
+  return model;
+}
+
+std::string RunBatchingWorkload(size_t worker_threads) {
+  serve::Server::Options options;
+  options.worker_threads = worker_threads;
+  options.shed_policy = serve::ShedPolicy::kNone;
+  options.batching = true;
+  options.max_batch = 4;
+  options.batch_window_vms = 10.0;
+  serve::Server server(MakeBatchModel("sim-batch", 100.0, 3), options);
+  for (size_t i = 0; i < 120; ++i) {
+    // Near-duplicate prompts: a shared clause head with a varying tail, the
+    // Table II decomposition shape the prefix trie exists for.
+    server.Submit(MakeRequest(
+        i, static_cast<double>(i) * 2.0,
+        common::StrFormat("evaluate clause group %zu variant %zu", i % 10,
+                          i % 3)));
+  }
+  std::string log;
+  for (const auto& r : server.Drain()) {
+    log += common::StrFormat("%llu ok=%d lat=%.3f svc=%.3f cost=%lld %s %s\n",
+                             (unsigned long long)r.id, r.status.ok() ? 1 : 0,
+                             r.latency_vms, r.service_vms,
+                             (long long)r.cost.micros(), r.model.c_str(),
+                             r.text.c_str());
+  }
+  auto s = server.stats();
+  auto b = server.meter().batch_stats();
+  log += common::StrFormat(
+      "stats sub=%zu adm=%zu done=%zu batches=%zu batched=%zu cached=%zu "
+      "saved=%lld meter_calls=%zu meter_cost=%lld ledger_batches=%zu "
+      "ledger_calls=%zu ledger_cached=%zu ledger_saved=%lld\n",
+      s.submitted, s.admitted, s.completed, s.batches_closed,
+      s.batched_requests, s.prefix_cached_tokens,
+      (long long)s.prefix_saved.micros(), server.meter().calls(),
+      (long long)server.meter().cost().micros(), b.batches, b.batched_calls,
+      b.prefix_cached_tokens, (long long)b.prefix_saved.micros());
+  return log;
+}
+
+TEST(ServeBatching, DeterministicAcrossRunsAndWorkerCounts) {
+  // Batch membership is decided at admission time on the virtual clock, so
+  // the id-sorted responses, the batch ledgers and every counter must be
+  // byte-identical across runs and 1/4/8 workers.
+  std::string one = RunBatchingWorkload(1);
+  EXPECT_NE(one.find("cached="), std::string::npos);
+  EXPECT_EQ(one.find("cached=0 "), std::string::npos);  // savings actually flowed
+  EXPECT_EQ(one, RunBatchingWorkload(1));
+  EXPECT_EQ(one, RunBatchingWorkload(4));
+  EXPECT_EQ(one, RunBatchingWorkload(8));
+}
+
+TEST(ServeBatching, ClosesOnSizeAndOnWindowDeadline) {
+  auto run = [](double gap_vms, size_t n) {
+    serve::Server::Options options;
+    options.worker_threads = 2;
+    options.shed_policy = serve::ShedPolicy::kNone;
+    options.batching = true;
+    options.max_batch = 4;
+    options.batch_window_vms = 10.0;
+    obs::Registry registry;
+    options.registry = &registry;
+    serve::Server server(MakeBatchModel("sim-batch", 100.0, 3), options);
+    for (size_t i = 0; i < n; ++i) {
+      server.Submit(MakeRequest(i, static_cast<double>(i) * gap_vms,
+                                common::StrFormat("close probe %zu", i)));
+    }
+    (void)server.Drain();
+    return registry.PrometheusText();
+  };
+  // Dense arrivals (1 vms apart, window 10): every batch fills to
+  // max_batch=4 before the window can expire.
+  std::string dense = run(1.0, 16);
+  EXPECT_NE(dense.find("llmdm_batch_closed_total{cause=\"size\"} 4"),
+            std::string::npos)
+      << dense;
+  // Sparse arrivals (6 vms apart): the second arrival is inside the first's
+  // window, the third crosses it — batches of two close on "window" (and
+  // the final pair on "drain"), never on size.
+  std::string sparse = run(6.0, 8);
+  EXPECT_EQ(sparse.find("cause=\"size\"} 1"), std::string::npos);
+  EXPECT_NE(sparse.find("llmdm_batch_closed_total{cause=\"window\"} 3"),
+            std::string::npos)
+      << sparse;
+  EXPECT_NE(sparse.find("llmdm_batch_closed_total{cause=\"drain\"} 1"),
+            std::string::npos)
+      << sparse;
+}
+
+TEST(ServeBatching, TextsMatchUnbatchedAndSavedReconstructsListPrice) {
+  // Batching changes billing and latency, never answers: the id-sorted
+  // texts must equal an unbatched run's, and (satellite 2 exactness) the
+  // batched meter cost plus the itemized prefix savings must reconstruct
+  // the unbatched meter cost to the micro.
+  auto run = [](bool batching) {
+    serve::Server::Options options;
+    options.worker_threads = 4;
+    options.shed_policy = serve::ShedPolicy::kNone;
+    options.batching = batching;
+    options.max_batch = 8;
+    options.batch_window_vms = 20.0;
+    serve::Server server(MakeBatchModel("sim-batch", 100.0, 3), options);
+    for (size_t i = 0; i < 90; ++i) {
+      server.Submit(MakeRequest(
+          i, static_cast<double>(i) * 2.0,
+          common::StrFormat("decompose clause %zu of query %zu", i % 5,
+                            i / 5)));
+    }
+    std::string texts;
+    for (const auto& r : server.Drain()) {
+      EXPECT_TRUE(r.status.ok());
+      texts += r.text;
+      texts += '\n';
+    }
+    return std::make_tuple(texts, server.meter().cost(),
+                           server.meter().batch_stats());
+  };
+  auto [batched_texts, batched_cost, batch_ledger] = run(true);
+  auto [plain_texts, plain_cost, plain_ledger] = run(false);
+  EXPECT_EQ(batched_texts, plain_texts);
+  EXPECT_GT(batch_ledger.prefix_cached_tokens, 0u);
+  EXPECT_GT(batch_ledger.prefix_saved, common::Money::Zero());
+  EXPECT_LT(batched_cost, plain_cost);
+  EXPECT_EQ(batched_cost + batch_ledger.prefix_saved, plain_cost);
+  EXPECT_EQ(plain_ledger.batches, 0u);
+}
+
+TEST(ServeBatching, SpendConservedUnderCoalescingAndHedging) {
+  // The satellite-2 conservation law with everything on at once: batching +
+  // single-flight + hedging. The committed meter must equal the sum of the
+  // per-response costs to the micro — a double-booked prefix discount or a
+  // hedge-loser's claimed savings would break the equality.
+  serve::Server::Options options;
+  options.worker_threads = 8;
+  options.shed_policy = serve::ShedPolicy::kNone;
+  options.batching = true;
+  options.max_batch = 4;
+  options.batch_window_vms = 15.0;
+  options.single_flight = true;
+  options.hedging = true;
+  options.hedge_percentile = 0.5;
+  options.est_output_tokens = 1;  // tight trigger: hedges actually launch
+  serve::Server server(MakeBatchModel("sim-batch", 5000.0, 3), options,
+                       MakeModel("sim-hedge", 50.0, 4));
+  for (size_t i = 0; i < 90; ++i) {
+    // Thirds: near-duplicates (batch + prefix), exact duplicates
+    // (single-flight), and unique tails (hedge fodder).
+    std::string input =
+        (i % 3 == 0)
+            ? common::StrFormat("shared stem request %zu", i % 12)
+            : (i % 3 == 1 ? std::string("identical flight query")
+                          : common::StrFormat("unique tail %zu", i));
+    server.Submit(MakeRequest(i, static_cast<double>(i) * 5.0, input));
+  }
+  auto responses = server.Drain();
+  ASSERT_EQ(responses.size(), 90u);
+  common::Money response_sum;
+  for (const auto& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.message();
+    response_sum += r.cost;
+  }
+  auto s = server.stats();
+  EXPECT_GT(s.batches_closed, 0u);
+  EXPECT_GT(s.coalesced, 0u);
+  EXPECT_GT(s.hedges_launched, 0u);
+  EXPECT_EQ(server.meter().cost(), response_sum);
+  // The registry counters and the meter ledger describe the same savings.
+  EXPECT_EQ(server.meter().batch_stats().prefix_cached_tokens,
+            s.prefix_cached_tokens);
+  EXPECT_EQ(server.meter().batch_stats().prefix_saved, s.prefix_saved);
+}
+
+TEST(ServeQos, SubmitBatchProbeHitsChargeTenantLedger) {
+  // Satellite 1 regression: a batch-probe hit must hit the tenant's books —
+  // submitted, admitted, the {tenant=...} hit counter, and the quota
+  // bucket — exactly like an admitted request, so a tenant cannot dodge its
+  // quota by arriving through SubmitBatch with a warm cache. Parity target:
+  // an equivalent Submit loop (no probe; every request is admitted and
+  // charged), which must see the same admission/shed accounting.
+  auto tenant_row = [](serve::Server& server, const std::string& id) {
+    for (const auto& t : server.tenant_stats()) {
+      if (t.tenant == id) return t;
+    }
+    return serve::TenantStats{};
+  };
+  auto make_options = [] {
+    serve::Server::Options options;
+    options.worker_threads = 4;
+    options.queue_depth = 256;  // ample share: only quota can shed
+    options.shed_policy = serve::ShedPolicy::kQueueFull;
+    serve::TenantConfig metered;
+    metered.id = "metered";
+    metered.weight = 1.0;
+    metered.queue_limit = 256;
+    // Burst covers roughly three requests' estimates, refill is a trickle:
+    // the fourth-and-later arrivals must shed on quota in BOTH paths.
+    metered.quota_tokens_per_vs = 0.01;
+    metered.quota_burst_tokens = 180.0;
+    options.qos.tenants = {metered};
+    return options;
+  };
+  auto make_workload = [] {
+    std::vector<serve::Request> batch;
+    for (size_t i = 0; i < 10; ++i) {
+      serve::Request req = MakeRequest(i, static_cast<double>(i) * 1.0,
+                                       common::StrFormat("warm query %zu", i));
+      req.tenant = "metered";
+      batch.push_back(req);
+    }
+    return batch;
+  };
+
+  // Path A: SubmitBatch through a probe whose cache answers everything.
+  auto model = MakeModel("sim-serve", 100.0, 3);
+  optimize::SemanticCache::Options copts;
+  copts.similarity_threshold = 0.99;
+  copts.capacity = 256;
+  optimize::SemanticCache cache(copts);
+  for (size_t i = 0; i < 10; ++i) {
+    cache.Insert(common::StrFormat("warm query %zu", i), "cached answer",
+                 common::Money::FromDollars(0.001));
+  }
+  serve::Server::Options options = make_options();
+  options.batch_probe = optimize::MakeBatchCacheProbe(&cache, model->spec());
+  serve::Server probed(model, options);
+  probed.SubmitBatch(make_workload());
+  (void)probed.Drain();
+  serve::TenantStats a = tenant_row(probed, "metered");
+
+  // Path B: the same workload through a plain Submit loop (no probe).
+  serve::Server plain(MakeModel("sim-serve", 100.0, 3), make_options());
+  for (const auto& req : make_workload()) plain.Submit(req);
+  (void)plain.Drain();
+  serve::TenantStats b = tenant_row(plain, "metered");
+
+  // The probe really answered the admitted requests...
+  EXPECT_GT(a.cache_probe_hits, 0u);
+  EXPECT_EQ(a.cache_probe_hits, a.admitted);
+  EXPECT_EQ(b.cache_probe_hits, 0u);
+  // ...and the admission-side books are identical: same submissions, same
+  // admissions, and — the heart of the bug — the same quota sheds, because
+  // hits drain the bucket exactly like admitted calls.
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.shed_quota, b.shed_quota);
+  EXPECT_GT(a.shed_quota, 0u);
+  EXPECT_EQ(a.shed_queue, 0u);
+  EXPECT_EQ(b.shed_queue, 0u);
+}
+
 TEST(Serve, SubmitBatchProbeAnswersHitsAtZeroCostDeterministically) {
   // A semantic cache warmed with half the batch's queries, wired in through
   // the batched probe: hits must be answered at zero cost with the cached

@@ -3,6 +3,8 @@
 #include "common/string_util.h"
 #include "data/nl2sql_workload.h"
 #include "data/qa_workload.h"
+#include "llm/deadline.h"
+#include "llm/prefix_trie.h"
 #include "llm/simulated.h"
 #include "sql/database.h"
 #include "text/tokenizer.h"
@@ -318,6 +320,170 @@ TEST(Sql2NlSkillTest, DescribesAggregate) {
   EXPECT_NE(c->text.find("average"), std::string::npos);
   EXPECT_NE(c->text.find("employee"), std::string::npos);
   EXPECT_NE(c->text.find("500.0"), std::string::npos);
+}
+
+TEST(PrefixTrieTest, HandComputedSharedPrefixes) {
+  // Exactness against a hand-computed trie over crafted strings:
+  //
+  //   insert "shared head: alpha"  -> trie empty, shares 0
+  //   insert "shared head: beta"   -> walks "shared head: " (13), diverges
+  //   insert "shared head: alpine" -> walks "shared head: alp" (16) along
+  //                                   the "alpha" path before diverging
+  //   insert "unrelated"           -> shares 0 with every path
+  //   insert "shared head: beta"   -> exact duplicate: the whole string (17)
+  PrefixTrie trie;
+  EXPECT_EQ(trie.Insert("shared head: alpha"), 0u);
+  EXPECT_EQ(trie.Insert("shared head: beta"), 13u);
+  EXPECT_EQ(trie.Insert("shared head: alpine"), 16u);
+  EXPECT_EQ(trie.Insert("unrelated"), 0u);
+  EXPECT_EQ(trie.Insert("shared head: beta"), 17u);
+  // The duplicate did not add a path.
+  EXPECT_EQ(trie.size(), 4u);
+  // A prefix of an existing path shares its whole length.
+  EXPECT_EQ(trie.Insert("shared head:"), 12u);
+}
+
+TEST(PrefixTrieTest, EmptyStringAndSingleInsert) {
+  PrefixTrie trie;
+  EXPECT_EQ(trie.Insert(""), 0u);
+  EXPECT_EQ(trie.Insert("x"), 0u);  // shares only the empty prefix
+  EXPECT_EQ(trie.Insert(""), 0u);  // duplicate of the empty string
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+ModelSpec DiscountedSpec() {
+  ModelSpec spec;
+  spec.name = "sim-batch";
+  spec.capability = 0.9;
+  spec.input_price_per_1k = common::Money::FromDollars(0.010);
+  spec.cached_input_price_per_1k = common::Money::FromDollars(0.001);
+  spec.output_price_per_1k = common::Money::FromDollars(0.020);
+  spec.latency_ms_per_1k_tokens = 1000.0;  // 1 ms per token: easy arithmetic
+  return spec;
+}
+
+std::unique_ptr<SimulatedLlm> MakeDiscountedModel() {
+  auto model = std::make_unique<SimulatedLlm>(DiscountedSpec(), 7);
+  model->RegisterSkill(std::make_unique<FreeformSkill>());
+  return model;
+}
+
+TEST(SimulatedLlmBatch, SharedPrefixPricedAtCachedTierExactly) {
+  // Three crafted prompts whose rendered forms share hand-checkable
+  // prefixes (freeform prompts render with identical instruction headers,
+  // so the divergence point is inside the [input] section).
+  auto model = MakeDiscountedModel();
+  std::vector<Prompt> prompts;
+  prompts.push_back(MakePrompt("freeform", "analyze shard alpha"));
+  prompts.push_back(MakePrompt("freeform", "analyze shard beta"));
+  prompts.push_back(MakePrompt("freeform", "totally different question"));
+  auto results = model->CompleteBatch(prompts);
+  ASSERT_EQ(results.size(), prompts.size());
+  for (const auto& r : results) ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const ModelSpec spec = DiscountedSpec();
+  auto price = [](common::Money per_1k, size_t tokens) {
+    return common::Money::FromMicros(per_1k.micros() *
+                                     static_cast<int64_t>(tokens) / 1000);
+  };
+  // Hand-compute each member's expected shared prefix with the prompts
+  // inserted before it (the trie sees them in batch order).
+  std::vector<std::string> rendered;
+  for (const Prompt& p : prompts) rendered.push_back(p.Render());
+  auto lcp = [](const std::string& a, const std::string& b) {
+    size_t n = std::min(a.size(), b.size());
+    size_t i = 0;
+    while (i < n && a[i] == b[i]) ++i;
+    return i;
+  };
+  const size_t expected_shared[3] = {
+      0,                                // first path: nothing to share with
+      lcp(rendered[1], rendered[0]),    // walks prompt 0's path
+      std::max(lcp(rendered[2], rendered[0]), lcp(rendered[2], rendered[1]))};
+  ASSERT_GT(expected_shared[1], 0u);  // the crafted prompts really do share
+  ASSERT_GT(expected_shared[2], 0u);  // at least the instruction header
+
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    const Completion& c = *results[i];
+    auto per_call = model->Complete(prompts[i]);
+    ASSERT_TRUE(per_call.ok());
+    // Text and token counts are the per-call answer (batching only changes
+    // how the input is billed, never what the model says).
+    EXPECT_EQ(c.text, per_call->text);
+    EXPECT_EQ(c.confidence, per_call->confidence);
+    EXPECT_EQ(c.input_tokens, per_call->input_tokens);
+    EXPECT_EQ(c.output_tokens, per_call->output_tokens);
+    // The cached token count is the shared prefix re-tokenized (clamped to
+    // the full input count), and the price splits exactly across tiers.
+    const size_t expected_cached =
+        std::min(text::CountTokens(std::string_view(rendered[i])
+                                       .substr(0, expected_shared[i])),
+                 c.input_tokens);
+    EXPECT_EQ(c.prefix_cached_tokens, expected_cached) << "member " << i;
+    const size_t fresh = c.input_tokens - expected_cached;
+    EXPECT_EQ(c.cost, price(spec.input_price_per_1k, fresh) +
+                          price(spec.cached_input_price_per_1k, expected_cached) +
+                          price(spec.output_price_per_1k, c.output_tokens));
+    // Cached prefill is skipped: 1 ms per fresh/output token.
+    EXPECT_DOUBLE_EQ(c.latency_ms,
+                     static_cast<double>(fresh + c.output_tokens));
+  }
+  EXPECT_EQ(results[0]->prefix_cached_tokens, 0u);
+  EXPECT_GT(results[1]->prefix_cached_tokens, 0u);
+  EXPECT_LT(results[1]->cost, model->Complete(prompts[1])->cost);
+}
+
+TEST(SimulatedLlmBatch, NoCachedPriceMeansPerCallBehaviour) {
+  // cached_input_price_per_1k == 0 disables the discount entirely: the
+  // batched path must be byte-identical to per-call completion, cost and
+  // latency included (this is what keeps Tables I–III stable).
+  ModelSpec spec = DiscountedSpec();
+  spec.cached_input_price_per_1k = common::Money::Zero();
+  auto model = std::make_unique<SimulatedLlm>(spec, 7);
+  model->RegisterSkill(std::make_unique<FreeformSkill>());
+  std::vector<Prompt> prompts;
+  prompts.push_back(MakePrompt("freeform", "analyze shard alpha"));
+  prompts.push_back(MakePrompt("freeform", "analyze shard beta"));
+  auto results = model->CompleteBatch(prompts);
+  ASSERT_EQ(results.size(), 2u);
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    auto per_call = model->Complete(prompts[i]);
+    ASSERT_TRUE(per_call.ok());
+    EXPECT_EQ(results[i]->text, per_call->text);
+    EXPECT_EQ(results[i]->cost, per_call->cost);
+    EXPECT_DOUBLE_EQ(results[i]->latency_ms, per_call->latency_ms);
+    EXPECT_EQ(results[i]->prefix_cached_tokens, 0u);
+  }
+}
+
+TEST(SimulatedLlmBatch, ExhaustedDeadlineFailsFastAndStaysOutOfTrie) {
+  auto model = MakeDiscountedModel();
+  std::vector<Prompt> prompts;
+  prompts.push_back(MakePrompt("freeform", "analyze shard alpha"));
+  prompts.push_back(MakePrompt("freeform", "analyze shard alpine"));
+  prompts.push_back(MakePrompt("freeform", "analyze shard alps"));
+  // The middle member's budget is already gone: it must come back Timeout
+  // — and must NOT have seeded the trie, so the third member's shared
+  // prefix is computed against member 0 only.
+  prompts[1].deadline = std::make_shared<Deadline>(0.0);
+  auto results = model->CompleteBatch(prompts);
+  ASSERT_EQ(results.size(), 3u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), common::StatusCode::kTimeout);
+  ASSERT_TRUE(results[2].ok());
+
+  // Recompute the run with the dead member absent: member 2's billing must
+  // match a two-member batch of {alpha, alps}.
+  auto control = MakeDiscountedModel();
+  std::vector<Prompt> two;
+  two.push_back(MakePrompt("freeform", "analyze shard alpha"));
+  two.push_back(MakePrompt("freeform", "analyze shard alps"));
+  auto control_results = control->CompleteBatch(two);
+  ASSERT_TRUE(control_results[1].ok());
+  EXPECT_EQ(results[2]->prefix_cached_tokens,
+            control_results[1]->prefix_cached_tokens);
+  EXPECT_EQ(results[2]->cost, control_results[1]->cost);
 }
 
 }  // namespace

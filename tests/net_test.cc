@@ -554,6 +554,61 @@ TEST(NetLoopback, QuotaShedCarriesPerTenantRetryAfter) {
   EXPECT_GT(quota_shed, 0u);
 }
 
+// Satellite (retry-at-hint): CallWithRetry must turn a quota shed into a
+// success by waiting out the server's own retry_after_vms hint — one retry,
+// arriving just past the bucket refill, instead of hammering the quota.
+TEST(NetLoopback, QuotaShedThenRetryAfterHintSucceeds) {
+  TestBackendOptions opts;
+  serve::TenantConfig metered;
+  metered.id = "metered";
+  metered.weight = 1.0;
+  // Burst admits exactly one request (~53 tokens of estimate); refill at 10
+  // tokens/vs makes the hint finite and the retry admissible once waited.
+  metered.quota_tokens_per_vs = 10.0;
+  metered.quota_burst_tokens = 60.0;
+  opts.qos.tenants = {metered};
+  LoopbackHarness harness(opts);
+
+  net::Client client;
+  ASSERT_TRUE(client.Connect(harness.ClientOptions()).ok());
+
+  net::WireRequest first;
+  first.id = 1;
+  first.tenant = "metered";
+  first.input = "drain the bucket";
+  first.arrival_vms = 0.0;
+  auto drained = client.Call(first);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_FALSE(drained->shed);
+
+  // Immediately behind it, the bucket is empty: a plain Call sheds with a
+  // usable hint, and a CallWithRetry of the *same shape* succeeds on its
+  // second attempt by waiting exactly that hint out.
+  net::WireRequest probe;
+  probe.id = 2;
+  probe.tenant = "metered";
+  probe.input = "retry me after the refill";
+  probe.arrival_vms = 1.0;
+  auto refused = client.Call(probe);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  ASSERT_TRUE(refused->shed);
+  EXPECT_EQ(refused->shed_cause, serve::ShedCause::kQuota);
+  ASSERT_GT(refused->retry_after_vms, 0.0);
+
+  net::WireRequest retried = probe;
+  retried.id = 3;
+  // A shed consumed no quota, so the hinted wait from this arrival still
+  // lands on a refilled bucket.
+  retried.arrival_vms = 2.0;
+  auto result = client.CallWithRetry(retried);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->shed) << result->status.message();
+  EXPECT_TRUE(result->status.ok());
+  EXPECT_EQ(result->attempts, 2u);  // one refusal, one hinted retry — no more
+  EXPECT_FALSE(result->text.empty());
+  EXPECT_GT(result->cost, common::Money::Zero());
+}
+
 // ---- Raw-socket helpers (protocol-level tests that need exact framing) ----
 
 int ConnectRaw(uint16_t port, int rcvbuf_bytes = 0) {
